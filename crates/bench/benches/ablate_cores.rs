@@ -1,0 +1,5 @@
+//! Regenerates the ablate_cores series. Run with `cargo bench -p nmad-bench --bench ablate_cores`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("ablate_cores", nmad_bench::figures::ablate_cores);
+}

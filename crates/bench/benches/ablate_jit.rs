@@ -1,0 +1,31 @@
+//! Just-in-time (NIC-idle-driven) scheduling vs static round-robin rail
+//! binding, on bursty mixed-size workloads (§3.5: "we take our scheduling
+//! decisions just-in-time"). Run with
+//! `cargo bench -p nmad-bench --bench ablate_jit`.
+
+use nmad_bench::workload::{burst_comparison, render_burst_table, BurstPattern, BurstSpec};
+
+fn main() {
+    println!("=== ablate_jit — just-in-time vs static rail binding ===");
+    for (pattern, messages, label) in [
+        (BurstPattern::UniformLarge, 3usize, "3 x 2MiB, slow rail listed first"),
+        (BurstPattern::AlternatingLargeSmall, 24, "alternating 2MiB/4KiB"),
+        (BurstPattern::Mixed, 24, "random mix"),
+    ] {
+        println!("--- {label} ---");
+        let spec = BurstSpec {
+            messages,
+            seed: 2007,
+            small_fraction: 0.5,
+            pattern,
+            slow_rail_first: pattern == BurstPattern::UniformLarge,
+        };
+        let rows = burst_comparison(&spec);
+        println!("{}", render_burst_table(&spec, &rows));
+    }
+    println!(
+        "static-round-robin binds work at submission and regularly parks\n\
+         bytes on the slow rail while the fast one idles; the just-in-time\n\
+         strategies (greedy and later) decide at NIC-idle instants instead."
+    );
+}

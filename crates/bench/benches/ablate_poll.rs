@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablate_poll series. Run with `cargo bench -p nmad-bench --bench ablate_poll`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("ablate_poll", nmad_bench::figures::ablate_poll);
+}

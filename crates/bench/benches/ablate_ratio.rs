@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablate_ratio series. Run with `cargo bench -p nmad-bench --bench ablate_ratio`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("ablate_ratio", nmad_bench::figures::ablate_ratio);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablate_threshold series. Run with `cargo bench -p nmad-bench --bench ablate_threshold`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("ablate_threshold", nmad_bench::figures::ablate_threshold);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig2_myri series. Run with `cargo bench -p nmad-bench --bench fig2_myri`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("fig2_myri", nmad_bench::figures::fig2_myri);
+}

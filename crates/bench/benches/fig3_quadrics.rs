@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3_quadrics series. Run with `cargo bench -p nmad-bench --bench fig3_quadrics`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("fig3_quadrics", nmad_bench::figures::fig3_quadrics);
+}

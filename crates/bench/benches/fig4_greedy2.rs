@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig4_greedy2 series. Run with `cargo bench -p nmad-bench --bench fig4_greedy2`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("fig4_greedy2", nmad_bench::figures::fig4_greedy2);
+}

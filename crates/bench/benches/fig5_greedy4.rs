@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig5_greedy4 series. Run with `cargo bench -p nmad-bench --bench fig5_greedy4`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("fig5_greedy4", nmad_bench::figures::fig5_greedy4);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6_aggregate series. Run with `cargo bench -p nmad-bench --bench fig6_aggregate`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("fig6_aggregate", nmad_bench::figures::fig6_aggregate);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7_split series. Run with `cargo bench -p nmad-bench --bench fig7_split`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("fig7_split", nmad_bench::figures::fig7_split);
+}

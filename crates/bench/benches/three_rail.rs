@@ -1,0 +1,6 @@
+//! Extension: adaptive splitting over three heterogeneous rails.
+//! Run with `cargo bench -p nmad-bench --bench three_rail`.
+
+fn main() {
+    nmad_bench::report::run_figure_bench("three_rail", nmad_bench::figures::three_rail);
+}

@@ -1,0 +1,17 @@
+//! Beyond-paper experiment: bursty mixed-size workload makespan per
+//! strategy. Run with `cargo bench -p nmad-bench --bench workload_mix`.
+
+use nmad_bench::workload::{burst_comparison, render_burst_table, BurstSpec};
+
+fn main() {
+    for (msgs, small_frac) in [(64usize, 0.6f64), (64, 0.9), (128, 0.3)] {
+        let spec = BurstSpec {
+            messages: msgs,
+            seed: 2007,
+            small_fraction: small_frac,
+            ..Default::default()
+        };
+        let rows = burst_comparison(&spec);
+        println!("{}", render_burst_table(&spec, &rows));
+    }
+}

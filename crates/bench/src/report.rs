@@ -1,0 +1,211 @@
+//! Rendering figure results as text tables and JSON.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use nmad_runtime_sim::Sweep;
+
+use crate::figures::FigureResult;
+
+fn fmt_size(size: u64) -> String {
+    if size >= 1 << 20 {
+        format!("{}M", size >> 20)
+    } else if size >= 1024 {
+        format!("{}K", size >> 10)
+    } else {
+        format!("{size}")
+    }
+}
+
+/// Render one panel (latency or bandwidth) as an aligned text table:
+/// sizes down the rows, one column per series.
+pub fn render_panel(title: &str, series: &[Sweep], bandwidth: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    if series.is_empty() {
+        let _ = writeln!(out, "(no panel)");
+        return out;
+    }
+    let width = 14usize;
+    let _ = write!(out, "{:>10}", "size");
+    for s in series {
+        // Head column label: compress long legend names.
+        let label: String = s.label.chars().take(width - 1).collect();
+        let _ = write!(out, " {label:>width$}");
+    }
+    let _ = writeln!(out);
+    for (i, p) in series[0].points.iter().enumerate() {
+        let _ = write!(out, "{:>10}", fmt_size(p.size));
+        for s in series {
+            let q = &s.points[i];
+            debug_assert_eq!(q.size, p.size);
+            let v = if bandwidth { q.bandwidth_mbs } else { q.one_way_us };
+            let _ = write!(out, " {v:>width$.2}");
+        }
+        let _ = writeln!(out);
+    }
+    // Legend with full labels.
+    for (i, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  [{i}] {}", s.label);
+    }
+    out
+}
+
+/// Render a full figure result: caption, latency panel (µs), bandwidth
+/// panel (MB/s).
+pub fn render_table(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {} — {} ===", fig.id, fig.caption);
+    if !fig.latency.is_empty() {
+        out.push_str(&render_panel(
+            &format!("{}a: transfer time (us)", fig.id),
+            &fig.latency,
+            false,
+        ));
+    }
+    if !fig.bandwidth.is_empty() {
+        out.push_str(&render_panel(
+            &format!("{}b: bandwidth (MB/s)", fig.id),
+            &fig.bandwidth,
+            true,
+        ));
+    }
+    out
+}
+
+/// Directory where figure JSON dumps land.
+pub fn figures_dir() -> PathBuf {
+    // target/ lives at the workspace root; CARGO_MANIFEST_DIR is
+    // crates/bench.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/figures")
+}
+
+/// Write the figure as JSON under `target/figures/<id>.json`; returns the
+/// path. Failures are reported, not fatal (benches still print tables).
+pub fn write_json(fig: &FigureResult) -> std::io::Result<PathBuf> {
+    let dir = figures_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.json", fig.id));
+    fs::write(&path, serde_json::to_vec_pretty(fig).expect("serializable"))?;
+    Ok(path)
+}
+
+/// Render one panel as CSV: `size,<series...>` — ready for gnuplot or a
+/// spreadsheet.
+pub fn render_csv(series: &[Sweep], bandwidth: bool) -> String {
+    let mut out = String::new();
+    if series.is_empty() {
+        return out;
+    }
+    let _ = write!(out, "size");
+    for s in series {
+        let _ = write!(out, ",{}", s.label.replace(',', ";"));
+    }
+    let _ = writeln!(out);
+    for (i, p) in series[0].points.iter().enumerate() {
+        let _ = write!(out, "{}", p.size);
+        for s in series {
+            let q = &s.points[i];
+            let v = if bandwidth { q.bandwidth_mbs } else { q.one_way_us };
+            let _ = write!(out, ",{v:.4}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Write CSV dumps for a figure's panels under `target/figures/`.
+pub fn write_csv(fig: &FigureResult) -> std::io::Result<Vec<PathBuf>> {
+    let dir = figures_dir();
+    fs::create_dir_all(&dir)?;
+    let mut written = Vec::new();
+    if !fig.latency.is_empty() {
+        let path = dir.join(format!("{}_latency.csv", fig.id));
+        fs::write(&path, render_csv(&fig.latency, false))?;
+        written.push(path);
+    }
+    if !fig.bandwidth.is_empty() {
+        let path = dir.join(format!("{}_bandwidth.csv", fig.id));
+        fs::write(&path, render_csv(&fig.bandwidth, true))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Standard main body for a figure bench target: run, print, dump.
+pub fn run_figure_bench(name: &str, run: impl FnOnce() -> FigureResult) {
+    eprintln!("running {name} (deterministic simulation)...");
+    let fig = run();
+    println!("{}", render_table(&fig));
+    match write_json(&fig) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write JSON dump: {e}"),
+    }
+    match write_csv(&fig) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("could not write CSV dump: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmad_runtime_sim::SeriesPoint;
+
+    fn sweep(label: &str) -> Sweep {
+        Sweep {
+            label: label.into(),
+            points: vec![
+                SeriesPoint {
+                    size: 4,
+                    one_way_us: 1.7,
+                    bandwidth_mbs: 2.3,
+                },
+                SeriesPoint {
+                    size: 8 << 20,
+                    one_way_us: 9000.0,
+                    bandwidth_mbs: 930.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_values_and_legend() {
+        let fig = FigureResult {
+            id: "figX".into(),
+            caption: "test".into(),
+            latency: vec![sweep("series one")],
+            bandwidth: vec![sweep("series two")],
+        };
+        let t = render_table(&fig);
+        assert!(t.contains("figX"));
+        assert!(t.contains("1.70"), "latency value present: {t}");
+        assert!(t.contains("930.00"), "bandwidth value present: {t}");
+        assert!(t.contains("series one") && t.contains("series two"));
+        assert!(t.contains("8M"), "sizes formatted: {t}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = render_csv(&[sweep("a"), sweep("b, with comma")], true);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("size,a,b; with comma"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("4,2.3000,"), "{row}");
+        assert_eq!(lines.count(), 1);
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(4), "4");
+        assert_eq!(fmt_size(2048), "2K");
+        assert_eq!(fmt_size(8 << 20), "8M");
+    }
+}

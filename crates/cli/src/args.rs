@@ -1,0 +1,167 @@
+//! Tiny dependency-free argument parsing: `--key value` pairs and
+//! positional words.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals in order, flags as key → value.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program name). `--key value` becomes a
+    /// flag; `--key` followed by another flag or nothing becomes
+    /// `key = "true"`; everything else is positional.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty flag name '--'".into());
+                }
+                let next_is_value = argv
+                    .get(i + 1)
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    out.flags.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.flags.insert(key.to_string(), "true".into());
+                    i += 1;
+                }
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument by index.
+    pub fn pos(&self, idx: usize) -> Option<&str> {
+        self.positional.get(idx).map(String::as_str)
+    }
+
+    /// All positionals from an index onward.
+    pub fn rest(&self, from: usize) -> &[String] {
+        self.positional.get(from..).unwrap_or(&[])
+    }
+
+    /// String flag.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    /// Parsed numeric flag with default; errors mention the flag name.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Parse a human-friendly size: `4096`, `16K`, `8M`.
+    pub fn size(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => parse_size(v).ok_or_else(|| format!("--{key}: bad size '{v}'")),
+        }
+    }
+}
+
+/// Parse `4096` / `16K` / `16KiB` / `8M` / `2G` into bytes.
+pub fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let split = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (digits, suffix) = s.split_at(split);
+    let n: usize = digits.parse().ok()?;
+    let mult = match suffix.trim().to_ascii_uppercase().as_str() {
+        "" | "B" => 1,
+        "K" | "KB" | "KIB" => 1 << 10,
+        "M" | "MB" | "MIB" => 1 << 20,
+        "G" | "GB" | "GIB" => 1 << 30,
+        _ => return None,
+    };
+    Some(n * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mixed_flags_and_positionals() {
+        // Flags greedily take the next non-flag word as their value, so
+        // positionals must precede boolean flags.
+        let a = Args::parse(&argv(&[
+            "pingpong",
+            "extra",
+            "--strategy",
+            "greedy",
+            "--segments",
+            "2",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(a.pos(0), Some("pingpong"));
+        assert_eq!(a.pos(1), Some("extra"));
+        assert_eq!(a.flag("strategy"), Some("greedy"));
+        assert_eq!(a.num::<usize>("segments", 1).unwrap(), 2);
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn numeric_default_and_error() {
+        let a = Args::parse(&argv(&["x", "--n", "abc"])).unwrap();
+        assert!(a.num::<u32>("n", 5).is_err());
+        let a = Args::parse(&argv(&["x"])).unwrap();
+        assert_eq!(a.num::<u32>("n", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("16K"), Some(16 << 10));
+        assert_eq!(parse_size("16KiB"), Some(16 << 10));
+        assert_eq!(parse_size("8M"), Some(8 << 20));
+        assert_eq!(parse_size("1g"), Some(1 << 30));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size("8Q"), None);
+    }
+
+    #[test]
+    fn flag_without_value_before_flag() {
+        let a = Args::parse(&argv(&["--a", "--b", "v"])).unwrap();
+        assert_eq!(a.flag("a"), Some("true"));
+        assert_eq!(a.flag("b"), Some("v"));
+    }
+
+    #[test]
+    fn empty_flag_rejected() {
+        assert!(Args::parse(&argv(&["--"])).is_err());
+    }
+
+    #[test]
+    fn rest_slices_positionals() {
+        let a = Args::parse(&argv(&["cmd", "one", "two"])).unwrap();
+        assert_eq!(a.rest(1), &["one".to_string(), "two".to_string()]);
+        assert!(a.rest(9).is_empty());
+    }
+}

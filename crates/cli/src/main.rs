@@ -1,0 +1,445 @@
+//! `nmad` — command-line interface to the newmadeleine-rs reproduction.
+//!
+//! ```text
+//! nmad platform                         # show the modelled platforms
+//! nmad pingpong --strategy adaptive --segments 2 [--size 8M]
+//! nmad sample                           # init-time sampling tables + ratios
+//! nmad figure fig4 fig7 ...             # regenerate paper figures
+//! nmad burst --messages 64 --pattern mixed
+//! nmad timeline --size 4K               # ASCII Gantt of one transfer
+//! nmad tcp-serve [--conns 1]            # real-socket demo, prints addrs
+//! nmad tcp-send <addr0> <addr1> [--size 4M]
+//! ```
+
+mod args;
+
+use args::Args;
+use bytes::Bytes;
+use nmad_core::{EngineConfig, StrategyKind};
+use nmad_model::platform;
+use nmad_runtime_sim::sweep::{bandwidth_sizes, latency_sizes};
+use nmad_runtime_sim::{run_pingpong, sample_platform, PingPongSpec};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: nmad <command> [flags]\n\
+     commands:\n\
+       platform                         show modelled rails and hosts\n\
+       pingpong [--strategy S] [--segments N] [--size BYTES] [--platform FILE]\n\
+                                        paper ping-pong (omit --size for the full sweep;\n\
+                                        --platform loads a JSON rail description)\n\
+       sample                           init-time sampling tables and split ratios\n\
+       figure <fig2|fig3|fig4|fig5|fig6|fig7|ablate_*|three_rail> ...\n\
+                                        regenerate paper figures/ablations\n\
+       burst [--messages N] [--pattern mixed|alternating|large] [--small-frac F]\n\
+                                        bursty-workload strategy comparison\n\
+       window [--messages N] [--compute US]\n\
+                                        backlog accumulation during compute phases\n\
+       timeline [--strategy S] [--size BYTES] [--segments N]\n\
+                                        ASCII Gantt of one transfer\n\
+       tcp-serve [--conns N]            real-socket receiver (prints addresses)\n\
+       tcp-send <addr0> <addr1> [--size BYTES]\n\
+                                        real-socket sender\n\
+     strategies: single-myri single-quadrics greedy aggregate adaptive iso static"
+}
+
+fn parse_strategy(name: &str) -> Result<StrategyKind, String> {
+    Ok(match name {
+        "single-myri" => StrategyKind::SingleRail(0),
+        "single-quadrics" => StrategyKind::SingleRail(1),
+        "greedy" => StrategyKind::Greedy,
+        "aggregate" => StrategyKind::AggregateEager,
+        "adaptive" => StrategyKind::AdaptiveSplit,
+        "iso" => StrategyKind::IsoSplit,
+        "static" => StrategyKind::StaticRoundRobin,
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.pos(0) {
+        Some("platform") => cmd_platform(),
+        Some("pingpong") => cmd_pingpong(&args),
+        Some("sample") => cmd_sample(),
+        Some("figure") => cmd_figure(&args),
+        Some("burst") => cmd_burst(&args),
+        Some("window") => cmd_window(&args),
+        Some("timeline") => cmd_timeline(&args),
+        Some("tcp-serve") => cmd_tcp_serve(&args),
+        Some("tcp-send") => cmd_tcp_send(&args),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn cmd_platform() -> Result<(), String> {
+    let p = platform::paper_platform();
+    println!("paper platform (HCW 2007 testbed):");
+    println!(
+        "  host {}: memcpy {:.1} GB/s, I/O bus {:.0} MB/s, {} core(s)",
+        p.host.name,
+        p.host.memcpy_bandwidth / 1e9,
+        p.host.bus_capacity / 1e6,
+        p.host.cores
+    );
+    for (i, r) in p.rails.iter().enumerate() {
+        println!(
+            "  rail{i} {:<16} lat {:>5.2} us  link {:>6.0} MB/s  pio<{:>3}KiB rdv>={:>3}KiB",
+            r.name,
+            r.analytic_pio_oneway(0).as_us_f64(),
+            r.link_bandwidth / 1e6,
+            r.pio_threshold >> 10,
+            r.rdv_threshold >> 10,
+        );
+    }
+    println!("\nother presets: gige-tcp, sci-dolphin, myrinet2000-gm2, infiniband-4xsdr");
+    for nic in [
+        platform::gige(),
+        platform::sci_dolphin(),
+        platform::myrinet_2000_gm(),
+        platform::infiniband_sdr4x(),
+    ] {
+        println!(
+            "  {:<18} lat {:>6.2} us  link {:>6.0} MB/s",
+            nic.name,
+            nic.analytic_pio_oneway(0).as_us_f64(),
+            nic.link_bandwidth / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn load_platform_flag(args: &Args) -> Result<nmad_model::Platform, String> {
+    match args.flag("platform") {
+        None => Ok(platform::paper_platform()),
+        Some(path) => nmad_model::load_platform(std::path::Path::new(path)),
+    }
+}
+
+fn cmd_pingpong(args: &Args) -> Result<(), String> {
+    let kind = parse_strategy(args.flag("strategy").unwrap_or("adaptive"))?;
+    let segments: usize = args.num("segments", 1)?;
+    let plat = load_platform_flag(args)?;
+    let config = EngineConfig::with_strategy(kind);
+    let tables = if kind == StrategyKind::AdaptiveSplit {
+        eprintln!("sampling rails (init-time, paper 3.4)...");
+        Some(sample_platform(&plat))
+    } else {
+        None
+    };
+    let run_one = |size: usize| {
+        let mut spec =
+            PingPongSpec::new(plat.clone(), config.clone(), size).with_segments(segments);
+        if let Some(t) = &tables {
+            spec = spec.with_tables(t.clone());
+        }
+        run_pingpong(&spec)
+    };
+    println!(
+        "strategy {} / {} segment(s)",
+        kind.label(),
+        segments
+    );
+    println!("{:>10} {:>14} {:>14}", "size", "one-way (us)", "MB/s");
+    if args.flag("size").is_some() {
+        let size = args.size("size", 0)?;
+        let r = run_one(size);
+        println!(
+            "{:>10} {:>14.2} {:>14.2}",
+            size,
+            r.one_way.as_us_f64(),
+            r.bandwidth_mbs
+        );
+    } else {
+        for &s in latency_sizes().iter().filter(|&&s| s as usize >= segments) {
+            let r = run_one(s as usize);
+            println!(
+                "{:>10} {:>14.2} {:>14.2}",
+                s,
+                r.one_way.as_us_f64(),
+                r.bandwidth_mbs
+            );
+        }
+        for &s in bandwidth_sizes().iter().skip(1) {
+            let r = run_one(s as usize);
+            println!(
+                "{:>10} {:>14.2} {:>14.2}",
+                s,
+                r.one_way.as_us_f64(),
+                r.bandwidth_mbs
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sample() -> Result<(), String> {
+    let p = platform::paper_platform();
+    eprintln!("running init-time sampling (per-rail ping-pong ladders)...");
+    let tables = sample_platform(&p);
+    println!("{:>10} {:>14} {:>14}", "size", "myri (us)", "quadrics (us)");
+    for &s in tables[0].sizes() {
+        println!(
+            "{:>10} {:>14.2} {:>14.2}",
+            s,
+            tables[0].time_for(s),
+            tables[1].time_for(s)
+        );
+    }
+    println!("\nadaptive split ratios (share of bytes on Myri-10G):");
+    for size in [64u64 << 10, 256 << 10, 1 << 20, 8 << 20] {
+        let w = nmad_core::sampling::split_weights(&[&tables[0], &tables[1]], size);
+        let frac = w[0] / (w[0] + w[1]);
+        println!("  {:>8} KiB: {:>5.1}%", size >> 10, frac * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_figure(args: &Args) -> Result<(), String> {
+    let ids = args.rest(1);
+    if ids.is_empty() {
+        return Err("figure: name at least one figure id".into());
+    }
+    for id in ids {
+        let fig = match id.as_str() {
+            "fig2" => nmad_bench::figures::fig2_myri(),
+            "fig3" => nmad_bench::figures::fig3_quadrics(),
+            "fig4" => nmad_bench::figures::fig4_greedy2(),
+            "fig5" => nmad_bench::figures::fig5_greedy4(),
+            "fig6" => nmad_bench::figures::fig6_aggregate(),
+            "fig7" => nmad_bench::figures::fig7_split(),
+            "ablate_poll" => nmad_bench::figures::ablate_poll(),
+            "ablate_ratio" => nmad_bench::figures::ablate_ratio(),
+            "ablate_threshold" => nmad_bench::figures::ablate_threshold(),
+            "ablate_cores" => nmad_bench::figures::ablate_cores(),
+            "three_rail" => nmad_bench::figures::three_rail(),
+            other => return Err(format!("unknown figure '{other}'")),
+        };
+        println!("{}", nmad_bench::report::render_table(&fig));
+    }
+    Ok(())
+}
+
+fn cmd_burst(args: &Args) -> Result<(), String> {
+    use nmad_bench::workload::{burst_comparison, render_burst_table, BurstPattern, BurstSpec};
+    let pattern = match args.flag("pattern").unwrap_or("mixed") {
+        "mixed" => BurstPattern::Mixed,
+        "alternating" => BurstPattern::AlternatingLargeSmall,
+        "large" => BurstPattern::UniformLarge,
+        other => return Err(format!("unknown pattern '{other}'")),
+    };
+    let spec = BurstSpec {
+        messages: args.num("messages", 64)?,
+        seed: args.num("seed", 2007)?,
+        small_fraction: args.num("small-frac", 0.6)?,
+        pattern,
+        slow_rail_first: args.has("slow-rail-first"),
+    };
+    let rows = burst_comparison(&spec);
+    println!("{}", render_burst_table(&spec, &rows));
+    Ok(())
+}
+
+fn cmd_window(args: &Args) -> Result<(), String> {
+    use nmad_bench::workload::run_compute_window;
+    let messages: usize = args.num("messages", 8)?;
+    let compute: u64 = args.num("compute", 3)?;
+    println!(
+        "{:>18} {:>14} {:>10} {:>10}",
+        "strategy", "makespan us", "packets", "aggregates"
+    );
+    for kind in [StrategyKind::Greedy, StrategyKind::AggregateEager] {
+        let (t, pkts, aggs) = run_compute_window(kind, messages, compute);
+        println!("{:>18} {t:>14.2} {pkts:>10} {aggs:>10}", kind.label());
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &Args) -> Result<(), String> {
+    use nmad_core::request::{RecvId, SendId};
+    use nmad_runtime_sim::world::{AppLogic, NodeApi, SimWorld};
+    use nmad_wire::reassembly::MessageAssembly;
+
+    struct Tx(Vec<Bytes>);
+    impl AppLogic for Tx {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            api.submit_send(0, self.0.clone());
+        }
+        fn on_send_complete(&mut self, _s: SendId, _api: &mut NodeApi<'_>) {}
+    }
+    struct Rx;
+    impl AppLogic for Rx {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            api.post_recv(0);
+        }
+        fn on_recv_complete(&mut self, _r: RecvId, _m: MessageAssembly, _api: &mut NodeApi<'_>) {}
+    }
+
+    let kind = parse_strategy(args.flag("strategy").unwrap_or("greedy"))?;
+    let size = args.size("size", 4 << 10)?;
+    let segments: usize = args.num("segments", 2)?;
+    let seg = (size / segments.max(1)).max(1);
+    let payloads: Vec<Bytes> = (0..segments)
+        .map(|i| Bytes::from(vec![i as u8; seg]))
+        .collect();
+    let plat = load_platform_flag(args)?;
+    let mut w = SimWorld::new(
+        &plat,
+        EngineConfig::with_strategy(kind),
+        Tx(payloads),
+        Rx,
+    );
+    w.open_conn();
+    w.enable_timeline();
+    w.run(5_000_000);
+    println!(
+        "{} / {} segment(s) x {} B:\n{}",
+        kind.label(),
+        segments,
+        seg,
+        w.timeline.as_ref().expect("enabled").render(72)
+    );
+    Ok(())
+}
+
+fn cmd_tcp_serve(args: &Args) -> Result<(), String> {
+    use nmad_transport_tcp::{listen, TcpConfig};
+    let mut cfg = TcpConfig::new(
+        platform::paper_platform(),
+        EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+    );
+    cfg.conns = args.num("conns", 1)?;
+    let pending = listen(cfg).map_err(|e| e.to_string())?;
+    let addrs: Vec<String> = pending.addrs().iter().map(|a| a.to_string()).collect();
+    println!("listening; run on the other side:");
+    println!("  nmad tcp-send {} [--size 4M]", addrs.join(" "));
+    let ep = pending.accept().map_err(|e| e.to_string())?;
+    let conn = ep.conns()[0];
+    let msg = ep
+        .recv(conn)
+        .wait(std::time::Duration::from_secs(600))
+        .ok_or("receive timed out")?;
+    println!(
+        "received {} bytes in {} segment(s); rx errors: {}",
+        msg.total_len(),
+        msg.segments.len(),
+        ep.rx_errors()
+    );
+    let st = ep.stats();
+    println!(
+        "socket shares seen by receiver: {} / {} packets",
+        st.rails.first().map(|r| r.packets).unwrap_or(0),
+        st.rails.get(1).map(|r| r.packets).unwrap_or(0)
+    );
+    Ok(())
+}
+
+fn cmd_tcp_send(args: &Args) -> Result<(), String> {
+    use nmad_transport_tcp::{connect, TcpConfig};
+    let addr_strs = args.rest(1);
+    if addr_strs.is_empty() {
+        return Err("tcp-send: need the addresses printed by tcp-serve".into());
+    }
+    let addrs: Vec<std::net::SocketAddr> = addr_strs
+        .iter()
+        .map(|a| a.parse().map_err(|e| format!("bad address '{a}': {e}")))
+        .collect::<Result<_, String>>()?;
+    let cfg = TcpConfig::new(
+        platform::paper_platform(),
+        EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+    );
+    let ep = connect(cfg, &addrs).map_err(|e| e.to_string())?;
+    let size = args.size("size", 4 << 20)?;
+    let payload = vec![0xABu8; size];
+    let conn = ep.conns()[0];
+    let ok = ep
+        .send(conn, vec![Bytes::from(payload)])
+        .wait(std::time::Duration::from_secs(600));
+    if !ok {
+        return Err("send timed out".into());
+    }
+    let st = ep.stats();
+    println!(
+        "sent {size} bytes; rdv {}, chunks {}, socket shares {:.1}% / {:.1}%",
+        st.rdv_handshakes,
+        st.chunks_sent,
+        100.0 * st.rail_share(0),
+        100.0 * st.rail_share(1)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_roundtrip() {
+        for name in [
+            "single-myri",
+            "single-quadrics",
+            "greedy",
+            "aggregate",
+            "adaptive",
+            "iso",
+            "static",
+        ] {
+            assert!(parse_strategy(name).is_ok(), "{name}");
+        }
+        assert!(parse_strategy("bogus").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn platform_command_runs() {
+        run(&["platform".to_string()]).unwrap();
+    }
+
+    #[test]
+    fn single_point_pingpong_runs() {
+        run(&[
+            "pingpong".to_string(),
+            "--strategy".into(),
+            "greedy".into(),
+            "--size".into(),
+            "16K".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn timeline_command_runs() {
+        run(&[
+            "timeline".to_string(),
+            "--strategy".into(),
+            "greedy".into(),
+            "--size".into(),
+            "64K".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn figure_requires_an_id() {
+        assert!(run(&["figure".to_string()]).is_err());
+        assert!(run(&["figure".to_string(), "nope".into()]).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Incremental message construction and extraction.
+//!
+//! Paper §2: "Messages may be constituted of one or more segments through
+//! incremental message construction/extraction commands." This module is
+//! that API surface — the `pack`/`unpack` veneer of MADELEINE lineage —
+//! over [`Engine::submit_send`] / [`crate::engine::Engine::try_recv`].
+//!
+//! Each `pack` call contributes one *segment*; segments are exactly the
+//! units the optimizing schedulers aggregate or split, so how an
+//! application packs directly shapes what the strategies can do.
+
+use bytes::Bytes;
+use nmad_wire::reassembly::MessageAssembly;
+use nmad_wire::ConnId;
+
+use crate::engine::Engine;
+use crate::request::SendId;
+
+/// Builds a message segment by segment before submitting it.
+///
+/// ```
+/// use nmad_core::api::MessageBuilder;
+/// use nmad_core::{Engine, EngineConfig, StrategyKind};
+/// use nmad_model::platform;
+///
+/// let mut engine = Engine::new(
+///     EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+///     platform::paper_platform().rails,
+///     vec![],
+/// );
+/// let conn = engine.conn_open();
+/// let send = MessageBuilder::new()
+///     .pack(&42u64.to_le_bytes()[..])
+///     .pack(b"payload".as_slice())
+///     .submit(&mut engine, conn);
+/// assert!(!engine.send_complete(send)); // nothing transmitted yet: collect layer only
+/// ```
+#[derive(Debug, Default)]
+pub struct MessageBuilder {
+    segments: Vec<Bytes>,
+}
+
+impl MessageBuilder {
+    /// Empty message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one segment (copied into an owned buffer).
+    pub fn pack(mut self, data: impl AsRef<[u8]>) -> Self {
+        self.segments.push(Bytes::copy_from_slice(data.as_ref()));
+        self
+    }
+
+    /// Append one segment without copying (caller already owns a `Bytes`).
+    pub fn pack_shared(mut self, data: Bytes) -> Self {
+        self.segments.push(data);
+        self
+    }
+
+    /// Append a little-endian `u64` as its own segment (header fields).
+    pub fn pack_u64(self, v: u64) -> Self {
+        self.pack(v.to_le_bytes())
+    }
+
+    /// Append a little-endian `u32` as its own segment.
+    pub fn pack_u32(self, v: u32) -> Self {
+        self.pack(v.to_le_bytes())
+    }
+
+    /// Segments packed so far.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total payload bytes packed so far.
+    pub fn total_len(&self) -> usize {
+        self.segments.iter().map(Bytes::len).sum()
+    }
+
+    /// Submit to the engine's collect layer (non-blocking; nothing is
+    /// transmitted until a NIC goes idle). Panics if no segment was packed.
+    pub fn submit(self, engine: &mut Engine, conn: ConnId) -> SendId {
+        engine.submit_send(conn, self.segments)
+    }
+
+    /// Take the packed segments without submitting (for transports that
+    /// wrap the engine, e.g. `nmad-transport-mem`).
+    pub fn into_segments(self) -> Vec<Bytes> {
+        self.segments
+    }
+}
+
+/// Extracts segments from a received message incrementally, mirroring the
+/// `pack` order on the send side.
+#[derive(Debug)]
+pub struct MessageReader {
+    segments: std::vec::IntoIter<Bytes>,
+}
+
+impl MessageReader {
+    /// Wrap a completed message.
+    pub fn new(assembly: MessageAssembly) -> Self {
+        MessageReader {
+            segments: assembly.segments.into_iter(),
+        }
+    }
+
+    /// Extract the next segment, if any.
+    pub fn unpack(&mut self) -> Option<Bytes> {
+        self.segments.next()
+    }
+
+    /// Extract the next segment as a little-endian `u64`. Returns `None`
+    /// when exhausted or when the segment is not exactly 8 bytes.
+    pub fn unpack_u64(&mut self) -> Option<u64> {
+        let seg = self.segments.next()?;
+        let arr: [u8; 8] = seg.as_ref().try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
+    /// Extract the next segment as a little-endian `u32`.
+    pub fn unpack_u32(&mut self) -> Option<u32> {
+        let seg = self.segments.next()?;
+        let arr: [u8; 4] = seg.as_ref().try_into().ok()?;
+        Some(u32::from_le_bytes(arr))
+    }
+
+    /// Segments not yet extracted.
+    pub fn remaining(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::strategy::StrategyKind;
+    use nmad_model::{platform, RailId};
+
+    fn engine_pair() -> (Engine, Engine) {
+        let mk = || {
+            Engine::new(
+                EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+                platform::paper_platform().rails,
+                vec![],
+            )
+        };
+        (mk(), mk())
+    }
+
+    fn pump(tx: &mut Engine, rx: &mut Engine) {
+        for _ in 0..10_000 {
+            let mut progressed = false;
+            for r in 0..2 {
+                let rail = RailId(r);
+                if let Some(d) = tx.next_tx(rail).unwrap() {
+                    progressed = true;
+                    tx.on_tx_done(rail, d.token).unwrap();
+                    rx.on_packet(rail, &d.wire).unwrap();
+                }
+                if let Some(d) = rx.next_tx(rail).unwrap() {
+                    progressed = true;
+                    rx.on_tx_done(rail, d.token).unwrap();
+                    tx.on_packet(rail, &d.wire).unwrap();
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+        panic!("pump did not quiesce");
+    }
+
+    #[test]
+    fn pack_roundtrips_through_unpack() {
+        let (mut tx, mut rx) = engine_pair();
+        let conn = tx.conn_open();
+        rx.conn_open();
+        let send = MessageBuilder::new()
+            .pack_u64(0xDEAD_BEEF)
+            .pack(b"first")
+            .pack_u32(7)
+            .pack(b"second segment")
+            .submit(&mut tx, conn);
+        let recv = rx.post_recv(conn);
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        let mut reader = MessageReader::new(rx.try_recv(recv).unwrap());
+        assert_eq!(reader.remaining(), 4);
+        assert_eq!(reader.unpack_u64(), Some(0xDEAD_BEEF));
+        assert_eq!(&reader.unpack().unwrap()[..], b"first");
+        assert_eq!(reader.unpack_u32(), Some(7));
+        assert_eq!(&reader.unpack().unwrap()[..], b"second segment");
+        assert!(reader.unpack().is_none());
+    }
+
+    #[test]
+    fn builder_accounting() {
+        let b = MessageBuilder::new().pack(b"abc").pack_u64(1).pack(b"");
+        assert_eq!(b.segment_count(), 3);
+        assert_eq!(b.total_len(), 3 + 8);
+        let segs = b.into_segments();
+        assert_eq!(segs.len(), 3);
+        assert!(segs[2].is_empty());
+    }
+
+    #[test]
+    fn typed_unpack_rejects_wrong_width() {
+        let assembly = MessageAssembly {
+            msg_id: 0,
+            segments: vec![Bytes::from_static(b"not8bytes!")],
+        };
+        let mut r = MessageReader::new(assembly);
+        assert_eq!(r.unpack_u64(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_message_rejected() {
+        let (mut tx, _) = engine_pair();
+        let conn = tx.conn_open();
+        MessageBuilder::new().submit(&mut tx, conn);
+    }
+}

@@ -1,0 +1,98 @@
+//! Engine configuration.
+
+use crate::strategy::StrategyKind;
+
+/// Tunable knobs of the engine, with defaults matching the paper's setup.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Which optimizing scheduler to plug in.
+    pub strategy: StrategyKind,
+    /// Segments at or above this many bytes go through the rendezvous
+    /// track; below, the eager track. The paper's drivers switch at 32 KiB.
+    pub rdv_threshold: usize,
+    /// Opportunistic aggregation only copies while the container stays
+    /// under this size — the paper finds copy-and-send wins below 16 KiB
+    /// (§3.1: "for small messages ... the best solution is to copy the
+    /// segments into a contiguous memory area").
+    pub agg_max_bytes: usize,
+    /// Minimum chunk size when splitting a segment across rails, so no
+    /// chunk falls back into the PIO regime (§3.4: "packs large enough in
+    /// order to avoid the transfer of the different chunks with a PIO
+    /// operation"). Matches the 8 KiB PIO threshold.
+    pub min_chunk: usize,
+    /// Whether to embed payload CRCs in packets (the threaded transport
+    /// enables this; the simulator does not need it).
+    pub crc: bool,
+    /// Delivery acknowledgements: when set, the receiver answers every
+    /// completed message with an `Ack` control packet and the sender
+    /// exposes [`crate::Engine::send_acked`]. Off by default — the paper's
+    /// networks are reliable; this is the hook the failure-injection tests
+    /// and a future retransmission layer build on.
+    pub acked: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            strategy: StrategyKind::AdaptiveSplit,
+            rdv_threshold: 32 * 1024,
+            agg_max_bytes: 16 * 1024,
+            min_chunk: 8 * 1024,
+            crc: false,
+            acked: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with the given strategy and paper-default thresholds.
+    pub fn with_strategy(strategy: StrategyKind) -> Self {
+        EngineConfig {
+            strategy,
+            ..Default::default()
+        }
+    }
+
+    /// Sanity-check threshold ordering.
+    pub fn validate(&self) {
+        assert!(self.min_chunk > 0, "min_chunk must be positive");
+        assert!(
+            self.min_chunk <= self.rdv_threshold,
+            "min_chunk {} must not exceed rdv_threshold {}",
+            self.min_chunk,
+            self.rdv_threshold
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EngineConfig::default();
+        c.validate();
+        assert_eq!(c.rdv_threshold, 32 * 1024);
+        assert_eq!(c.agg_max_bytes, 16 * 1024);
+        assert_eq!(c.min_chunk, 8 * 1024);
+    }
+
+    #[test]
+    fn with_strategy_keeps_thresholds() {
+        let c = EngineConfig::with_strategy(StrategyKind::Greedy);
+        assert_eq!(c.strategy, StrategyKind::Greedy);
+        assert_eq!(c.rdv_threshold, 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_chunk")]
+    fn bad_thresholds_rejected() {
+        let c = EngineConfig {
+            min_chunk: 64 * 1024,
+            rdv_threshold: 32 * 1024,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,79 @@
+//! The transmit-layer contract between the engine and its runtime.
+//!
+//! The engine never performs I/O. When a rail is idle the runtime calls
+//! [`crate::Engine::next_tx`]; if work exists it receives a [`TxDecision`]:
+//! an encoded wire buffer plus the cost metadata the runtime needs to model
+//! (or actually perform) the transfer. When the injection finishes, the
+//! runtime hands the decision's [`TxToken`] back via
+//! [`crate::Engine::on_tx_done`].
+
+use bytes::Bytes;
+use nmad_model::TxMode;
+
+use crate::request::SegKey;
+
+/// Opaque identifier of an in-flight tx decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TxToken(pub u64);
+
+/// What a tx decision carried (engine-internal bookkeeping, exposed for
+/// tests and tracing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxItem {
+    /// A whole eager segment.
+    EagerSeg(SegKey),
+    /// A segment carried inside an aggregate container.
+    AggSeg(SegKey),
+    /// A byte range of a granted segment.
+    Chunk {
+        /// Which segment.
+        key: SegKey,
+        /// Byte offset within the segment.
+        offset: u64,
+        /// Chunk length.
+        len: u64,
+    },
+    /// A control packet (rdv request/ack, ack).
+    Control,
+}
+
+/// One scheduled transmission, returned by [`crate::Engine::next_tx`].
+#[derive(Clone, Debug)]
+pub struct TxDecision {
+    /// Token to return via `on_tx_done`.
+    pub token: TxToken,
+    /// Fully encoded wire buffer (envelope + body).
+    pub wire: Bytes,
+    /// Transmission regime on the chosen rail — the runtime models PIO as
+    /// CPU-occupying and DMA as bus traffic.
+    pub mode: TxMode,
+    /// Bytes the engine memcpy'd into a staging buffer to build this
+    /// packet (aggregation). The runtime charges CPU time for them.
+    pub copied_bytes: usize,
+    /// True when this is a control packet (runtime may trace differently).
+    pub control: bool,
+}
+
+impl TxDecision {
+    /// Total bytes that will cross the wire.
+    pub fn wire_len(&self) -> usize {
+        self.wire.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_reflects_buffer() {
+        let d = TxDecision {
+            token: TxToken(1),
+            wire: Bytes::from_static(&[0; 40]),
+            mode: TxMode::Pio,
+            copied_bytes: 0,
+            control: false,
+        };
+        assert_eq!(d.wire_len(), 40);
+    }
+}

@@ -1,0 +1,1382 @@
+//! The NewMadeleine engine: collect layer + global scheduler + transmit
+//! bookkeeping (paper §2, Figure 1).
+//!
+//! The engine is *passive* and runtime-agnostic. A runtime (the
+//! discrete-event simulator or the threaded transport) drives it:
+//!
+//! ```text
+//! app  ──────── submit_send / post_recv ───────►  Engine (collect layer)
+//! rail idle ──── next_tx(rail) ───────────────►  strategy decision → TxDecision
+//! injection done ── on_tx_done(rail, token) ──►  send completions
+//! packet arrives ── on_packet(rail, bytes) ───►  reassembly, grants, recv completions
+//! ```
+//!
+//! Request processing is entirely disconnected from the submit calls:
+//! `submit_send` only queues work; all transmission decisions happen in
+//! `next_tx`, invoked when a NIC reports idle — the paper's core design
+//! point.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use nmad_model::{NicModel, RailId, TxMode};
+use nmad_wire::agg::{parse_aggregate, AggregateBuilder, AggregateEntry};
+use nmad_wire::header::{
+    AckPacket, ChunkPacket, EagerPacket, Packet, RdvAck, RdvRequest, SamplePacket,
+};
+use nmad_wire::reassembly::{MessageAssembly, ReasmError, Reassembler};
+use nmad_wire::{ConnId, MsgId};
+
+use crate::config::EngineConfig;
+use crate::driver::{TxDecision, TxItem, TxToken};
+use crate::error::EngineError;
+use crate::request::{Backlog, RecvId, SegKey, SegPhase, SendId};
+use crate::sampling::{default_ladder, PerfTable};
+use crate::stats::EngineStats;
+use crate::strategy::{Strategy, StrategyCtx, TxOp};
+
+/// Outcome of processing one incoming packet.
+#[derive(Debug, Default)]
+pub struct OnPacketOutcome {
+    /// Receives completed by this packet.
+    pub completed_recvs: Vec<RecvId>,
+    /// True when the packet caused control traffic to be queued (the
+    /// runtime should offer idle rails to the engine again).
+    pub control_enqueued: bool,
+    /// True when a rendezvous grant arrived (backlog became schedulable).
+    pub granted: bool,
+    /// Sampling pongs received: `(probe_id, payload_len)`.
+    pub sample_pongs: Vec<(u64, usize)>,
+}
+
+#[derive(Debug)]
+struct SendState {
+    /// Segments not yet fully consumed from the backlog.
+    segs_unconsumed: usize,
+    /// Tx items issued but not yet reported done.
+    items_outstanding: usize,
+    /// Completed (all bytes injected).
+    done: bool,
+}
+
+#[derive(Debug, Default)]
+struct ConnRx {
+    reassembler: Reassembler,
+    /// Messages fully delivered (kept only in acked mode, for duplicate
+    /// tolerance under retransmission).
+    delivered: std::collections::HashSet<MsgId>,
+    /// Rendezvous requests waiting for their receive to be posted
+    /// (flow control: large data moves only into posted buffers).
+    pending_rdv: Vec<(MsgId, u16)>,
+    /// Completed messages with no matching posted recv yet ("unexpected").
+    unexpected: HashMap<MsgId, MessageAssembly>,
+    /// Posted recvs by the msg_id they match (in-order matching).
+    posted: HashMap<MsgId, RecvId>,
+    /// Matched results awaiting `try_recv`.
+    results: HashMap<RecvId, MessageAssembly>,
+    /// Next msg_id a `post_recv` will match.
+    next_match: MsgId,
+}
+
+#[derive(Debug, Default)]
+struct ConnTx {
+    /// Next msg_id `submit_send` will assign.
+    next_msg: MsgId,
+}
+
+/// The NewMadeleine engine. One instance per node endpoint.
+pub struct Engine {
+    config: EngineConfig,
+    rails: Vec<NicModel>,
+    tables: Vec<PerfTable>,
+    strategy: Option<Box<dyn Strategy>>,
+    backlog: Backlog,
+    rail_busy: Vec<bool>,
+    /// Outbound control packets: `(conn, packet)` FIFO.
+    control_q: VecDeque<(ConnId, Packet)>,
+    /// Send-side payloads, keyed by (conn, msg): one `Bytes` per segment.
+    send_data: HashMap<(ConnId, MsgId), Vec<Bytes>>,
+    sends: HashMap<SendId, SendState>,
+    send_index: HashMap<(ConnId, MsgId), SendId>,
+    next_send_id: u64,
+    next_recv_id: u64,
+    recv_conn: HashMap<RecvId, ConnId>,
+    conn_tx: HashMap<ConnId, ConnTx>,
+    conn_rx: HashMap<ConnId, ConnRx>,
+    next_conn: ConnId,
+    next_token: u64,
+    in_flight: HashMap<u64, (SendIdSetKey, Vec<TxItem>)>,
+    tx_seq: Vec<u32>,
+    stats: EngineStats,
+    /// Reverse index SendId -> (conn, msg) for ack bookkeeping.
+    send_key: HashMap<SendId, (ConnId, MsgId)>,
+    /// Messages confirmed delivered by the peer (acked mode).
+    acked: std::collections::HashSet<(ConnId, MsgId)>,
+}
+
+/// Marker type to keep `in_flight` readable: control decisions have no
+/// associated sends.
+type SendIdSetKey = ();
+
+impl Engine {
+    /// Build an engine for the given rails. `tables` may be empty, in
+    /// which case analytic seed tables are derived from the NIC models
+    /// (real init-time sampling replaces them via [`Engine::set_tables`]).
+    pub fn new(config: EngineConfig, rails: Vec<NicModel>, tables: Vec<PerfTable>) -> Self {
+        config.validate();
+        assert!(!rails.is_empty(), "engine needs at least one rail");
+        let tables = if tables.is_empty() {
+            let ladder = default_ladder();
+            rails
+                .iter()
+                .map(|n| PerfTable::from_analytic(n, &ladder))
+                .collect()
+        } else {
+            assert_eq!(tables.len(), rails.len(), "one table per rail");
+            tables
+        };
+        let n = rails.len();
+        Engine {
+            strategy: Some(config.strategy.build()),
+            config,
+            tables,
+            backlog: Backlog::new(),
+            rail_busy: vec![false; n],
+            control_q: VecDeque::new(),
+            send_data: HashMap::new(),
+            sends: HashMap::new(),
+            send_index: HashMap::new(),
+            next_send_id: 0,
+            next_recv_id: 0,
+            recv_conn: HashMap::new(),
+            conn_tx: HashMap::new(),
+            conn_rx: HashMap::new(),
+            next_conn: 0,
+            next_token: 0,
+            in_flight: HashMap::new(),
+            tx_seq: vec![0; n],
+            stats: EngineStats::new(n),
+            send_key: HashMap::new(),
+            acked: std::collections::HashSet::new(),
+            rails,
+        }
+    }
+
+    /// Open a logical channel. Both endpoints must open connections in the
+    /// same order (like the paper's channel establishment).
+    pub fn conn_open(&mut self) -> ConnId {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        self.conn_tx.insert(id, ConnTx::default());
+        self.conn_rx.insert(id, ConnRx::default());
+        id
+    }
+
+    /// Replace the per-rail performance tables (after init-time sampling).
+    pub fn set_tables(&mut self, tables: Vec<PerfTable>) {
+        assert_eq!(tables.len(), self.rails.len(), "one table per rail");
+        self.tables = tables;
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Rail models.
+    pub fn rails(&self) -> &[NicModel] {
+        &self.rails
+    }
+
+    /// Behavioural counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Whether `rail` currently has an injection in flight.
+    pub fn rail_busy(&self, rail: RailId) -> bool {
+        self.rail_busy[rail.0]
+    }
+
+    /// True when the engine has transmit work queued (control or backlog).
+    /// Segments awaiting a rendezvous grant don't count: they cannot be
+    /// scheduled until the peer answers.
+    pub fn has_tx_work(&self) -> bool {
+        !self.control_q.is_empty()
+            || self.backlog.eager_items().next().is_some()
+            || self.backlog.granted_items().next().is_some()
+    }
+
+    /// True when any request (send or rendezvous handshake) is unfinished.
+    pub fn is_quiescent(&self) -> bool {
+        self.control_q.is_empty()
+            && self.backlog.is_empty()
+            && self.in_flight.is_empty()
+            && self.sends.values().all(|s| s.done)
+    }
+
+    // ------------------------------------------------------------------
+    // Collect layer
+    // ------------------------------------------------------------------
+
+    /// Submit a non-blocking send of a multi-segment message. Segments are
+    /// exactly the units the optimizing scheduler may aggregate or split.
+    pub fn submit_send(&mut self, conn: ConnId, segments: Vec<Bytes>) -> SendId {
+        assert!(
+            !segments.is_empty(),
+            "a message needs at least one segment"
+        );
+        assert!(segments.len() <= u16::MAX as usize, "too many segments");
+        let ct = self
+            .conn_tx
+            .get_mut(&conn)
+            .unwrap_or_else(|| panic!("unknown connection {conn}"));
+        let msg_id = ct.next_msg;
+        ct.next_msg += 1;
+
+        let send_id = SendId(self.next_send_id);
+        self.next_send_id += 1;
+        let total_segs = segments.len() as u16;
+        for (i, seg) in segments.iter().enumerate() {
+            let key = SegKey {
+                conn,
+                msg_id,
+                seg_index: i as u16,
+            };
+            if seg.len() >= self.config.rdv_threshold {
+                // Rendezvous track: announce and wait for the grant.
+                self.backlog
+                    .push(key, total_segs, seg.len() as u64, SegPhase::RdvRequested);
+                self.control_q.push_back((
+                    conn,
+                    Packet::RdvRequest(RdvRequest {
+                        msg_id,
+                        seg_index: i as u16,
+                        total_segs,
+                        total_len: seg.len() as u64,
+                    }),
+                ));
+                self.stats.rdv_handshakes += 1;
+            } else {
+                self.backlog
+                    .push(key, total_segs, seg.len() as u64, SegPhase::EagerReady);
+            }
+        }
+        self.send_data.insert((conn, msg_id), segments);
+        self.send_index.insert((conn, msg_id), send_id);
+        self.send_key.insert(send_id, (conn, msg_id));
+        self.sends.insert(
+            send_id,
+            SendState {
+                segs_unconsumed: total_segs as usize,
+                items_outstanding: 0,
+                done: false,
+            },
+        );
+        send_id
+    }
+
+    /// Queue a sampling probe (`SamplePing`) of `size` zero bytes on
+    /// `conn`. The peer engine echoes it back as a pong; the runtime
+    /// measures the round trip (init-time sampling, paper §3.4).
+    pub fn send_sample(&mut self, conn: ConnId, probe_id: u64, size: usize) {
+        self.control_q.push_back((
+            conn,
+            Packet::SamplePing(SamplePacket {
+                probe_id,
+                data: Bytes::from(vec![0u8; size]),
+            }),
+        ));
+    }
+
+    /// Post a non-blocking receive on `conn`. Receives match incoming
+    /// messages in order (the paper's benchmark model; tags live in the
+    /// mini-MPI layer above).
+    pub fn post_recv(&mut self, conn: ConnId) -> RecvId {
+        let recv_id = RecvId(self.next_recv_id);
+        self.next_recv_id += 1;
+        self.recv_conn.insert(recv_id, conn);
+        let rx = self
+            .conn_rx
+            .get_mut(&conn)
+            .unwrap_or_else(|| panic!("unknown connection {conn}"));
+        let msg_id = rx.next_match;
+        rx.next_match += 1;
+        if let Some(assembly) = rx.unexpected.remove(&msg_id) {
+            rx.results.insert(recv_id, assembly);
+        } else {
+            rx.posted.insert(msg_id, recv_id);
+        }
+        // Release any rendezvous parked on this receive (flow control).
+        let mut grants = Vec::new();
+        rx.pending_rdv.retain(|&(m, seg)| {
+            if m == msg_id {
+                grants.push((m, seg));
+                false
+            } else {
+                true
+            }
+        });
+        for (m, seg) in grants {
+            self.control_q.push_back((
+                conn,
+                Packet::RdvAck(RdvAck {
+                    msg_id: m,
+                    seg_index: seg,
+                }),
+            ));
+        }
+        recv_id
+    }
+
+    /// True when the send has been fully injected (local completion).
+    pub fn send_complete(&self, id: SendId) -> bool {
+        self.sends.get(&id).map(|s| s.done).unwrap_or(false)
+    }
+
+    /// True when the peer confirmed full delivery of the message (only
+    /// meaningful with [`EngineConfig::acked`] set on *both* endpoints).
+    pub fn send_acked(&self, id: SendId) -> bool {
+        self.send_key
+            .get(&id)
+            .map(|k| self.acked.contains(k))
+            .unwrap_or(false)
+    }
+
+    /// Take the reassembled message for a completed receive, if ready.
+    pub fn try_recv(&mut self, id: RecvId) -> Option<MessageAssembly> {
+        let conn = *self.recv_conn.get(&id)?;
+        let result = self.conn_rx.get_mut(&conn)?.results.remove(&id);
+        if result.is_some() {
+            self.recv_conn.remove(&id);
+        }
+        result
+    }
+
+    /// Connection a receive was posted on.
+    pub fn recv_conn(&self, id: RecvId) -> Option<ConnId> {
+        self.recv_conn.get(&id).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Transmit layer: NIC-activity-driven scheduling
+    // ------------------------------------------------------------------
+
+    /// Offer idle `rail` to the engine. Control packets are served first;
+    /// otherwise the optimizing scheduler picks from the backlog. Returns
+    /// `None` when the rail should stay idle. On `Some`, the rail is
+    /// marked busy until [`Engine::on_tx_done`].
+    pub fn next_tx(&mut self, rail: RailId) -> Result<Option<TxDecision>, EngineError> {
+        if self.rail_busy[rail.0] {
+            return Ok(None);
+        }
+        // Control plane jumps the queue: rendezvous latency directly gates
+        // large-message throughput.
+        if let Some((conn, pkt)) = self.control_q.pop_front() {
+            let decision = self.finish_decision(rail, conn, pkt, vec![TxItem::Control], 0, 0);
+            return Ok(Some(decision));
+        }
+
+        let mut strategy = self.strategy.take().expect("strategy present");
+        let op = {
+            let mut ctx = StrategyCtx {
+                backlog: &mut self.backlog,
+                rails: &self.rails,
+                rail_busy: &self.rail_busy,
+                tables: &self.tables,
+                config: &self.config,
+            };
+            strategy.next_tx(rail, &mut ctx)
+        };
+        self.strategy = Some(strategy);
+
+        let Some(op) = op else {
+            self.stats.idle_queries += 1;
+            return Ok(None);
+        };
+        self.execute_op(rail, op).map(Some)
+    }
+
+    fn execute_op(&mut self, rail: RailId, op: TxOp) -> Result<TxDecision, EngineError> {
+        match op {
+            TxOp::Eager(key) => {
+                let item = self
+                    .backlog
+                    .take_eager(key)
+                    .ok_or(EngineError::InvalidStrategyOp("eager segment not takeable"))?;
+                let data = self.segment_data(key)?;
+                self.note_seg_consumed(key);
+                let pkt = Packet::Eager(EagerPacket {
+                    msg_id: key.msg_id,
+                    seg_index: key.seg_index,
+                    total_segs: item.total_segs,
+                    data,
+                });
+                let items = vec![TxItem::EagerSeg(key)];
+                self.charge_items(&items);
+                let payload = match &pkt {
+                    Packet::Eager(p) => p.data.len(),
+                    _ => unreachable!("built above"),
+                };
+                Ok(self.finish_decision(rail, key.conn, pkt, items, 0, payload))
+            }
+            TxOp::Aggregate(keys) => {
+                if keys.is_empty() {
+                    return Err(EngineError::InvalidStrategyOp("empty aggregate"));
+                }
+                let mut builder = AggregateBuilder::new();
+                let mut items = Vec::with_capacity(keys.len());
+                let first_conn = keys[0].conn;
+                for key in keys {
+                    let item = self.backlog.take_eager(key).ok_or(
+                        EngineError::InvalidStrategyOp("aggregate segment not takeable"),
+                    )?;
+                    let data = self.segment_data(key)?;
+                    self.note_seg_consumed(key);
+                    builder.push(AggregateEntry {
+                        conn_id: key.conn,
+                        msg_id: key.msg_id,
+                        seg_index: key.seg_index,
+                        total_segs: item.total_segs,
+                        data,
+                    });
+                    items.push(TxItem::AggSeg(key));
+                }
+                let copied = builder.copy_bytes();
+                self.stats.aggregates_built += 1;
+                self.stats.segments_aggregated += items.len() as u64;
+                self.stats.aggregation_copy_bytes += copied as u64;
+                let pkt = builder.finish();
+                self.charge_items(&items);
+                Ok(self.finish_decision(rail, first_conn, pkt, items, copied, copied))
+            }
+            TxOp::Chunk { key, max_len } => {
+                let max_len = max_len.min(self.rails[rail.0].mtu as u64);
+                let tc = self
+                    .backlog
+                    .take_chunk(key, max_len)
+                    .ok_or(EngineError::InvalidStrategyOp("chunk not takeable"))?;
+                self.emit_chunk(rail, tc)
+            }
+            TxOp::PlannedChunk => {
+                let tc = self
+                    .backlog
+                    .take_planned(rail.0)
+                    .ok_or(EngineError::InvalidStrategyOp("no planned chunk for rail"))?;
+                self.emit_chunk(rail, tc)
+            }
+        }
+    }
+
+    fn emit_chunk(
+        &mut self,
+        rail: RailId,
+        tc: crate::request::TakenChunk,
+    ) -> Result<TxDecision, EngineError> {
+        let key = tc.key;
+        let data = self
+            .segment_data(key)?
+            .slice(tc.offset as usize..(tc.offset + tc.len) as usize);
+        if tc.seg_exhausted {
+            self.note_seg_consumed(key);
+        }
+        let seg_total = self
+            .send_data
+            .get(&(key.conn, key.msg_id))
+            .map(|segs| segs[key.seg_index as usize].len() as u64)
+            .expect("checked by segment_data");
+        let pkt = Packet::Chunk(ChunkPacket {
+            msg_id: key.msg_id,
+            seg_index: key.seg_index,
+            total_segs: tc.total_segs,
+            offset: tc.offset,
+            total_len: seg_total,
+            chunk_index: tc.chunk_index,
+            data,
+        });
+        self.stats.chunks_sent += 1;
+        let items = vec![TxItem::Chunk {
+            key,
+            offset: tc.offset,
+            len: tc.len,
+        }];
+        self.charge_items(&items);
+        Ok(self.finish_decision(rail, key.conn, pkt, items, 0, tc.len as usize))
+    }
+
+    fn segment_data(&self, key: SegKey) -> Result<Bytes, EngineError> {
+        self.send_data
+            .get(&(key.conn, key.msg_id))
+            .and_then(|segs| segs.get(key.seg_index as usize))
+            .cloned()
+            .ok_or(EngineError::InvalidStrategyOp("unknown segment payload"))
+    }
+
+    fn note_seg_consumed(&mut self, key: SegKey) {
+        if let Some(&send_id) = self.send_index.get(&(key.conn, key.msg_id)) {
+            if let Some(s) = self.sends.get_mut(&send_id) {
+                debug_assert!(s.segs_unconsumed > 0);
+                s.segs_unconsumed -= 1;
+            }
+        }
+    }
+
+    fn charge_items(&mut self, items: &[TxItem]) {
+        for item in items {
+            let key = match item {
+                TxItem::EagerSeg(k) | TxItem::AggSeg(k) => *k,
+                TxItem::Chunk { key, .. } => *key,
+                TxItem::Control => continue,
+            };
+            if let Some(&send_id) = self.send_index.get(&(key.conn, key.msg_id)) {
+                if let Some(s) = self.sends.get_mut(&send_id) {
+                    s.items_outstanding += 1;
+                }
+            }
+        }
+    }
+
+    fn finish_decision(
+        &mut self,
+        rail: RailId,
+        conn: ConnId,
+        pkt: Packet,
+        items: Vec<TxItem>,
+        copied_bytes: usize,
+        app_payload: usize,
+    ) -> TxDecision {
+        let seq = self.tx_seq[rail.0];
+        self.tx_seq[rail.0] = seq.wrapping_add(1);
+        let wire = pkt.encode(conn, seq, self.config.crc);
+        let control = pkt.is_control();
+        let nic = &self.rails[rail.0];
+        let mode = if wire.len() < nic.pio_threshold {
+            TxMode::Pio
+        } else {
+            TxMode::EagerDma
+        };
+        let rs = &mut self.stats.rails[rail.0];
+        if control {
+            rs.control_packets += 1;
+        } else {
+            rs.packets += 1;
+            rs.payload_bytes += app_payload as u64;
+            match mode {
+                TxMode::Pio => rs.pio_packets += 1,
+                _ => rs.dma_packets += 1,
+            }
+        }
+        rs.wire_bytes += wire.len() as u64;
+
+        let token = TxToken(self.next_token);
+        self.next_token += 1;
+        self.in_flight.insert(token.0, ((), items));
+        self.rail_busy[rail.0] = true;
+        TxDecision {
+            token,
+            wire,
+            mode,
+            copied_bytes,
+            control,
+        }
+    }
+
+    /// Report that the injection for `token` finished on `rail`. Returns
+    /// sends that reached local completion.
+    pub fn on_tx_done(&mut self, rail: RailId, token: TxToken) -> Result<Vec<SendId>, EngineError> {
+        let (_, items) = self
+            .in_flight
+            .remove(&token.0)
+            .ok_or(EngineError::BadToken(token.0))?;
+        self.rail_busy[rail.0] = false;
+        let mut completed = Vec::new();
+        for item in items {
+            let key = match item {
+                TxItem::EagerSeg(k) | TxItem::AggSeg(k) => k,
+                TxItem::Chunk { key, .. } => key,
+                TxItem::Control => continue,
+            };
+            let Some(&send_id) = self.send_index.get(&(key.conn, key.msg_id)) else {
+                continue;
+            };
+            let Some(s) = self.sends.get_mut(&send_id) else {
+                continue;
+            };
+            debug_assert!(s.items_outstanding > 0);
+            s.items_outstanding -= 1;
+            if !s.done && s.items_outstanding == 0 && s.segs_unconsumed == 0 {
+                s.done = true;
+                self.stats.msgs_sent += 1;
+                // Payload no longer needed once fully injected — unless we
+                // may have to retransmit it (acked mode keeps it until the
+                // delivery confirmation arrives).
+                if !self.config.acked {
+                    self.send_data.remove(&(key.conn, key.msg_id));
+                }
+                completed.push(send_id);
+            }
+        }
+        Ok(completed)
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    /// Process one incoming wire packet from `rail`.
+    pub fn on_packet(
+        &mut self,
+        _rail: RailId,
+        wire: &[u8],
+    ) -> Result<OnPacketOutcome, EngineError> {
+        let (env, pkt) = Packet::decode(wire)?;
+        let mut out = OnPacketOutcome::default();
+        match pkt {
+            Packet::Eager(p) => {
+                if self.drop_duplicate(env.conn_id, p.msg_id, &mut out)? {
+                    return Ok(out);
+                }
+                let done = self.insert_eager_tolerant(
+                    env.conn_id,
+                    p.msg_id,
+                    p.seg_index,
+                    p.total_segs,
+                    p.data,
+                )?;
+                self.settle_completion(env.conn_id, done, &mut out);
+            }
+            Packet::Aggregate(body) => {
+                let entries = parse_aggregate(&body)?;
+                for e in entries {
+                    if self.drop_duplicate(e.conn_id, e.msg_id, &mut out)? {
+                        continue;
+                    }
+                    let done = self.insert_eager_tolerant(
+                        e.conn_id,
+                        e.msg_id,
+                        e.seg_index,
+                        e.total_segs,
+                        e.data,
+                    )?;
+                    self.settle_completion(e.conn_id, done, &mut out);
+                }
+            }
+            Packet::Chunk(p) => {
+                if self.drop_duplicate(env.conn_id, p.msg_id, &mut out)? {
+                    return Ok(out);
+                }
+                let done = self.insert_chunk_tolerant(env.conn_id, &p)?;
+                self.settle_completion(env.conn_id, done, &mut out);
+            }
+            Packet::RdvRequest(p) => {
+                // A rendezvous for a message we already delivered means the
+                // sender lost our ack: answer with the ack, not a grant.
+                if self.drop_duplicate(env.conn_id, p.msg_id, &mut out)? {
+                    return Ok(out);
+                }
+                // Flow control: the whole point of the rendezvous track is
+                // that large data only moves once the receiver is ready.
+                // Grant immediately when the matching receive is already
+                // posted (its msg_id is below the in-order match counter);
+                // otherwise park the request until `post_recv` matches it.
+                let rx = self.rx_conn(env.conn_id)?;
+                if p.msg_id < rx.next_match {
+                    self.control_q.push_back((
+                        env.conn_id,
+                        Packet::RdvAck(RdvAck {
+                            msg_id: p.msg_id,
+                            seg_index: p.seg_index,
+                        }),
+                    ));
+                    out.control_enqueued = true;
+                } else {
+                    rx.pending_rdv.push((p.msg_id, p.seg_index));
+                }
+            }
+            Packet::RdvAck(p) => {
+                let key = SegKey {
+                    conn: env.conn_id,
+                    msg_id: p.msg_id,
+                    seg_index: p.seg_index,
+                };
+                if !self.backlog.grant(key) {
+                    return Err(EngineError::UnknownRendezvous {
+                        msg_id: p.msg_id,
+                        seg_index: p.seg_index,
+                    });
+                }
+                out.granted = true;
+            }
+            Packet::Ack(p) => {
+                self.stats.acks_received += 1;
+                if self.acked.insert((env.conn_id, p.msg_id)) {
+                    // Confirmed: the retransmission copy can go, and any
+                    // queued re-send of this message is now pointless (a
+                    // lost ack may have triggered a retransmission that the
+                    // receiver already answered).
+                    self.send_data.remove(&(env.conn_id, p.msg_id));
+                    self.backlog.remove_msg(env.conn_id, p.msg_id);
+                    if let Some(&send_id) = self.send_index.get(&(env.conn_id, p.msg_id)) {
+                        if let Some(st) = self.sends.get_mut(&send_id) {
+                            st.segs_unconsumed = 0;
+                            if !st.done && st.items_outstanding == 0 {
+                                st.done = true;
+                                self.stats.msgs_sent += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Packet::SamplePing(p) => {
+                // Echo back for RTT sampling.
+                self.control_q.push_back((
+                    env.conn_id,
+                    Packet::SamplePong(SamplePacket {
+                        probe_id: p.probe_id,
+                        data: p.data,
+                    }),
+                ));
+                out.control_enqueued = true;
+            }
+            Packet::SamplePong(p) => {
+                out.sample_pongs.push((p.probe_id, p.data.len()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Acked-mode duplicate tolerance: a payload packet for an
+    /// already-delivered message is dropped and re-acknowledged (the
+    /// original ack may have been lost). Returns true when the packet was
+    /// consumed here.
+    fn drop_duplicate(
+        &mut self,
+        conn: ConnId,
+        msg_id: MsgId,
+        out: &mut OnPacketOutcome,
+    ) -> Result<bool, EngineError> {
+        if !self.config.acked {
+            return Ok(false);
+        }
+        let rx = self.rx_conn(conn)?;
+        if !rx.delivered.contains(&msg_id) {
+            return Ok(false);
+        }
+        self.stats.duplicates_dropped += 1;
+        self.control_q
+            .push_back((conn, Packet::Ack(AckPacket { msg_id })));
+        self.stats.acks_sent += 1;
+        out.control_enqueued = true;
+        Ok(true)
+    }
+
+    /// Re-enqueue an unacknowledged message for transmission (acked mode).
+    ///
+    /// Callers (a runtime's retransmission timer, or a recovery loop)
+    /// should invoke this only after a timeout. Returns false when the
+    /// message is already acknowledged, still has injections in flight,
+    /// or its payload is gone.
+    pub fn retransmit(&mut self, id: SendId) -> bool {
+        assert!(self.config.acked, "retransmission requires acked mode");
+        let Some(&(conn, msg_id)) = self.send_key.get(&id) else {
+            return false;
+        };
+        if self.acked.contains(&(conn, msg_id)) {
+            return false;
+        }
+        let Some(st) = self.sends.get_mut(&id) else {
+            return false;
+        };
+        if st.items_outstanding > 0 {
+            return false; // injections still in flight; wait for them
+        }
+        let Some(segments) = self.send_data.get(&(conn, msg_id)).cloned() else {
+            return false;
+        };
+        // Drop any stale waiting pieces (e.g. a rendezvous stuck without a
+        // grant because the request was lost) and start over.
+        self.backlog.remove_msg(conn, msg_id);
+        st.done = false;
+        st.segs_unconsumed = segments.len();
+        let total_segs = segments.len() as u16;
+        for (i, seg) in segments.iter().enumerate() {
+            let key = SegKey {
+                conn,
+                msg_id,
+                seg_index: i as u16,
+            };
+            if seg.len() >= self.config.rdv_threshold {
+                self.backlog
+                    .push(key, total_segs, seg.len() as u64, SegPhase::RdvRequested);
+                self.control_q.push_back((
+                    conn,
+                    Packet::RdvRequest(RdvRequest {
+                        msg_id,
+                        seg_index: i as u16,
+                        total_segs,
+                        total_len: seg.len() as u64,
+                    }),
+                ));
+            } else {
+                self.backlog
+                    .push(key, total_segs, seg.len() as u64, SegPhase::EagerReady);
+            }
+        }
+        self.stats.retransmits += 1;
+        true
+    }
+
+    /// Errors a retransmission attempt can legitimately provoke against
+    /// leftover partial state from a lost earlier attempt.
+    fn is_retry_conflict(e: &ReasmError) -> bool {
+        matches!(
+            e,
+            ReasmError::DuplicateSegment { .. }
+                | ReasmError::OverlappingChunk { .. }
+                | ReasmError::MixedDelivery { .. }
+                | ReasmError::LengthMismatch { .. }
+        )
+    }
+
+    /// Insert a whole segment, tolerating conflicts with a previous
+    /// delivery attempt in acked mode: the stale partial message state is
+    /// aborted and the insert retried once on fresh state.
+    fn insert_eager_tolerant(
+        &mut self,
+        conn: ConnId,
+        msg_id: MsgId,
+        seg_index: u16,
+        total_segs: u16,
+        data: Bytes,
+    ) -> Result<Option<MessageAssembly>, EngineError> {
+        let acked = self.config.acked;
+        let rx = self.rx_conn(conn)?;
+        match rx
+            .reassembler
+            .insert_eager(msg_id, seg_index, total_segs, data.clone())
+        {
+            Ok(done) => Ok(done),
+            Err(e) if acked && Self::is_retry_conflict(&e) => {
+                rx.reassembler.abort(msg_id);
+                self.stats.duplicates_dropped += 1;
+                self.rx_conn(conn)?
+                    .reassembler
+                    .insert_eager(msg_id, seg_index, total_segs, data)
+                    .map_err(Into::into)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Chunk counterpart of [`Self::insert_eager_tolerant`].
+    fn insert_chunk_tolerant(
+        &mut self,
+        conn: ConnId,
+        p: &ChunkPacket,
+    ) -> Result<Option<MessageAssembly>, EngineError> {
+        let acked = self.config.acked;
+        let rx = self.rx_conn(conn)?;
+        match rx.reassembler.insert_chunk(
+            p.msg_id,
+            p.seg_index,
+            p.total_segs,
+            p.offset,
+            p.total_len,
+            &p.data,
+        ) {
+            Ok(done) => Ok(done),
+            Err(e) if acked && Self::is_retry_conflict(&e) => {
+                rx.reassembler.abort(p.msg_id);
+                self.stats.duplicates_dropped += 1;
+                self.rx_conn(conn)?
+                    .reassembler
+                    .insert_chunk(
+                        p.msg_id,
+                        p.seg_index,
+                        p.total_segs,
+                        p.offset,
+                        p.total_len,
+                        &p.data,
+                    )
+                    .map_err(Into::into)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn rx_conn(&mut self, conn: ConnId) -> Result<&mut ConnRx, EngineError> {
+        self.conn_rx
+            .get_mut(&conn)
+            .ok_or(EngineError::UnknownConnection(conn))
+    }
+
+    fn settle_completion(
+        &mut self,
+        conn: ConnId,
+        done: Option<MessageAssembly>,
+        out: &mut OnPacketOutcome,
+    ) {
+        let Some(assembly) = done else { return };
+        self.stats.msgs_received += 1;
+        if self.config.acked {
+            self.control_q.push_back((
+                conn,
+                Packet::Ack(AckPacket {
+                    msg_id: assembly.msg_id,
+                }),
+            ));
+            self.stats.acks_sent += 1;
+            out.control_enqueued = true;
+            if let Some(rx) = self.conn_rx.get_mut(&conn) {
+                rx.delivered.insert(assembly.msg_id);
+            }
+        }
+        let rx = self.conn_rx.get_mut(&conn).expect("validated");
+        if let Some(recv_id) = rx.posted.remove(&assembly.msg_id) {
+            rx.results.insert(recv_id, assembly);
+            out.completed_recvs.push(recv_id);
+        } else {
+            rx.unexpected.insert(assembly.msg_id, assembly);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use nmad_model::platform;
+
+    fn engine(kind: StrategyKind) -> Engine {
+        let p = platform::paper_platform();
+        Engine::new(EngineConfig::with_strategy(kind), p.rails, vec![])
+    }
+
+    /// Drive a sender/receiver engine pair until quiescent, with no timing:
+    /// round-robin rails, deliver instantly. Returns wire packets seen.
+    fn pump(tx: &mut Engine, rx: &mut Engine) -> usize {
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            let mut progressed = false;
+            for dir in 0..2 {
+                let (a, b) = if dir == 0 {
+                    (&mut *tx, &mut *rx)
+                } else {
+                    (&mut *rx, &mut *tx)
+                };
+                for r in 0..a.rails().len() {
+                    let rail = RailId(r);
+                    if let Some(d) = a.next_tx(rail).unwrap() {
+                        progressed = true;
+                        delivered += 1;
+                        a.on_tx_done(rail, d.token).unwrap();
+                        b.on_packet(rail, &d.wire).unwrap();
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        delivered
+    }
+
+    fn payload(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn eager_message_end_to_end() {
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        assert_eq!(c, rx.conn_open());
+        let send = tx.submit_send(c, vec![payload(100, 0xAB)]);
+        let recv = rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        let msg = rx.try_recv(recv).expect("message delivered");
+        assert_eq!(msg.segments.len(), 1);
+        assert_eq!(msg.segments[0], payload(100, 0xAB));
+        assert!(tx.is_quiescent());
+    }
+
+    #[test]
+    fn large_message_rendezvous_end_to_end() {
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let data = payload(256 * 1024, 0x5A);
+        let send = tx.submit_send(c, vec![data.clone()]);
+        let recv = rx.post_recv(c);
+        assert!(!tx.send_complete(send), "nothing sent before pumping");
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        let msg = rx.try_recv(recv).unwrap();
+        assert_eq!(msg.segments[0], data);
+        assert_eq!(tx.stats().rdv_handshakes, 1);
+        assert!(tx.stats().chunks_sent >= 1);
+    }
+
+    #[test]
+    fn adaptive_split_uses_both_rails_for_large() {
+        let mut tx = engine(StrategyKind::AdaptiveSplit);
+        let mut rx = engine(StrategyKind::AdaptiveSplit);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let data = payload(8 << 20, 0x77);
+        let send = tx.submit_send(c, vec![data.clone()]);
+        let recv = rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        assert_eq!(rx.try_recv(recv).unwrap().segments[0], data);
+        let s = tx.stats();
+        assert!(s.split_plans <= 1 || s.chunks_sent >= 2);
+        assert!(
+            s.rails[0].payload_bytes > 0 && s.rails[1].payload_bytes > 0,
+            "both rails must carry payload: {:?}",
+            s.rails
+        );
+        // Myri carries the major part (paper §3.4).
+        assert!(s.rails[0].payload_bytes > s.rails[1].payload_bytes);
+    }
+
+    #[test]
+    fn aggregation_merges_small_messages() {
+        let mut tx = engine(StrategyKind::AggregateEager);
+        let mut rx = engine(StrategyKind::AggregateEager);
+        let c = tx.conn_open();
+        rx.conn_open();
+        // Multi-segment message: 4 small segments submitted at once.
+        let segs: Vec<Bytes> = (0..4u8).map(|i| payload(256, i)).collect();
+        let send = tx.submit_send(c, segs.clone());
+        let recv = rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        let msg = rx.try_recv(recv).unwrap();
+        assert_eq!(msg.segments, segs);
+        let s = tx.stats();
+        assert_eq!(s.aggregates_built, 1, "all four segments in one packet");
+        assert_eq!(s.segments_aggregated, 4);
+        // Aggregate goes out on the lowest-latency rail: Quadrics (rail 1).
+        assert_eq!(s.rails[1].packets, 1);
+        assert_eq!(s.rails[0].packets, 0);
+    }
+
+    #[test]
+    fn rendezvous_waits_for_posted_recv() {
+        // Flow control: a large message submitted with no matching recv
+        // must not move its payload; posting the recv releases the grant.
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let data = payload(256 * 1024, 0x42);
+        let send = tx.submit_send(c, vec![data.clone()]);
+        pump(&mut tx, &mut rx);
+        assert!(
+            !tx.send_complete(send),
+            "payload must not move before the recv is posted"
+        );
+        assert_eq!(rx.stats().msgs_received, 0);
+        // Posting the receive releases the parked grant.
+        let recv = rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        assert_eq!(rx.try_recv(recv).unwrap().segments[0], data);
+    }
+
+    #[test]
+    fn unexpected_message_then_recv() {
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        rx.conn_open();
+        tx.submit_send(c, vec![payload(64, 1)]);
+        pump(&mut tx, &mut rx);
+        // Message arrived before any recv was posted.
+        let recv = rx.post_recv(c);
+        let msg = rx.try_recv(recv).expect("matched from unexpected queue");
+        assert_eq!(msg.segments[0], payload(64, 1));
+    }
+
+    #[test]
+    fn in_order_matching_across_messages() {
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        rx.conn_open();
+        tx.submit_send(c, vec![payload(16, 1)]);
+        tx.submit_send(c, vec![payload(16, 2)]);
+        let r0 = rx.post_recv(c);
+        let r1 = rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert_eq!(rx.try_recv(r0).unwrap().segments[0], payload(16, 1));
+        assert_eq!(rx.try_recv(r1).unwrap().segments[0], payload(16, 2));
+    }
+
+    #[test]
+    fn multiple_connections_are_isolated() {
+        let mut tx = engine(StrategyKind::AggregateEager);
+        let mut rx = engine(StrategyKind::AggregateEager);
+        let c0 = tx.conn_open();
+        let c1 = tx.conn_open();
+        rx.conn_open();
+        rx.conn_open();
+        // Two small messages on different logical channels — aggregation
+        // may merge them into one physical packet (paper §4).
+        tx.submit_send(c0, vec![payload(32, 0xC0)]);
+        tx.submit_send(c1, vec![payload(32, 0xC1)]);
+        let r0 = rx.post_recv(c0);
+        let r1 = rx.post_recv(c1);
+        pump(&mut tx, &mut rx);
+        assert_eq!(rx.try_recv(r0).unwrap().segments[0], payload(32, 0xC0));
+        assert_eq!(rx.try_recv(r1).unwrap().segments[0], payload(32, 0xC1));
+        assert_eq!(
+            tx.stats().aggregates_built,
+            1,
+            "cross-channel aggregation must kick in"
+        );
+    }
+
+    #[test]
+    fn next_tx_on_busy_rail_returns_none() {
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        rx.conn_open();
+        tx.submit_send(c, vec![payload(64, 1), payload(64, 2)]);
+        let d = tx.next_tx(RailId(0)).unwrap().expect("work available");
+        assert!(tx.rail_busy(RailId(0)));
+        assert!(tx.next_tx(RailId(0)).unwrap().is_none(), "rail is busy");
+        // Other rail can still pull the second segment.
+        assert!(tx.next_tx(RailId(1)).unwrap().is_some());
+        tx.on_tx_done(RailId(0), d.token).unwrap();
+        assert!(!tx.rail_busy(RailId(0)));
+        let _ = rx;
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        let mut tx = engine(StrategyKind::Greedy);
+        assert_eq!(
+            tx.on_tx_done(RailId(0), TxToken(99)),
+            Err(EngineError::BadToken(99))
+        );
+    }
+
+    #[test]
+    fn corrupt_packet_surfaces_wire_error() {
+        let mut rx = engine(StrategyKind::Greedy);
+        rx.conn_open();
+        let err = rx.on_packet(RailId(0), &[0xFF; 10]).unwrap_err();
+        assert!(matches!(err, EngineError::Wire(_)));
+    }
+
+    #[test]
+    fn rdv_ack_for_unknown_segment_rejected() {
+        let mut rx = engine(StrategyKind::Greedy);
+        rx.conn_open();
+        let ack = Packet::RdvAck(RdvAck {
+            msg_id: 7,
+            seg_index: 0,
+        })
+        .encode(0, 0, false);
+        let err = rx.on_packet(RailId(0), &ack).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownRendezvous { .. }));
+    }
+
+    #[test]
+    fn sample_ping_echoes_pong() {
+        let mut a = engine(StrategyKind::Greedy);
+        let mut b = engine(StrategyKind::Greedy);
+        let c = a.conn_open();
+        b.conn_open();
+        let ping = Packet::SamplePing(SamplePacket {
+            probe_id: 42,
+            data: payload(128, 0),
+        })
+        .encode(c, 0, false);
+        let out = b.on_packet(RailId(0), &ping).unwrap();
+        assert!(out.control_enqueued);
+        // B answers with a pong.
+        let d = b.next_tx(RailId(0)).unwrap().expect("pong queued");
+        b.on_tx_done(RailId(0), d.token).unwrap();
+        let out = a.on_packet(RailId(0), &d.wire).unwrap();
+        assert_eq!(out.sample_pongs, vec![(42, 128)]);
+    }
+
+    #[test]
+    fn zero_byte_segment_delivered() {
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let send = tx.submit_send(c, vec![Bytes::new(), payload(8, 3)]);
+        let recv = rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        let msg = rx.try_recv(recv).unwrap();
+        assert_eq!(msg.segments[0].len(), 0);
+        assert_eq!(msg.segments[1], payload(8, 3));
+    }
+
+    #[test]
+    fn retransmit_recovers_a_lost_eager_packet() {
+        let p = platform::paper_platform();
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.acked = true;
+        let mut tx = Engine::new(cfg.clone(), p.rails.clone(), vec![]);
+        let mut rx = Engine::new(cfg, p.rails, vec![]);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let send = tx.submit_send(c, vec![payload(2000, 7)]);
+        let recv = rx.post_recv(c);
+
+        // "Lose" the data packet: take the decision but never deliver it.
+        let d = tx.next_tx(RailId(0)).unwrap().expect("data packet");
+        tx.on_tx_done(RailId(0), d.token).unwrap();
+        assert!(tx.send_complete(send));
+        assert!(!tx.send_acked(send));
+
+        // Timeout path: retransmit, then deliver normally.
+        assert!(tx.retransmit(send), "retransmit must be accepted");
+        assert!(!tx.send_complete(send), "completion reset until re-sent");
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_acked(send), "second attempt must be confirmed");
+        assert_eq!(tx.stats().retransmits, 1);
+        let msg = rx.try_recv(recv).expect("delivered");
+        assert_eq!(msg.segments[0], payload(2000, 7));
+    }
+
+    #[test]
+    fn retransmit_after_lost_ack_is_deduplicated() {
+        let p = platform::paper_platform();
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.acked = true;
+        let mut tx = Engine::new(cfg.clone(), p.rails.clone(), vec![]);
+        let mut rx = Engine::new(cfg, p.rails, vec![]);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let send = tx.submit_send(c, vec![payload(128, 3)]);
+        let recv = rx.post_recv(c);
+
+        // Deliver the data packet but "lose" the ack.
+        let d = tx.next_tx(RailId(0)).unwrap().unwrap();
+        tx.on_tx_done(RailId(0), d.token).unwrap();
+        rx.on_packet(RailId(0), &d.wire).unwrap();
+        let ack = rx.next_tx(RailId(0)).unwrap().expect("ack queued");
+        rx.on_tx_done(RailId(0), ack.token).unwrap();
+        // (ack.wire dropped on the floor)
+        assert!(!tx.send_acked(send));
+        assert!(rx.try_recv(recv).is_some(), "receiver has the message");
+
+        // Sender retransmits; receiver must drop the duplicate and re-ack.
+        assert!(tx.retransmit(send));
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_acked(send));
+        assert_eq!(rx.stats().duplicates_dropped, 1);
+        assert_eq!(rx.stats().msgs_received, 1, "no double delivery");
+    }
+
+    #[test]
+    fn retransmit_rejected_when_already_acked_or_in_flight() {
+        let p = platform::paper_platform();
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.acked = true;
+        let mut tx = Engine::new(cfg.clone(), p.rails.clone(), vec![]);
+        let mut rx = Engine::new(cfg, p.rails, vec![]);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let send = tx.submit_send(c, vec![payload(64, 1)]);
+        rx.post_recv(c);
+
+        // In flight: decision taken but not yet tx-done.
+        let d = tx.next_tx(RailId(1)).unwrap().unwrap();
+        assert!(!tx.retransmit(send), "in-flight send must not retransmit");
+        tx.on_tx_done(RailId(1), d.token).unwrap();
+        rx.on_packet(RailId(1), &d.wire).unwrap();
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_acked(send));
+        assert!(!tx.retransmit(send), "acked send must not retransmit");
+        assert_eq!(tx.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn retransmit_recovers_a_lost_rendezvous_request() {
+        let p = platform::paper_platform();
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.acked = true;
+        let mut tx = Engine::new(cfg.clone(), p.rails.clone(), vec![]);
+        let mut rx = Engine::new(cfg, p.rails, vec![]);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let data = payload(100 * 1024, 9);
+        let send = tx.submit_send(c, vec![data.clone()]);
+        let recv = rx.post_recv(c);
+
+        // Lose the rendezvous request (control packet).
+        let d = tx.next_tx(RailId(0)).unwrap().expect("rdv request");
+        assert!(d.control);
+        tx.on_tx_done(RailId(0), d.token).unwrap();
+        // Nothing further can happen: the grant never comes.
+        assert!(tx.next_tx(RailId(0)).unwrap().is_none());
+        assert!(!tx.send_complete(send));
+
+        // Recovery: re-enqueue the whole message.
+        assert!(tx.retransmit(send));
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_acked(send));
+        assert_eq!(rx.try_recv(recv).unwrap().segments[0], data);
+    }
+
+    #[test]
+    fn acked_mode_confirms_delivery() {
+        let p = platform::paper_platform();
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.acked = true;
+        let mut tx = Engine::new(cfg.clone(), p.rails.clone(), vec![]);
+        let mut rx = Engine::new(cfg, p.rails, vec![]);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let send = tx.submit_send(c, vec![payload(5000, 1)]);
+        rx.post_recv(c);
+        assert!(!tx.send_acked(send));
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        assert!(tx.send_acked(send), "peer must have confirmed delivery");
+        assert_eq!(rx.stats().acks_sent, 1);
+        assert_eq!(tx.stats().acks_received, 1);
+    }
+
+    #[test]
+    fn unacked_mode_never_acks() {
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let send = tx.submit_send(c, vec![payload(100, 1)]);
+        rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_complete(send));
+        assert!(!tx.send_acked(send), "no acks without acked mode");
+        assert_eq!(rx.stats().acks_sent, 0);
+    }
+
+    #[test]
+    fn stats_account_pio_vs_dma() {
+        let mut tx = engine(StrategyKind::SingleRail(0));
+        let mut rx = engine(StrategyKind::SingleRail(0));
+        let c = tx.conn_open();
+        rx.conn_open();
+        tx.submit_send(c, vec![payload(64, 1)]); // PIO-sized
+        tx.submit_send(c, vec![payload(16 * 1024, 2)]); // DMA-sized eager
+        rx.post_recv(c);
+        rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        let s = &tx.stats().rails[0];
+        assert_eq!(s.pio_packets, 1);
+        assert_eq!(s.dma_packets, 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Initialization-time network sampling (paper §3.4).
+//!
+//! "According to samplings performed on the different available NICs (this
+//! step is done at the NewMadeleine initialization time), an adaptive
+//! stripping ratio can be determined." A [`PerfTable`] is the outcome of
+//! sampling one rail: a monotone size → one-way-time curve. The adaptive
+//! splitting strategy asks [`split_weights`] for per-rail byte shares such
+//! that every rail's chunk takes (approximately) the same time — the
+//! paper's "fragments for which transfer times are equivalent on their
+//! respective networks".
+
+use nmad_model::NicModel;
+
+/// A sampled size → one-way time curve for one rail.
+///
+/// Times are in microseconds; interpolation is piecewise linear in size,
+/// with slope-extrapolation past the largest sample (the slope *is* the
+/// inverse asymptotic bandwidth).
+#[derive(Clone, Debug)]
+pub struct PerfTable {
+    sizes: Vec<u64>,
+    times_us: Vec<f64>,
+}
+
+/// The default sampling ladder: powers of two from 4 B to 16 MiB, the
+/// range covered by the paper's plots plus one octave of headroom.
+pub fn default_ladder() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s: u64 = 4;
+    while s <= 16 << 20 {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+impl PerfTable {
+    /// Build from `(size, one-way time in us)` samples. Points are sorted
+    /// by size; duplicate sizes keep the *last* measurement.
+    pub fn new(mut points: Vec<(u64, f64)>) -> Self {
+        assert!(!points.is_empty(), "a PerfTable needs at least one sample");
+        points.sort_by_key(|p| p.0);
+        points.dedup_by_key(|p| p.0);
+        assert!(
+            points.iter().all(|p| p.1.is_finite() && p.1 > 0.0),
+            "sample times must be positive and finite"
+        );
+        // Enforce monotonicity: a larger transfer can never be faster.
+        // Measured jitter can produce tiny inversions; flatten them.
+        let mut times: Vec<f64> = points.iter().map(|p| p.1).collect();
+        for i in 1..times.len() {
+            if times[i] < times[i - 1] {
+                times[i] = times[i - 1];
+            }
+        }
+        PerfTable {
+            sizes: points.iter().map(|p| p.0).collect(),
+            times_us: times,
+        }
+    }
+
+    /// Seed a table from the analytic NIC model (used before real sampling
+    /// has run, and by unit tests).
+    pub fn from_analytic(nic: &NicModel, ladder: &[u64]) -> Self {
+        let points = ladder
+            .iter()
+            .map(|&s| (s, nic.analytic_oneway(s as usize).as_us_f64()))
+            .collect();
+        PerfTable::new(points)
+    }
+
+    /// Sampled sizes, ascending.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Interpolated one-way time (µs) for a transfer of `size` bytes.
+    pub fn time_for(&self, size: u64) -> f64 {
+        let n = self.sizes.len();
+        if size <= self.sizes[0] {
+            return self.times_us[0];
+        }
+        if size >= self.sizes[n - 1] {
+            if n == 1 {
+                return self.times_us[0];
+            }
+            // Extrapolate with the last slope (inverse asymptotic bw).
+            let ds = (self.sizes[n - 1] - self.sizes[n - 2]) as f64;
+            let dt = self.times_us[n - 1] - self.times_us[n - 2];
+            let slope = (dt / ds).max(0.0);
+            return self.times_us[n - 1] + slope * (size - self.sizes[n - 1]) as f64;
+        }
+        let idx = self.sizes.partition_point(|&s| s <= size) - 1;
+        let (s0, s1) = (self.sizes[idx] as f64, self.sizes[idx + 1] as f64);
+        let (t0, t1) = (self.times_us[idx], self.times_us[idx + 1]);
+        t0 + (t1 - t0) * ((size as f64 - s0) / (s1 - s0))
+    }
+
+    /// Largest size this rail can move within `time_us` microseconds
+    /// (inverse of [`Self::time_for`]); zero when even the smallest sample
+    /// takes longer.
+    pub fn size_for(&self, time_us: f64) -> f64 {
+        let n = self.sizes.len();
+        if time_us <= self.times_us[0] {
+            return 0.0;
+        }
+        if time_us >= self.times_us[n - 1] {
+            if n == 1 {
+                return self.sizes[0] as f64;
+            }
+            let ds = (self.sizes[n - 1] - self.sizes[n - 2]) as f64;
+            let dt = self.times_us[n - 1] - self.times_us[n - 2];
+            if dt <= 0.0 {
+                return self.sizes[n - 1] as f64;
+            }
+            return self.sizes[n - 1] as f64 + ds / dt * (time_us - self.times_us[n - 1]);
+        }
+        let idx = self.times_us.partition_point(|&t| t <= time_us) - 1;
+        let (s0, s1) = (self.sizes[idx] as f64, self.sizes[idx + 1] as f64);
+        let (t0, t1) = (self.times_us[idx], self.times_us[idx + 1]);
+        if t1 <= t0 {
+            return s1;
+        }
+        s0 + (s1 - s0) * ((time_us - t0) / (t1 - t0))
+    }
+
+    /// Effective bandwidth in bytes/second at `size` (diagnostics).
+    pub fn bandwidth_at(&self, size: u64) -> f64 {
+        size as f64 / (self.time_for(size) * 1e-6)
+    }
+}
+
+/// Compute per-rail byte weights for splitting `total` bytes across the
+/// given rails so all chunks finish at (approximately) the same time:
+/// solve `t*` with `Σ size_i(t*) = total` by bisection, then weight rail i
+/// by `size_i(t*)`. Rails too slow to contribute get weight 0.
+pub fn split_weights(tables: &[&PerfTable], total: u64) -> Vec<f64> {
+    assert!(!tables.is_empty(), "need at least one rail table");
+    if total == 0 {
+        return vec![0.0; tables.len()];
+    }
+    // Upper bound: the fastest single rail carries everything.
+    let hi0 = tables
+        .iter()
+        .map(|t| t.time_for(total))
+        .fold(f64::INFINITY, f64::min);
+    let (mut lo, mut hi) = (0.0f64, hi0);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        let cap: f64 = tables.iter().map(|t| t.size_for(mid)).sum();
+        if cap >= total as f64 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let weights: Vec<f64> = tables.iter().map(|t| t.size_for(hi)).collect();
+    debug_assert!(weights.iter().sum::<f64>() > 0.0);
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmad_model::platform;
+
+    fn myri_table() -> PerfTable {
+        PerfTable::from_analytic(&platform::myri_10g(), &default_ladder())
+    }
+
+    fn quad_table() -> PerfTable {
+        PerfTable::from_analytic(&platform::quadrics_qm500(), &default_ladder())
+    }
+
+    #[test]
+    fn ladder_covers_paper_range() {
+        let l = default_ladder();
+        assert_eq!(l[0], 4);
+        assert_eq!(*l.last().unwrap(), 16 << 20);
+        assert!(l.contains(&(8 << 20)), "8 MB point of the plots");
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let t = PerfTable::new(vec![(100, 10.0), (200, 20.0)]);
+        assert!((t.time_for(150) - 15.0).abs() < 1e-9);
+        assert_eq!(t.time_for(50), 10.0, "clamp below first sample");
+        // Extrapolation continues the last slope: 0.1 us/byte.
+        assert!((t.time_for(300) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let t = myri_table();
+        for &s in &[64u64, 4096, 1 << 20, 8 << 20] {
+            let time = t.time_for(s);
+            let back = t.size_for(time);
+            let rel = (back - s as f64).abs() / s as f64;
+            assert!(rel < 0.01, "size {s}: roundtrip {back} (rel err {rel})");
+        }
+    }
+
+    #[test]
+    fn size_for_below_latency_floor_is_zero() {
+        let t = quad_table();
+        assert_eq!(t.size_for(0.1), 0.0, "nothing fits in 0.1 us");
+    }
+
+    #[test]
+    fn monotonicity_enforced_on_noisy_input() {
+        let t = PerfTable::new(vec![(100, 10.0), (200, 9.0), (300, 30.0)]);
+        assert!(t.time_for(200) >= t.time_for(100));
+    }
+
+    #[test]
+    fn analytic_tables_match_paper_anchors() {
+        let myri = myri_table();
+        let quad = quad_table();
+        assert!((myri.time_for(4) - 2.8).abs() < 0.15);
+        assert!((quad.time_for(4) - 1.7).abs() < 0.15);
+        let bw = myri.bandwidth_at(8 << 20) / 1e6;
+        assert!((bw - 1200.0).abs() < 40.0, "myri bw {bw}");
+    }
+
+    #[test]
+    fn split_weights_equalize_times() {
+        let myri = myri_table();
+        let quad = quad_table();
+        let total = 8u64 << 20;
+        let w = split_weights(&[&myri, &quad], total);
+        assert_eq!(w.len(), 2);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - total as f64).abs() / (total as f64) < 0.01);
+        // Times on each rail for its share must be within 2% of each other.
+        let t0 = myri.time_for(w[0] as u64);
+        let t1 = quad.time_for(w[1] as u64);
+        assert!(
+            (t0 - t1).abs() / t0.max(t1) < 0.02,
+            "unbalanced: {t0} vs {t1} us"
+        );
+        // Myri (faster) must carry the larger share — the paper: "the major
+        // part of the initial segment must be sent through Myri-10G".
+        assert!(w[0] > w[1]);
+        let frac = w[0] / sum;
+        assert!(
+            (0.52..0.68).contains(&frac),
+            "myri fraction {frac} out of plausible band"
+        );
+    }
+
+    #[test]
+    fn split_weights_zero_total() {
+        let myri = myri_table();
+        let quad = quad_table();
+        assert_eq!(split_weights(&[&myri, &quad], 0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn split_weights_small_message_starves_slow_rail() {
+        // For a very small transfer the fast-latency rail should take all
+        // of it: the other rail cannot finish anything within t*.
+        let myri = myri_table();
+        let quad = quad_table();
+        let w = split_weights(&[&myri, &quad], 64);
+        // Quadrics has the lower latency, so it carries the message.
+        assert!(w[1] > 0.0);
+        assert!(
+            w[0] < 1.0,
+            "Myri should carry (almost) nothing of a 64B message, got {}",
+            w[0]
+        );
+    }
+
+    #[test]
+    fn split_weights_three_rails() {
+        let myri = myri_table();
+        let quad = quad_table();
+        let sci = PerfTable::from_analytic(&platform::sci_dolphin(), &default_ladder());
+        let total = 4u64 << 20;
+        let w = split_weights(&[&myri, &quad, &sci], total);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - total as f64).abs() / (total as f64) < 0.01);
+        // Ordering by asymptotic bandwidth: myri > quad > sci.
+        assert!(w[0] > w[1] && w[1] > w[2], "weights {w:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_table_rejected() {
+        PerfTable::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_time_rejected() {
+        PerfTable::new(vec![(10, -1.0)]);
+    }
+}

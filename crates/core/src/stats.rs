@@ -1,0 +1,108 @@
+//! Behavioural counters.
+//!
+//! Timing alone cannot distinguish "the strategy aggregated" from "the
+//! strategy got lucky"; these counters record what the engine actually did
+//! so tests and EXPERIMENTS.md can assert on mechanism, not just effect.
+
+/// Per-rail transmit counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RailStats {
+    /// Data packets posted on this rail.
+    pub packets: u64,
+    /// Wire bytes posted (envelope + body).
+    pub wire_bytes: u64,
+    /// Application payload bytes posted.
+    pub payload_bytes: u64,
+    /// Packets sent in the PIO regime.
+    pub pio_packets: u64,
+    /// Packets sent in a DMA regime (eager DMA or rendezvous chunk).
+    pub dma_packets: u64,
+    /// Control packets (rdv request/ack, acks).
+    pub control_packets: u64,
+}
+
+/// Engine-wide counters.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Per-rail transmit counters.
+    pub rails: Vec<RailStats>,
+    /// Aggregate containers built.
+    pub aggregates_built: u64,
+    /// Segments carried inside aggregate containers.
+    pub segments_aggregated: u64,
+    /// Bytes memcpy'd into staging buffers for aggregation.
+    pub aggregation_copy_bytes: u64,
+    /// Chunks emitted for split segments.
+    pub chunks_sent: u64,
+    /// Segments that went through the rendezvous handshake.
+    pub rdv_handshakes: u64,
+    /// Split plans computed (adaptive or iso).
+    pub split_plans: u64,
+    /// Messages fully sent (local completion).
+    pub msgs_sent: u64,
+    /// Messages fully received and reassembled.
+    pub msgs_received: u64,
+    /// Strategy invocations that returned no work.
+    pub idle_queries: u64,
+    /// Delivery acknowledgements emitted (receiver side, acked mode).
+    pub acks_sent: u64,
+    /// Delivery acknowledgements received (sender side, acked mode).
+    pub acks_received: u64,
+    /// Messages re-enqueued by [`crate::Engine::retransmit`].
+    pub retransmits: u64,
+    /// Duplicate packets tolerated on the receive side (acked mode).
+    pub duplicates_dropped: u64,
+}
+
+impl EngineStats {
+    /// Stats for an engine with `n_rails` rails.
+    pub fn new(n_rails: usize) -> Self {
+        EngineStats {
+            rails: vec![RailStats::default(); n_rails],
+            ..Default::default()
+        }
+    }
+
+    /// Total data packets across rails.
+    pub fn total_packets(&self) -> u64 {
+        self.rails.iter().map(|r| r.packets).sum()
+    }
+
+    /// Total payload bytes across rails.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.rails.iter().map(|r| r.payload_bytes).sum()
+    }
+
+    /// Fraction of payload bytes that travelled on `rail`, in `[0, 1]`.
+    /// Returns 0 when nothing was sent.
+    pub fn rail_share(&self, rail: usize) -> f64 {
+        let total = self.total_payload_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.rails[rail].payload_bytes as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut s = EngineStats::new(2);
+        s.rails[0].payload_bytes = 600;
+        s.rails[1].payload_bytes = 400;
+        assert!((s.rail_share(0) - 0.6).abs() < 1e-12);
+        assert!((s.rail_share(0) + s.rail_share(1) - 1.0).abs() < 1e-12);
+        assert_eq!(s.total_payload_bytes(), 1000);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = EngineStats::new(3);
+        assert_eq!(s.total_packets(), 0);
+        assert_eq!(s.rail_share(1), 0.0);
+        assert_eq!(s.rails.len(), 3);
+    }
+}

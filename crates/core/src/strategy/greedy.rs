@@ -1,0 +1,188 @@
+//! Greedy balancing — §3.2 of the paper (Figures 4 and 5).
+//!
+//! "Each time a NIC becomes idle, the strategy code is invoked and simply
+//! sends the first available segment (if any) on the corresponding
+//! network." No aggregation, no splitting: a granted large segment is
+//! consumed whole by whichever rail asks first, and waiting small segments
+//! are handed out one per idle NIC — which is exactly why this strategy
+//! only pays off above the PIO threshold.
+
+use nmad_model::RailId;
+
+use super::{Strategy, StrategyCtx, TxOp};
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct Greedy;
+
+impl Greedy {
+    /// New greedy strategy.
+    pub fn new() -> Self {
+        Greedy
+    }
+}
+
+impl Strategy for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn next_tx(&mut self, rail: RailId, ctx: &mut StrategyCtx<'_>) -> Option<TxOp> {
+        // "First available segment": oldest schedulable backlog entry,
+        // whether eager or granted.
+        let first_eager = ctx.backlog.eager_items().next().map(|i| (i.submit_seq, i.key));
+        let first_granted = ctx
+            .backlog
+            .granted_items()
+            .next()
+            .map(|i| (i.submit_seq, i.key));
+        match (first_eager, first_granted) {
+            (Some((es, ekey)), Some((gs, gkey))) => {
+                if es < gs {
+                    Some(TxOp::Eager(ekey))
+                } else {
+                    Some(TxOp::Chunk {
+                        key: gkey,
+                        max_len: ctx.rails[rail.0].mtu as u64,
+                    })
+                }
+            }
+            (Some((_, ekey)), None) => Some(TxOp::Eager(ekey)),
+            (None, Some((_, gkey))) => Some(TxOp::Chunk {
+                key: gkey,
+                max_len: ctx.rails[rail.0].mtu as u64,
+            }),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::request::{Backlog, SegKey, SegPhase};
+    use crate::sampling::{default_ladder, PerfTable};
+    use nmad_model::platform;
+
+    fn key(msg: u64, seg: u16) -> SegKey {
+        SegKey {
+            conn: 0,
+            msg_id: msg,
+            seg_index: seg,
+        }
+    }
+
+    struct Fixture {
+        rails: Vec<nmad_model::NicModel>,
+        tables: Vec<PerfTable>,
+        config: EngineConfig,
+        backlog: Backlog,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let rails = vec![platform::myri_10g(), platform::quadrics_qm500()];
+            let tables = rails
+                .iter()
+                .map(|n| PerfTable::from_analytic(n, &default_ladder()))
+                .collect();
+            Fixture {
+                rails,
+                tables,
+                config: EngineConfig::default(),
+                backlog: Backlog::new(),
+            }
+        }
+
+        fn ctx<'a>(&'a mut self, busy: &'a [bool]) -> StrategyCtx<'a> {
+            StrategyCtx {
+                backlog: &mut self.backlog,
+                rails: &self.rails,
+                rail_busy: busy,
+                tables: &self.tables,
+                config: &self.config,
+            }
+        }
+    }
+
+    #[test]
+    fn any_idle_rail_gets_first_segment() {
+        let mut f = Fixture::new();
+        f.backlog.push(key(1, 0), 2, 100, SegPhase::EagerReady);
+        f.backlog.push(key(1, 1), 2, 100, SegPhase::EagerReady);
+        let mut s = Greedy::new();
+        let busy = [false, false];
+        // Rail 1 asks first and gets the first segment; rail 0 the second.
+        assert_eq!(
+            s.next_tx(RailId(1), &mut f.ctx(&busy)),
+            Some(TxOp::Eager(key(1, 0)))
+        );
+        // Simulate engine consuming it.
+        f.backlog.take_eager(key(1, 0)).unwrap();
+        assert_eq!(
+            s.next_tx(RailId(0), &mut f.ctx(&busy)),
+            Some(TxOp::Eager(key(1, 1)))
+        );
+    }
+
+    #[test]
+    fn submit_order_decides_between_eager_and_granted() {
+        let mut f = Fixture::new();
+        // Granted large segment submitted first, eager second.
+        f.backlog.push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog.grant(key(1, 0));
+        f.backlog.push(key(2, 0), 1, 100, SegPhase::EagerReady);
+        let mut s = Greedy::new();
+        let busy = [false, false];
+        match s.next_tx(RailId(0), &mut f.ctx(&busy)) {
+            Some(TxOp::Chunk { key: k, .. }) => assert_eq!(k, key(1, 0)),
+            other => panic!("expected oldest (granted) first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eager_submitted_first_wins() {
+        let mut f = Fixture::new();
+        f.backlog.push(key(1, 0), 1, 100, SegPhase::EagerReady);
+        f.backlog.push(key(2, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog.grant(key(2, 0));
+        let mut s = Greedy::new();
+        let busy = [false, false];
+        assert_eq!(
+            s.next_tx(RailId(0), &mut f.ctx(&busy)),
+            Some(TxOp::Eager(key(1, 0)))
+        );
+    }
+
+    #[test]
+    fn chunk_max_len_is_rail_mtu() {
+        let mut f = Fixture::new();
+        f.backlog.push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog.grant(key(1, 0));
+        let mtu = f.rails[1].mtu as u64;
+        let mut s = Greedy::new();
+        let busy = [false, false];
+        match s.next_tx(RailId(1), &mut f.ctx(&busy)) {
+            Some(TxOp::Chunk { max_len, .. }) => assert_eq!(max_len, mtu),
+            other => panic!("expected chunk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rdv_waiting_segment_not_schedulable() {
+        let mut f = Fixture::new();
+        f.backlog.push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        let mut s = Greedy::new();
+        let busy = [false, false];
+        assert_eq!(s.next_tx(RailId(0), &mut f.ctx(&busy)), None);
+    }
+
+    #[test]
+    fn empty_backlog_returns_none() {
+        let mut f = Fixture::new();
+        let mut s = Greedy::new();
+        let busy = [false, false];
+        assert_eq!(s.next_tx(RailId(0), &mut f.ctx(&busy)), None);
+    }
+}

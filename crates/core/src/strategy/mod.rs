@@ -1,0 +1,235 @@
+//! Pluggable optimizing schedulers ("strategies", paper §2–3).
+//!
+//! A strategy is consulted exactly when a rail becomes idle and decides
+//! which waiting work that rail should carry next — the paper's
+//! "just-in-time" scheduling. Strategies see the backlog and per-rail
+//! capabilities through [`StrategyCtx`], and answer with a [`TxOp`]; the
+//! engine turns the op into a wire packet and does all bookkeeping.
+//!
+//! The implementations mirror the paper's incremental development:
+//!
+//! | Module | Paper section | Policy |
+//! |---|---|---|
+//! | [`single_rail`] | §3.1 (Figs 2–3) | everything on one rail, optional opportunistic aggregation |
+//! | [`greedy`] | §3.2 (Figs 4–5) | idle NIC takes the first available segment |
+//! | [`aggregate_eager`] | §3.3 (Fig 6) | aggregate small messages onto the lowest-latency rail, greedy for large |
+//! | [`adaptive_split`] | §3.4 (Fig 7) | + split large segments across idle rails by sampled ratios (or 50/50 for the iso-split reference) |
+
+pub mod adaptive_split;
+pub mod aggregate_eager;
+pub mod greedy;
+pub mod single_rail;
+pub mod static_round_robin;
+
+use nmad_model::{NicModel, RailId};
+
+use crate::config::EngineConfig;
+use crate::request::{Backlog, SegKey};
+use crate::sampling::PerfTable;
+
+/// What a strategy wants an idle rail to transmit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxOp {
+    /// Send one whole eager segment as-is.
+    Eager(SegKey),
+    /// Copy these eager segments into one aggregate container (in the
+    /// given order) and send it.
+    Aggregate(Vec<SegKey>),
+    /// Send the next chunk (up to `max_len` bytes) of a granted segment
+    /// that has no split plan.
+    Chunk {
+        /// Segment to consume from.
+        key: SegKey,
+        /// Upper bound on the chunk length.
+        max_len: u64,
+    },
+    /// Send the chunk earmarked for this rail by the segment's split plan.
+    PlannedChunk,
+}
+
+/// Read/plan access the engine grants a strategy during one decision.
+pub struct StrategyCtx<'a> {
+    /// The waiting packs.
+    pub backlog: &'a mut Backlog,
+    /// Per-rail NIC capabilities, indexed by rail id.
+    pub rails: &'a [NicModel],
+    /// Per-rail busy flags (true = currently transmitting). The rail being
+    /// asked is always idle.
+    pub rail_busy: &'a [bool],
+    /// Per-rail sampled performance tables (init-time sampling, §3.4).
+    pub tables: &'a [PerfTable],
+    /// Engine configuration (thresholds).
+    pub config: &'a EngineConfig,
+}
+
+impl StrategyCtx<'_> {
+    /// Rails currently idle (including the one being asked).
+    pub fn idle_rails(&self) -> Vec<RailId> {
+        self.rail_busy
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| !b)
+            .map(|(i, _)| RailId(i))
+            .collect()
+    }
+
+    /// The enabled rail with the lowest minimal-message latency.
+    pub fn lowest_latency_rail(&self) -> RailId {
+        (0..self.rails.len())
+            .min_by_key(|&i| self.rails[i].analytic_pio_oneway(0))
+            .map(RailId)
+            .expect("engine always has rails")
+    }
+}
+
+/// An optimizing scheduler.
+pub trait Strategy: Send {
+    /// Strategy name (figure legends, traces).
+    fn name(&self) -> &'static str;
+
+    /// Pick work for idle `rail`, or `None` to leave it idle. Implementors
+    /// must only reference backlog entries in a schedulable phase; the
+    /// engine validates and surfaces violations as
+    /// [`crate::EngineError::InvalidStrategyOp`].
+    fn next_tx(&mut self, rail: RailId, ctx: &mut StrategyCtx<'_>) -> Option<TxOp>;
+}
+
+/// Strategy selection, mirroring the paper's four stages plus the
+/// iso-split reference of Fig. 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Everything on one rail, no aggregation (the "regular"/"N-segment"
+    /// reference curves of Figs 2–3).
+    SingleRail(usize),
+    /// One rail with opportunistic aggregation of waiting small segments.
+    SingleRailAggregating(usize),
+    /// §3.2: greedy balancing — an idle NIC takes the first segment.
+    Greedy,
+    /// §3.3: aggregate small messages onto the lowest-latency rail; greedy
+    /// balancing for large segments.
+    AggregateEager,
+    /// §3.4 final strategy: aggregation for small + sampled-ratio splitting
+    /// for large segments across idle rails.
+    AdaptiveSplit,
+    /// Fig. 7 reference: like AdaptiveSplit but always splits 50/50.
+    IsoSplit,
+    /// Ablation: split with a fixed permille of bytes on the first idle
+    /// rail instead of the sampled ratio.
+    FixedSplit(u16),
+    /// Anti-pattern baseline for the `ablate_jit` bench: bind each segment
+    /// to a rail round-robin at submission, ignoring NIC idleness.
+    StaticRoundRobin,
+}
+
+impl StrategyKind {
+    /// Instantiate the strategy.
+    pub fn build(self) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::SingleRail(rail) => {
+                Box::new(single_rail::SingleRail::new(RailId(rail), false))
+            }
+            StrategyKind::SingleRailAggregating(rail) => {
+                Box::new(single_rail::SingleRail::new(RailId(rail), true))
+            }
+            StrategyKind::Greedy => Box::new(greedy::Greedy::new()),
+            StrategyKind::AggregateEager => Box::new(aggregate_eager::AggregateEager::new()),
+            StrategyKind::AdaptiveSplit => {
+                Box::new(adaptive_split::AdaptiveSplit::new(adaptive_split::SplitMode::Sampled))
+            }
+            StrategyKind::IsoSplit => {
+                Box::new(adaptive_split::AdaptiveSplit::new(adaptive_split::SplitMode::Iso))
+            }
+            StrategyKind::FixedSplit(permille) => Box::new(adaptive_split::AdaptiveSplit::new(
+                adaptive_split::SplitMode::Fixed(permille),
+            )),
+            StrategyKind::StaticRoundRobin => {
+                Box::new(static_round_robin::StaticRoundRobin::new())
+            }
+        }
+    }
+
+    /// Short name for legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::SingleRail(_) => "single-rail",
+            StrategyKind::SingleRailAggregating(_) => "single-rail+agg",
+            StrategyKind::Greedy => "greedy",
+            StrategyKind::AggregateEager => "aggregate-eager",
+            StrategyKind::AdaptiveSplit => "adaptive-split",
+            StrategyKind::IsoSplit => "iso-split",
+            StrategyKind::FixedSplit(_) => "fixed-split",
+            StrategyKind::StaticRoundRobin => "static-round-robin",
+        }
+    }
+}
+
+/// Shared helper: collect the set of eager segments an aggregating
+/// strategy should merge right now, respecting the aggregation size cap.
+/// Returns keys in submit order; empty when nothing is waiting.
+pub(crate) fn collect_aggregation_batch(ctx: &StrategyCtx<'_>) -> Vec<SegKey> {
+    collect_aggregation_batch_below(ctx, u64::MAX)
+}
+
+/// Like [`collect_aggregation_batch`] but only considering segments
+/// strictly smaller than `max_seg` (multi-rail strategies exclude
+/// DMA-eager "medium" segments, which balance better than they copy).
+pub(crate) fn collect_aggregation_batch_below(
+    ctx: &StrategyCtx<'_>,
+    max_seg: u64,
+) -> Vec<SegKey> {
+    let cap = ctx.config.agg_max_bytes as u64;
+    let mut keys = Vec::new();
+    let mut total = 0u64;
+    for item in ctx.backlog.eager_items() {
+        if item.size >= max_seg {
+            continue;
+        }
+        if !keys.is_empty() && total + item.size > cap {
+            break;
+        }
+        total += item.size;
+        keys.push(item.key);
+        if total >= cap {
+            break;
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_builds_matching_names() {
+        assert_eq!(StrategyKind::Greedy.build().name(), "greedy");
+        assert_eq!(
+            StrategyKind::SingleRail(0).build().name(),
+            "single-rail"
+        );
+        assert_eq!(
+            StrategyKind::SingleRailAggregating(1).build().name(),
+            "single-rail+agg"
+        );
+        assert_eq!(
+            StrategyKind::AggregateEager.build().name(),
+            "aggregate-eager"
+        );
+        assert_eq!(StrategyKind::AdaptiveSplit.build().name(), "adaptive-split");
+        assert_eq!(StrategyKind::IsoSplit.build().name(), "iso-split");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let kinds = [
+            StrategyKind::SingleRail(0),
+            StrategyKind::SingleRailAggregating(0),
+            StrategyKind::Greedy,
+            StrategyKind::AggregateEager,
+            StrategyKind::AdaptiveSplit,
+            StrategyKind::IsoSplit,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

@@ -1,0 +1,43 @@
+//! # nmad-model — hardware models of the paper's testbed
+//!
+//! The original evaluation ran on two dual-core 1.8 GHz Opteron nodes linked
+//! by a Myri-10G/MX NIC and a Quadrics QM500/Elan NIC (paper §3.1). That
+//! hardware is unobtainable, so this crate models the *observable
+//! characteristics* the NewMadeleine strategies actually react to:
+//!
+//! * per-rail wire latency, link bandwidth and software overheads
+//!   ([`NicModel`]);
+//! * the PIO / eager-DMA / rendezvous transmission regimes and their
+//!   thresholds ([`TxMode`]) — PIO occupies the host CPU for the whole
+//!   injection, which is why the paper's multi-rail gains only start at
+//!   8 KB segments;
+//! * the host CPU, memcpy engine and the shared I/O bus ([`HostModel`]),
+//!   whose ~2 GB/s ceiling caps the aggregated two-rail bandwidth at the
+//!   observed 1675 MB/s;
+//! * ready-made [`platform`] presets, including the exact two-rail
+//!   configuration of the paper.
+//!
+//! Calibration constants live next to the presets and are cross-checked by
+//! the `calibration` test module and by integration tests at the workspace
+//! root.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod host;
+pub mod nic;
+pub mod platform;
+
+pub use config::{load_platform, PlatformSpec};
+pub use host::HostModel;
+pub use nic::{NicModel, TxMode};
+pub use platform::{Platform, RailId};
+
+/// Decimal megabyte (the unit used by the paper's bandwidth plots).
+pub const MB: f64 = 1.0e6;
+/// Decimal gigabyte.
+pub const GB: f64 = 1.0e9;
+/// Binary kibibyte (the unit used by the paper's message-size axes).
+pub const KIB: usize = 1024;
+/// Binary mebibyte.
+pub const MIB: usize = 1024 * 1024;

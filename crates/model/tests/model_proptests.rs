@@ -1,0 +1,75 @@
+//! Property tests for the hardware models: analytic costs must behave
+//! like physics (monotone in size, positive, mode-consistent) for any
+//! plausible NIC parameterization.
+
+use nmad_model::{NicModel, TxMode};
+use nmad_sim::SimDuration;
+use proptest::prelude::*;
+
+fn arb_nic() -> impl Strategy<Value = NicModel> {
+    (
+        100.0f64..3000.0,  // link MB/s
+        100.0f64..2000.0,  // pio MB/s
+        1u64..4000,        // wire latency ns
+        1usize..64,        // pio threshold KiB
+        1usize..8,         // rdv = pio * this
+        1u64..2000,        // tx overhead ns
+        1u64..2000,        // rx overhead ns
+    )
+        .prop_map(|(link, pio, lat, pio_kib, rdv_mult, txo, rxo)| NicModel {
+            name: "arb",
+            wire_latency: SimDuration::from_ns(lat),
+            link_bandwidth: link * 1e6,
+            pio_threshold: pio_kib << 10,
+            pio_bandwidth: pio * 1e6,
+            pio_fixed: SimDuration::from_ns(200),
+            dma_setup: SimDuration::from_ns(300),
+            rdv_threshold: (pio_kib << 10) * rdv_mult,
+            tx_overhead: SimDuration::from_ns(txo),
+            rx_overhead: SimDuration::from_ns(rxo),
+            poll_cost: SimDuration::from_ns(100),
+            mtu: 64 << 20,
+        })
+}
+
+proptest! {
+    /// One-way time within a transmission mode is monotone in size.
+    #[test]
+    fn oneway_monotone_within_mode(nic in arb_nic(), a in 0usize..(8 << 20), b in 0usize..(8 << 20)) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assume!(nic.tx_mode(lo) == nic.tx_mode(hi));
+        prop_assert!(
+            nic.analytic_oneway(lo) <= nic.analytic_oneway(hi),
+            "mode {:?}: t({lo}) > t({hi})",
+            nic.tx_mode(lo)
+        );
+    }
+
+    /// Mode thresholds classify consistently and rendezvous always costs
+    /// at least a handshake over the plain DMA path.
+    #[test]
+    fn modes_and_handshake(nic in arb_nic(), size in 0usize..(8 << 20)) {
+        nic.validate();
+        let mode = nic.tx_mode(size);
+        match mode {
+            TxMode::Pio => prop_assert!(size < nic.pio_threshold),
+            TxMode::EagerDma => {
+                prop_assert!(size >= nic.pio_threshold && size < nic.rdv_threshold)
+            }
+            TxMode::Rendezvous => {
+                prop_assert!(size >= nic.rdv_threshold);
+                prop_assert!(nic.analytic_oneway(size) > nic.analytic_dma_oneway(size));
+            }
+        }
+        prop_assert!(nic.analytic_oneway(size).as_ps() > 0);
+    }
+
+    /// Effective bandwidth approaches (and never exceeds) the link rate as
+    /// transfers grow.
+    #[test]
+    fn bandwidth_bounded_by_link(nic in arb_nic()) {
+        let bw = nic.analytic_bandwidth_mbs(32 << 20) * 1e6;
+        prop_assert!(bw <= nic.link_bandwidth * 1.001, "{bw} > {}", nic.link_bandwidth);
+        prop_assert!(bw >= nic.link_bandwidth * 0.5, "{bw} far below link at 32 MiB");
+    }
+}

@@ -1,0 +1,442 @@
+//! # nmad-mpi — a miniature MPI-like layer over NewMadeleine
+//!
+//! The paper's short-term plan was to "update our implementation of
+//! MPICH-Madeleine so as to use the multi-rail capabilities of
+//! NewMadeleine" (§4). This crate sketches that layer: an N-rank,
+//! tag-matched message passing interface whose point-to-point transfers
+//! ride the real engine (via [`nmad_transport_mem`]) — so every MPI
+//! message benefits from aggregation and multi-rail splitting, and
+//! messages from different communicators can share physical packets
+//! (paper §4: segments "can be aggregated into the same physical packet
+//! even if they belong to different logical channels, e.g. different MPI
+//! communicators").
+//!
+//! Ranks live in one process (one per thread in tests); each pair of
+//! ranks is linked by a dedicated two-endpoint fabric. Tags are carried
+//! in a small framing segment in front of the payload; out-of-tag-order
+//! receives are stashed, exactly like an MPI unexpected-message queue.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use bytes::Bytes;
+use nmad_core::EngineConfig;
+use nmad_model::Platform;
+use nmad_transport_mem::{pair, Endpoint, FabricConfig};
+use parking_lot::Mutex;
+
+/// Communicator index (maps to a NewMadeleine logical channel).
+pub type Comm = usize;
+/// Message tag.
+pub type Tag = u32;
+
+/// The world communicator.
+pub const COMM_WORLD: Comm = 0;
+
+const FRAME_MAGIC: u32 = 0x4D50_4921; // "MPI!"
+
+/// Configuration for building a world.
+#[derive(Clone)]
+pub struct WorldConfig {
+    /// Node hardware model used for every rank link.
+    pub platform: Platform,
+    /// Engine configuration (strategy etc.).
+    pub engine: EngineConfig,
+    /// Number of communicators available (>= 1; `COMM_WORLD` is 0).
+    pub comms: usize,
+    /// Blocking-call timeout before panicking with a deadlock report.
+    pub timeout: Duration,
+}
+
+impl WorldConfig {
+    /// Defaults: paper platform, adaptive-split strategy, 2 communicators.
+    pub fn new(platform: Platform, engine: EngineConfig) -> Self {
+        WorldConfig {
+            platform,
+            engine,
+            comms: 2,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One rank of the world. Owns a dedicated fabric endpoint per peer.
+pub struct Rank {
+    /// This rank's index.
+    pub rank: usize,
+    /// World size.
+    pub size: usize,
+    peers: PeerTable,
+    stash: Mutex<StashTable>,
+    timeout: Duration,
+}
+
+/// Per-rank peer endpoint table.
+type PeerTable = HashMap<usize, Endpoint>;
+
+/// Handle to a non-blocking MPI send.
+pub struct MpiRequest {
+    inner: nmad_transport_mem::SendHandle,
+}
+
+impl MpiRequest {
+    /// Block until local completion; true on success.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        self.inner.wait(timeout)
+    }
+}
+/// Unexpected-message queue: (source rank, communicator, tag) -> payloads.
+type StashTable = HashMap<(usize, Comm, Tag), VecDeque<Vec<u8>>>;
+
+/// Build an `n`-rank world. Returns one [`Rank`] per rank; hand each to
+/// its own thread.
+pub fn world(n: usize, config: WorldConfig) -> Vec<Rank> {
+    assert!(n >= 2, "a world needs at least two ranks");
+    let mut peers: Vec<PeerTable> = (0..n).map(|_| HashMap::new()).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut fc = FabricConfig::new(config.platform.clone(), config.engine.clone());
+            fc.conns = config.comms.max(1);
+            let (a, b) = pair(fc);
+            peers[i].insert(j, a);
+            peers[j].insert(i, b);
+        }
+    }
+    peers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, peers)| Rank {
+            rank,
+            size: n,
+            peers,
+            stash: Mutex::new(HashMap::new()),
+            timeout: config.timeout,
+        })
+        .collect()
+}
+
+fn frame_header(comm: Comm, tag: Tag) -> Bytes {
+    let mut h = Vec::with_capacity(12);
+    h.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    h.extend_from_slice(&(comm as u32).to_le_bytes());
+    h.extend_from_slice(&tag.to_le_bytes());
+    Bytes::from(h)
+}
+
+fn parse_frame(segments: &[Bytes]) -> (Comm, Tag, Vec<u8>) {
+    let header = &segments[0];
+    assert!(header.len() == 12, "malformed MPI frame header");
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    assert_eq!(magic, FRAME_MAGIC, "bad MPI frame magic");
+    let comm = u32::from_le_bytes(header[4..8].try_into().unwrap()) as Comm;
+    let tag = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let mut payload = Vec::new();
+    for seg in &segments[1..] {
+        payload.extend_from_slice(seg);
+    }
+    (comm, tag, payload)
+}
+
+impl Rank {
+    fn peer(&self, other: usize) -> &Endpoint {
+        assert!(other != self.rank, "cannot message self");
+        self.peers
+            .get(&other)
+            .unwrap_or_else(|| panic!("rank {other} out of range (size {})", self.size))
+    }
+
+    /// Blocking tagged send to `to` on `comm`.
+    pub fn send(&self, to: usize, comm: Comm, tag: Tag, data: &[u8]) {
+        let ok = self.isend(to, comm, tag, data).wait(self.timeout);
+        assert!(ok, "rank {}: send to {to} (tag {tag}) timed out", self.rank);
+    }
+
+    /// Non-blocking tagged send; completion is local (the engine accepted
+    /// and injected the message).
+    pub fn isend(&self, to: usize, comm: Comm, tag: Tag, data: &[u8]) -> MpiRequest {
+        let ep = self.peer(to);
+        let segments = vec![frame_header(comm, tag), Bytes::copy_from_slice(data)];
+        MpiRequest {
+            inner: ep.send(ep.conns()[comm], segments),
+        }
+    }
+
+    /// Blocking tagged receive from `from` on `comm`.
+    ///
+    /// Messages arriving with other tags are stashed (the MPI
+    /// unexpected-message queue) and matched by later receives.
+    pub fn recv(&self, from: usize, comm: Comm, tag: Tag) -> Vec<u8> {
+        if let Some(hit) = self.stash_pop(from, comm, tag) {
+            return hit;
+        }
+        let ep = self.peer(from);
+        loop {
+            let msg = ep
+                .recv(ep.conns()[comm])
+                .wait(self.timeout)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "rank {}: recv from {from} (comm {comm}, tag {tag}) timed out",
+                        self.rank
+                    )
+                });
+            let (got_comm, got_tag, payload) = parse_frame(&msg.segments);
+            debug_assert_eq!(got_comm, comm, "engine channels keep comms separate");
+            if got_tag == tag {
+                return payload;
+            }
+            self.stash
+                .lock()
+                .entry((from, comm, got_tag))
+                .or_default()
+                .push_back(payload);
+        }
+    }
+
+    fn stash_pop(&self, from: usize, comm: Comm, tag: Tag) -> Option<Vec<u8>> {
+        let mut stash = self.stash.lock();
+        let q = stash.get_mut(&(from, comm, tag))?;
+        let v = q.pop_front();
+        if q.is_empty() {
+            stash.remove(&(from, comm, tag));
+        }
+        v
+    }
+
+    /// Combined send+receive with the same peer (classic ping-pong step).
+    pub fn sendrecv(&self, peer: usize, comm: Comm, tag: Tag, data: &[u8]) -> Vec<u8> {
+        // Lower rank sends first; the transport is fully non-blocking
+        // underneath so either order would work, but keeping a convention
+        // makes traces readable.
+        if self.rank < peer {
+            self.send(peer, comm, tag, data);
+            self.recv(peer, comm, tag)
+        } else {
+            let got = self.recv(peer, comm, tag);
+            self.send(peer, comm, tag, data);
+            got
+        }
+    }
+
+    /// Broadcast from `root`: root passes `Some(data)`, everyone gets the
+    /// payload. Linear algorithm (the paper's platform has 2 nodes; mesh
+    /// worlds stay small here).
+    pub fn bcast(&self, root: usize, comm: Comm, data: Option<&[u8]>) -> Vec<u8> {
+        const BCAST_TAG: Tag = 0xB0A5;
+        if self.rank == root {
+            let data = data.expect("root must supply the broadcast payload");
+            for r in 0..self.size {
+                if r != self.rank {
+                    self.send(r, comm, BCAST_TAG, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root, comm, BCAST_TAG)
+        }
+    }
+
+    /// Gather to `root`: returns `Some(vec-of-payloads by rank)` at root,
+    /// `None` elsewhere.
+    pub fn gather(&self, root: usize, comm: Comm, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        const GATHER_TAG: Tag = 0x6A77;
+        if self.rank == root {
+            let out: Vec<Vec<u8>> = (0..self.size)
+                .map(|r| {
+                    if r == self.rank {
+                        data.to_vec()
+                    } else {
+                        self.recv(r, comm, GATHER_TAG)
+                    }
+                })
+                .collect();
+            Some(out)
+        } else {
+            self.send(root, comm, GATHER_TAG, data);
+            None
+        }
+    }
+
+    /// Barrier: linear gather-release through rank 0.
+    pub fn barrier(&self, comm: Comm) {
+        const BARRIER_TAG: Tag = 0xBAAA;
+        if self.rank == 0 {
+            for r in 1..self.size {
+                let _ = self.recv(r, comm, BARRIER_TAG);
+            }
+            for r in 1..self.size {
+                self.send(r, comm, BARRIER_TAG, b"go");
+            }
+        } else {
+            self.send(0, comm, BARRIER_TAG, b"in");
+            let _ = self.recv(0, comm, BARRIER_TAG);
+        }
+    }
+
+    /// All-reduce (sum) of one f64: gather to 0, sum, broadcast.
+    pub fn allreduce_sum(&self, comm: Comm, x: f64) -> f64 {
+        let gathered = self.gather(0, comm, &x.to_le_bytes());
+        let sum = gathered.map(|parts| {
+            parts
+                .iter()
+                .map(|b| f64::from_le_bytes(b.as_slice().try_into().expect("8-byte f64")))
+                .sum::<f64>()
+        });
+        let out = self.bcast(0, comm, sum.map(f64::to_le_bytes).as_ref().map(|b| &b[..]));
+        f64::from_le_bytes(out.as_slice().try_into().expect("8-byte f64"))
+    }
+
+    /// Engine statistics of the link to `peer` (behaviour assertions).
+    pub fn link_stats(&self, peer: usize) -> nmad_core::EngineStats {
+        self.peer(peer).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmad_core::StrategyKind;
+    use nmad_model::platform;
+    use std::thread;
+
+    fn mk_world(n: usize) -> Vec<Rank> {
+        world(
+            n,
+            WorldConfig::new(
+                platform::paper_platform(),
+                EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+            ),
+        )
+    }
+
+    /// Run a closure on every rank, each in its own thread.
+    fn run_ranks(ranks: Vec<Rank>, f: impl Fn(&Rank) + Sync) {
+        thread::scope(|s| {
+            for r in &ranks {
+                s.spawn(|| f(r));
+            }
+        });
+    }
+
+    #[test]
+    fn two_rank_pingpong() {
+        let ranks = mk_world(2);
+        run_ranks(ranks, |r| {
+            let peer = 1 - r.rank;
+            let sent = format!("hello from {}", r.rank);
+            let got = r.sendrecv(peer, COMM_WORLD, 7, sent.as_bytes());
+            assert_eq!(got, format!("hello from {peer}").into_bytes());
+        });
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let ranks = mk_world(2);
+        run_ranks(ranks, |r| {
+            if r.rank == 0 {
+                r.send(1, COMM_WORLD, 2, b"second-tag");
+                r.send(1, COMM_WORLD, 1, b"first-tag");
+            } else {
+                // Receive tag 1 first even though tag 2 arrived first.
+                assert_eq!(r.recv(0, COMM_WORLD, 1), b"first-tag");
+                assert_eq!(r.recv(0, COMM_WORLD, 2), b"second-tag");
+            }
+        });
+    }
+
+    #[test]
+    fn communicators_do_not_cross() {
+        let ranks = mk_world(2);
+        run_ranks(ranks, |r| {
+            if r.rank == 0 {
+                r.send(1, 1, 5, b"on comm 1");
+                r.send(1, COMM_WORLD, 5, b"on world");
+            } else {
+                assert_eq!(r.recv(0, COMM_WORLD, 5), b"on world");
+                assert_eq!(r.recv(0, 1, 5), b"on comm 1");
+            }
+        });
+    }
+
+    #[test]
+    fn large_transfer_uses_both_rails() {
+        let ranks = mk_world(2);
+        let payload: Vec<u8> = (0..(2 << 20)).map(|i| (i % 251) as u8).collect();
+        run_ranks(ranks, |r| {
+            if r.rank == 0 {
+                r.send(1, COMM_WORLD, 9, &payload);
+                let st = r.link_stats(1);
+                assert!(st.rdv_handshakes >= 1);
+            } else {
+                let got = r.recv(0, COMM_WORLD, 9);
+                assert_eq!(got, payload);
+            }
+        });
+    }
+
+    #[test]
+    fn isend_overlaps_multiple_transfers() {
+        let ranks = mk_world(2);
+        run_ranks(ranks, |r| {
+            if r.rank == 0 {
+                // Launch four sends at once, then wait for all.
+                let reqs: Vec<_> = (0..4u32)
+                    .map(|i| r.isend(1, COMM_WORLD, i, &vec![i as u8; 50_000]))
+                    .collect();
+                for (i, q) in reqs.iter().enumerate() {
+                    assert!(q.wait(Duration::from_secs(20)), "isend {i}");
+                }
+            } else {
+                // Receive them in reverse tag order (stash exercises).
+                for i in (0..4u32).rev() {
+                    assert_eq!(r.recv(0, COMM_WORLD, i), vec![i as u8; 50_000]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn three_rank_collectives() {
+        let ranks = mk_world(3);
+        run_ranks(ranks, |r| {
+            // Barrier then broadcast then gather then allreduce.
+            r.barrier(COMM_WORLD);
+            let data = r.bcast(0, COMM_WORLD, (r.rank == 0).then_some(b"root-data"));
+            assert_eq!(data, b"root-data");
+            let mine = vec![r.rank as u8; 3];
+            let gathered = r.gather(1, COMM_WORLD, &mine);
+            if r.rank == 1 {
+                let g = gathered.expect("root gets the gather");
+                assert_eq!(g[0], vec![0u8; 3]);
+                assert_eq!(g[1], vec![1u8; 3]);
+                assert_eq!(g[2], vec![2u8; 3]);
+            } else {
+                assert!(gathered.is_none());
+            }
+            let total = r.allreduce_sum(COMM_WORLD, (r.rank + 1) as f64);
+            assert_eq!(total, 6.0, "1+2+3");
+        });
+    }
+
+    #[test]
+    fn barrier_actually_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ranks = mk_world(3);
+        let arrived = AtomicUsize::new(0);
+        run_ranks(ranks, |r| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            r.barrier(COMM_WORLD);
+            // After the barrier, everyone must have arrived.
+            assert_eq!(arrived.load(Ordering::SeqCst), 3);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot message self")]
+    fn self_send_rejected() {
+        let ranks = mk_world(2);
+        ranks[0].send(0, COMM_WORLD, 1, b"loopback");
+    }
+}

@@ -1,0 +1,182 @@
+//! Activity timelines: what each CPU, rail and bus did, when.
+//!
+//! The paper's whole argument is about *overlap* — PIO that cannot
+//! overlap, DMA that can, rails working in parallel. A [`Timeline`]
+//! records labelled intervals per lane and renders them as an ASCII Gantt
+//! chart, which makes the §3.2 serialization and the §3.4 split overlap
+//! directly visible (see the `timeline` example).
+
+use std::fmt::Write as _;
+
+use nmad_sim::SimTime;
+
+/// One recorded activity interval.
+#[derive(Clone, Debug)]
+pub struct Interval {
+    /// Lane name, e.g. `"n0.cpu"`, `"n0.rail1"`.
+    pub lane: String,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+    /// Short label, e.g. `"pio 2068B"`.
+    pub label: String,
+}
+
+/// A collection of intervals grouped by lane.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    intervals: Vec<Interval>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an interval.
+    pub fn record(
+        &mut self,
+        lane: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        label: impl Into<String>,
+    ) {
+        debug_assert!(start <= end);
+        self.intervals.push(Interval {
+            lane: lane.into(),
+            start,
+            end,
+            label: label.into(),
+        });
+    }
+
+    /// All recorded intervals, in recording order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Intervals on one lane.
+    pub fn lane<'a>(&'a self, lane: &'a str) -> impl Iterator<Item = &'a Interval> + 'a {
+        self.intervals.iter().filter(move |i| i.lane == lane)
+    }
+
+    /// Busy time summed over a lane.
+    pub fn lane_busy(&self, lane: &str) -> f64 {
+        self.lane(lane)
+            .map(|i| i.end.as_us_f64() - i.start.as_us_f64())
+            .sum()
+    }
+
+    /// Distinct lane names, in first-appearance order.
+    pub fn lanes(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for i in &self.intervals {
+            if !out.contains(&i.lane) {
+                out.push(i.lane.clone());
+            }
+        }
+        out
+    }
+
+    /// End of the last interval.
+    pub fn span_end(&self) -> SimTime {
+        self.intervals
+            .iter()
+            .map(|i| i.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Render an ASCII Gantt chart, `width` characters wide.
+    ///
+    /// ```text
+    /// n0.cpu   |██▓▓░---------------| 3.1us busy
+    /// n0.rail0 |---████████---------| 4.8us busy
+    /// ```
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(10);
+        let total = self.span_end().as_us_f64();
+        let mut out = String::new();
+        if total <= 0.0 {
+            return "(empty timeline)\n".into();
+        }
+        let lanes = self.lanes();
+        let name_w = lanes.iter().map(String::len).max().unwrap_or(4).max(4);
+        let _ = writeln!(out, "{:>name_w$} 0 {:-^width$} {:.2}us", "", "time", total);
+        for lane in &lanes {
+            let mut row = vec!['-'; width];
+            for iv in self.lane(lane) {
+                let a = ((iv.start.as_us_f64() / total) * width as f64).floor() as usize;
+                let b = ((iv.end.as_us_f64() / total) * width as f64).ceil() as usize;
+                for c in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+                    *c = '#';
+                }
+            }
+            let bar: String = row.into_iter().collect();
+            let _ = writeln!(
+                out,
+                "{lane:>name_w$} |{bar}| {:.2}us busy",
+                self.lane_busy(lane)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmad_sim::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn records_and_sums() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", t(0), t(2), "a");
+        tl.record("cpu", t(5), t(6), "b");
+        tl.record("rail0", t(1), t(4), "tx");
+        assert_eq!(tl.lanes(), vec!["cpu".to_string(), "rail0".to_string()]);
+        assert!((tl.lane_busy("cpu") - 3.0).abs() < 1e-9);
+        assert_eq!(tl.span_end(), t(6));
+        assert_eq!(tl.lane("rail0").count(), 1);
+    }
+
+    #[test]
+    fn render_marks_busy_regions() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", t(0), t(5), "first half");
+        let s = tl.render(20);
+        assert!(s.contains("cpu"));
+        // First half of a 0..5us lane spanning 0..5us total: all busy.
+        let bar: String = s
+            .lines()
+            .find(|l| l.contains("cpu"))
+            .unwrap()
+            .chars()
+            .skip_while(|&c| c != '|')
+            .take_while(|&c| c != ' ')
+            .collect();
+        assert!(bar.contains('#'));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let tl = Timeline::new();
+        assert!(tl.render(40).contains("empty"));
+        assert_eq!(tl.span_end(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_length_intervals_are_fine() {
+        let mut tl = Timeline::new();
+        let now = SimTime::from_us(1);
+        tl.record("x", now, now + SimDuration::ZERO, "instant");
+        assert_eq!(tl.lane_busy("x"), 0.0);
+        let _ = tl.render(30);
+    }
+}

@@ -1,0 +1,827 @@
+//! The simulated two-node world.
+//!
+//! Each node owns a real [`Engine`] plus the modelled hardware: a CPU
+//! ([`nmad_sim::MultiResource`]) that serializes PIO injections, memcpys and software
+//! overheads; an I/O bus ([`FluidChannel`]) that DMA transfers drain
+//! through with max-min fairness; and the per-rail wire latencies. The
+//! event loop implements the timing semantics the paper's observations
+//! hinge on:
+//!
+//! * **PIO** occupies a CPU core for the whole injection, so with the
+//!   paper's single-threaded engine (1 core) two sub-8 KiB packets on
+//!   different rails serialize (the §3.2 crossover); configuring
+//!   `HostModel::cores = 2` simulates the §4 future-work multi-threaded
+//!   engine with parallel PIO;
+//! * **DMA** costs only a descriptor setup on the CPU, then contends on
+//!   the bus (the 1675 MB/s plateau and the Fig. 7 hetero-split headroom);
+//! * every scheduling pass pays `sched_cost + Σ poll_cost(rail)` — the
+//!   poll penalty of carrying a second NIC that Fig. 6 isolates.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use nmad_core::engine::Engine;
+use nmad_core::request::{RecvId, SendId};
+use nmad_core::EngineConfig;
+use nmad_model::{HostModel, NicModel, Platform, RailId, TxMode};
+use nmad_sim::trace::{Category, Tracer};
+use nmad_sim::{EventQueue, FlowId, FluidChannel, MultiResource, SimDuration, SimTime};
+use nmad_wire::reassembly::MessageAssembly;
+use nmad_wire::ConnId;
+
+use crate::timeline::Timeline;
+
+/// Application logic running on one simulated node: reacts to completions
+/// and drives new requests through [`NodeApi`].
+pub trait AppLogic {
+    /// Called once at simulation start.
+    fn on_start(&mut self, api: &mut NodeApi<'_>);
+    /// A posted receive completed; the reassembled message is handed over.
+    fn on_recv_complete(&mut self, recv: RecvId, msg: MessageAssembly, api: &mut NodeApi<'_>) {
+        let _ = (recv, msg, api);
+    }
+    /// A submitted send reached local completion.
+    fn on_send_complete(&mut self, send: SendId, api: &mut NodeApi<'_>) {
+        let _ = (send, api);
+    }
+    /// A sampling pong arrived (probe id, payload length).
+    fn on_sample_pong(&mut self, probe_id: u64, len: usize, api: &mut NodeApi<'_>) {
+        let _ = (probe_id, len, api);
+    }
+}
+
+/// No-op application (pure reactive peer driven by the engine).
+pub struct IdleApp;
+impl AppLogic for IdleApp {
+    fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+}
+
+struct PendingDma {
+    rail: usize,
+    token: nmad_core::driver::TxToken,
+    wire: Bytes,
+    started: SimTime,
+}
+
+/// One simulated node: engine + hardware occupancy state.
+pub struct Node {
+    host: HostModel,
+    rails: Vec<NicModel>,
+    /// The real NewMadeleine engine.
+    pub engine: Engine,
+    cpu: MultiResource,
+    bus: FluidChannel,
+    dma: HashMap<FlowId, PendingDma>,
+    kick_pending: bool,
+}
+
+impl Node {
+    fn new(platform: &Platform, config: EngineConfig) -> Self {
+        Node {
+            host: platform.host.clone(),
+            rails: platform.rails.clone(),
+            engine: Engine::new(config, platform.rails.clone(), vec![]),
+            cpu: MultiResource::new("cpu", platform.host.cores),
+            bus: FluidChannel::new("iobus", platform.host.bus_capacity),
+            dma: HashMap::new(),
+            kick_pending: false,
+        }
+    }
+
+    /// CPU utilization so far.
+    pub fn cpu_utilization(&self, now: SimTime) -> f64 {
+        self.cpu.utilization(now)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Request a scheduling pass on a node (CPU must be grabbed first).
+    Kick(usize),
+    /// The scheduling pass itself (CPU grant reached).
+    Sched(usize),
+    /// A PIO injection finished: rail idle, packet on the wire.
+    PioDone {
+        node: usize,
+        rail: usize,
+        token: nmad_core::driver::TxToken,
+    },
+    /// CPU finished programming a DMA descriptor: start draining.
+    DmaStart {
+        node: usize,
+        rail: usize,
+        token: nmad_core::driver::TxToken,
+        wire: Bytes,
+    },
+    /// Re-examine the node's bus for flow completions.
+    BusCheck { node: usize, epoch: u64 },
+    /// A packet reached the destination NIC (before rx software overhead).
+    Arrive {
+        node: usize,
+        rail: usize,
+        wire: Bytes,
+    },
+    /// Rx overhead paid; hand the packet to the engine.
+    Deliver {
+        node: usize,
+        rail: usize,
+        wire: Bytes,
+    },
+}
+
+/// Handle through which application logic interacts with its node.
+pub struct NodeApi<'a> {
+    idx: usize,
+    node: &'a mut Node,
+    queue: &'a mut EventQueue<Ev>,
+    now: SimTime,
+}
+
+impl NodeApi<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Submit a non-blocking multi-segment send (collect layer only; the
+    /// engine transmits when NICs go idle).
+    pub fn submit_send(&mut self, conn: ConnId, segments: Vec<Bytes>) -> SendId {
+        let id = self.node.engine.submit_send(conn, segments);
+        let g = self.node.cpu.acquire(self.now, self.node.host.submit_cost);
+        schedule_kick(self.idx, self.node, self.queue, g.end);
+        id
+    }
+
+    /// Post a non-blocking receive. Posting can release parked rendezvous
+    /// grants, so the engine gets a scheduling pass if work appeared.
+    pub fn post_recv(&mut self, conn: ConnId) -> RecvId {
+        let id = self.node.engine.post_recv(conn);
+        if self.node.engine.has_tx_work() {
+            let at = self.now;
+            schedule_kick(self.idx, self.node, self.queue, at);
+        }
+        id
+    }
+
+    /// Occupy the CPU with application computation for `dur`. While the
+    /// CPU computes, submitted requests pile up in the backlog — the §2
+    /// scenario where "the communication support accumulates packets while
+    /// the NIC is busy" (here: while the *CPU* is busy) and the optimizer
+    /// then processes the whole window at once.
+    pub fn compute(&mut self, dur: SimDuration) {
+        let g = self.node.cpu.acquire(self.now, dur);
+        schedule_kick(self.idx, self.node, self.queue, g.end);
+    }
+
+    /// Send a sampling probe of `size` zero bytes on `conn` (echoed back
+    /// by the peer engine as a pong).
+    pub fn send_sample(&mut self, conn: ConnId, probe_id: u64, size: usize) {
+        self.node.engine.send_sample(conn, probe_id, size);
+        let g = self.node.cpu.acquire(self.now, self.node.host.submit_cost);
+        schedule_kick(self.idx, self.node, self.queue, g.end);
+    }
+
+    /// Engine statistics of this node.
+    pub fn stats(&self) -> &nmad_core::EngineStats {
+        self.node.engine.stats()
+    }
+}
+
+fn schedule_kick(idx: usize, node: &mut Node, queue: &mut EventQueue<Ev>, at: SimTime) {
+    if node.kick_pending {
+        return;
+    }
+    node.kick_pending = true;
+    queue.push(at, Ev::Kick(idx));
+}
+
+/// The two-node simulation.
+pub struct SimWorld<A: AppLogic, B: AppLogic> {
+    queue: EventQueue<Ev>,
+    nodes: Vec<Node>,
+    app0: Option<A>,
+    app1: Option<B>,
+    /// Trace buffer (disabled by default).
+    pub trace: Tracer,
+    /// Optional activity timeline (see [`crate::timeline`]).
+    pub timeline: Option<Timeline>,
+    events: u64,
+}
+
+impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
+    /// Build a symmetric two-node world: both ends run `platform` with an
+    /// engine configured by `config`.
+    pub fn new(platform: &Platform, config: EngineConfig, app0: A, app1: B) -> Self {
+        SimWorld {
+            queue: EventQueue::new(),
+            nodes: vec![
+                Node::new(platform, config.clone()),
+                Node::new(platform, config),
+            ],
+            app0: Some(app0),
+            app1: Some(app1),
+            trace: Tracer::disabled(),
+            timeline: None,
+            events: 0,
+        }
+    }
+
+    /// Start recording an activity timeline (CPU, rails, bus).
+    pub fn enable_timeline(&mut self) {
+        self.timeline = Some(Timeline::new());
+    }
+
+    /// Open a logical channel on both engines; returns the shared id.
+    pub fn open_conn(&mut self) -> ConnId {
+        let c0 = self.nodes[0].engine.conn_open();
+        let c1 = self.nodes[1].engine.conn_open();
+        assert_eq!(c0, c1, "endpoints must open connections in lockstep");
+        c0
+    }
+
+    /// Replace both engines' sampling tables.
+    pub fn set_tables(&mut self, tables: Vec<nmad_core::PerfTable>) {
+        self.nodes[0].engine.set_tables(tables.clone());
+        self.nodes[1].engine.set_tables(tables);
+    }
+
+    /// Node accessor.
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Application of node 0.
+    pub fn app0(&self) -> &A {
+        self.app0.as_ref().expect("app present between events")
+    }
+
+    /// Application of node 1.
+    pub fn app1(&self) -> &B {
+        self.app1.as_ref().expect("app present between events")
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Run the apps' `on_start` hooks and process events until the queue
+    /// drains or `max_events` is hit (a safety net against livelock bugs —
+    /// exceeding it panics with the trace rendered).
+    pub fn run(&mut self, max_events: u64) {
+        // Start both apps at t = 0.
+        self.run_app_hook(0, SimTime::ZERO, AppHook::Start);
+        self.run_app_hook(1, SimTime::ZERO, AppHook::Start);
+        while let Some((now, ev)) = self.queue.pop() {
+            self.events += 1;
+            if self.events > max_events {
+                panic!(
+                    "simulation exceeded {max_events} events at {now}; trace:\n{}",
+                    self.trace.render()
+                );
+            }
+            self.dispatch(now, ev);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Kick(i) => {
+                if !self.nodes[i].engine.has_tx_work() {
+                    self.nodes[i].kick_pending = false;
+                    return;
+                }
+                // One scheduling pass: the global scheduler polls every
+                // enabled NIC and runs the strategy.
+                let poll_total: SimDuration = self.nodes[i]
+                    .rails
+                    .iter()
+                    .map(|r| r.poll_cost)
+                    .sum();
+                let cost = self.nodes[i].host.sched_cost + poll_total;
+                let g = self.nodes[i].cpu.acquire(now, cost);
+                self.queue.push(g.end, Ev::Sched(i));
+            }
+            Ev::Sched(i) => {
+                self.nodes[i].kick_pending = false;
+                for r in 0..self.nodes[i].rails.len() {
+                    let d = self.nodes[i]
+                        .engine
+                        .next_tx(RailId(r))
+                        .expect("engine invariant violated");
+                    if let Some(decision) = d {
+                        // The rail is busy until its on_tx_done.
+                        self.launch(i, r, decision, now);
+                    }
+                }
+            }
+            Ev::PioDone { node, rail, token } => {
+                let completed = self.nodes[node]
+                    .engine
+                    .on_tx_done(RailId(rail), token)
+                    .expect("tx token must be valid");
+                self.trace.record_with(now, Category::Nic, || {
+                    format!("n{node} rail{rail} pio done")
+                });
+                for s in completed {
+                    self.fire_send_complete(node, now, s);
+                }
+                schedule_kick(node, &mut self.nodes[node], &mut self.queue, now);
+            }
+            Ev::DmaStart {
+                node,
+                rail,
+                token,
+                wire,
+            } => {
+                let cap = self.nodes[node].rails[rail].link_bandwidth;
+                let len = wire.len() as u64;
+                let flow = self.nodes[node].bus.add_flow(now, len, cap);
+                self.nodes[node].dma.insert(
+                    flow,
+                    PendingDma {
+                        rail,
+                        token,
+                        wire,
+                        started: now,
+                    },
+                );
+                self.trace.record_with(now, Category::Bus, || {
+                    format!("n{node} rail{rail} dma start {len}B")
+                });
+                self.schedule_bus_check(node, now);
+            }
+            Ev::BusCheck { node, epoch } => {
+                if epoch != self.nodes[node].bus.epoch() {
+                    return; // stale: rates changed since this was scheduled
+                }
+                let Some((fid, t, ep)) = self.nodes[node].bus.next_completion() else {
+                    return;
+                };
+                debug_assert_eq!(ep, epoch);
+                debug_assert!(t <= now, "bus check fired early: {t:?} vs {now:?}");
+                if self.nodes[node].bus.try_complete(now, fid) {
+                    let PendingDma {
+                        rail,
+                        token,
+                        wire,
+                        started,
+                    } = self.nodes[node]
+                        .dma
+                        .remove(&fid)
+                        .expect("completed flow must be tracked");
+                    if let Some(tl) = &mut self.timeline {
+                        tl.record(
+                            format!("n{node}.rail{rail}"),
+                            started,
+                            now,
+                            format!("dma {}B", wire.len()),
+                        );
+                    }
+                    let completed = self.nodes[node]
+                        .engine
+                        .on_tx_done(RailId(rail), token)
+                        .expect("tx token must be valid");
+                    let dst = 1 - node;
+                    let lat = self.nodes[node].rails[rail].wire_latency;
+                    self.queue.push(
+                        now + lat,
+                        Ev::Arrive {
+                            node: dst,
+                            rail,
+                            wire,
+                        },
+                    );
+                    for s in completed {
+                        self.fire_send_complete(node, now, s);
+                    }
+                    schedule_kick(node, &mut self.nodes[node], &mut self.queue, now);
+                }
+                self.schedule_bus_check(node, now);
+            }
+            Ev::Arrive { node, rail, wire } => {
+                let rx = self.nodes[node].rails[rail].rx_overhead;
+                let g = self.nodes[node].cpu.acquire(now, rx);
+                if let Some(tl) = &mut self.timeline {
+                    tl.record(format!("n{node}.cpu"), g.start, g.end, "rx");
+                }
+                self.queue.push(g.end, Ev::Deliver { node, rail, wire });
+            }
+            Ev::Deliver { node, rail, wire } => {
+                let outcome = self.nodes[node]
+                    .engine
+                    .on_packet(RailId(rail), &wire)
+                    .unwrap_or_else(|e| panic!("n{node} rx error: {e}"));
+                for recv in outcome.completed_recvs {
+                    let msg = self.nodes[node]
+                        .engine
+                        .try_recv(recv)
+                        .expect("completed recv has a result");
+                    self.run_app_hook(node, now, AppHook::Recv(recv, msg));
+                }
+                for (probe, len) in outcome.sample_pongs {
+                    self.run_app_hook(node, now, AppHook::Pong(probe, len));
+                }
+                schedule_kick(node, &mut self.nodes[node], &mut self.queue, now);
+            }
+        }
+    }
+
+    fn launch(&mut self, node: usize, rail: usize, d: nmad_core::TxDecision, now: SimTime) {
+        let nic = self.nodes[node].rails[rail].clone();
+        let host = self.nodes[node].host.clone();
+        let mut cpu_cost = nic.tx_overhead;
+        if d.copied_bytes > 0 {
+            cpu_cost += host.memcpy_time(d.copied_bytes);
+        }
+        let wire_len = d.wire.len();
+        match d.mode {
+            TxMode::Pio => {
+                cpu_cost += nic.pio_injection_time(wire_len);
+                let g = self.nodes[node].cpu.acquire(now, cpu_cost);
+                if let Some(tl) = &mut self.timeline {
+                    tl.record(
+                        format!("n{node}.cpu"),
+                        g.start,
+                        g.end,
+                        format!("pio {wire_len}B"),
+                    );
+                    tl.record(
+                        format!("n{node}.rail{rail}"),
+                        g.start,
+                        g.end,
+                        format!("pio {wire_len}B"),
+                    );
+                }
+                self.queue.push(
+                    g.end,
+                    Ev::PioDone {
+                        node,
+                        rail,
+                        token: d.token,
+                    },
+                );
+                self.queue.push(
+                    g.end + nic.wire_latency,
+                    Ev::Arrive {
+                        node: 1 - node,
+                        rail,
+                        wire: d.wire,
+                    },
+                );
+            }
+            _ => {
+                cpu_cost += nic.dma_setup;
+                let g = self.nodes[node].cpu.acquire(now, cpu_cost);
+                if let Some(tl) = &mut self.timeline {
+                    tl.record(
+                        format!("n{node}.cpu"),
+                        g.start,
+                        g.end,
+                        format!("dma setup {wire_len}B"),
+                    );
+                }
+                self.queue.push(
+                    g.end,
+                    Ev::DmaStart {
+                        node,
+                        rail,
+                        token: d.token,
+                        wire: d.wire,
+                    },
+                );
+            }
+        }
+        self.trace.record_with(now, Category::Strategy, || {
+            format!(
+                "n{node} rail{rail} launch {:?} {}B copied={}",
+                d.mode, wire_len, d.copied_bytes
+            )
+        });
+    }
+
+    fn schedule_bus_check(&mut self, node: usize, now: SimTime) {
+        if let Some((_, t, ep)) = self.nodes[node].bus.next_completion() {
+            self.queue
+                .push(t.max(now), Ev::BusCheck { node, epoch: ep });
+        }
+    }
+
+    fn fire_send_complete(&mut self, node: usize, now: SimTime, send: SendId) {
+        self.run_app_hook(node, now, AppHook::Send(send));
+    }
+
+    fn run_app_hook(&mut self, node: usize, now: SimTime, hook: AppHook) {
+        if node == 0 {
+            let mut app = self.app0.take().expect("app0 present");
+            {
+                let mut api = NodeApi {
+                    idx: 0,
+                    node: &mut self.nodes[0],
+                    queue: &mut self.queue,
+                    now,
+                };
+                hook.run(&mut app, &mut api);
+            }
+            self.app0 = Some(app);
+        } else {
+            let mut app = self.app1.take().expect("app1 present");
+            {
+                let mut api = NodeApi {
+                    idx: 1,
+                    node: &mut self.nodes[1],
+                    queue: &mut self.queue,
+                    now,
+                };
+                hook.run(&mut app, &mut api);
+            }
+            self.app1 = Some(app);
+        }
+    }
+}
+
+enum AppHook {
+    Start,
+    Recv(RecvId, MessageAssembly),
+    Send(SendId),
+    Pong(u64, usize),
+}
+
+impl AppHook {
+    fn run<T: AppLogic>(self, app: &mut T, api: &mut NodeApi<'_>) {
+        match self {
+            AppHook::Start => app.on_start(api),
+            AppHook::Recv(r, m) => app.on_recv_complete(r, m, api),
+            AppHook::Send(s) => app.on_send_complete(s, api),
+            AppHook::Pong(p, l) => app.on_sample_pong(p, l, api),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmad_core::StrategyKind;
+    use nmad_model::platform;
+
+    /// Sender app: one message, records completion time.
+    struct OneShotSender {
+        conn: ConnId,
+        payloads: Vec<Bytes>,
+        send_done_at: Option<SimTime>,
+    }
+    impl AppLogic for OneShotSender {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            api.submit_send(self.conn, self.payloads.clone());
+        }
+        fn on_send_complete(&mut self, _send: SendId, api: &mut NodeApi<'_>) {
+            self.send_done_at = Some(api.now());
+        }
+    }
+
+    /// Receiver app: one recv, records delivery time and content.
+    struct OneShotReceiver {
+        conn: ConnId,
+        got: Option<(SimTime, Vec<Bytes>)>,
+    }
+    impl AppLogic for OneShotReceiver {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            api.post_recv(self.conn);
+        }
+        fn on_recv_complete(&mut self, _r: RecvId, msg: MessageAssembly, api: &mut NodeApi<'_>) {
+            self.got = Some((api.now(), msg.segments));
+        }
+    }
+
+    fn transfer(strategy: StrategyKind, payloads: Vec<Bytes>) -> (SimTime, SimWorldT) {
+        let p = platform::paper_platform();
+        let mut w = SimWorld::new(
+            &p,
+            EngineConfig::with_strategy(strategy),
+            OneShotSender {
+                conn: 0,
+                payloads,
+                send_done_at: None,
+            },
+            OneShotReceiver { conn: 0, got: None },
+        );
+        w.open_conn();
+        w.run(1_000_000);
+        let t = w.app1().got.as_ref().expect("delivered").0;
+        (t, w)
+    }
+
+    type SimWorldT = SimWorld<OneShotSender, OneShotReceiver>;
+
+    #[test]
+    fn small_message_latency_near_quadrics_floor() {
+        // The adaptive strategy routes a tiny message over Quadrics; the
+        // one-way time must land near the 1.7 us hardware floor plus the
+        // engine's scheduling/poll costs.
+        let (t, w) = transfer(StrategyKind::AdaptiveSplit, vec![Bytes::from(vec![0u8; 4])]);
+        let us = t.as_us_f64();
+        assert!(
+            (1.7..3.2).contains(&us),
+            "4B transfer took {us} us, expected ~1.7-3.2 us"
+        );
+        // It must actually have used Quadrics (rail 1).
+        assert_eq!(w.node(0).engine.stats().rails[1].packets, 1);
+        assert_eq!(w.node(0).engine.stats().rails[0].packets, 0);
+    }
+
+    #[test]
+    fn large_message_bandwidth_near_rail_sum() {
+        let size = 8 << 20;
+        let (t, w) = transfer(
+            StrategyKind::AdaptiveSplit,
+            vec![Bytes::from(vec![7u8; size])],
+        );
+        let bw = size as f64 / t.as_secs_f64() / 1e6;
+        // Hetero split over both rails under the 1950 MB/s bus: expect
+        // ~1800-1950 MB/s (beats both single rails and the iso bound).
+        assert!(
+            (1750.0..1960.0).contains(&bw),
+            "8MB adaptive-split bandwidth {bw} MB/s"
+        );
+        let s = w.node(0).engine.stats();
+        assert!(s.rails[0].payload_bytes > 0 && s.rails[1].payload_bytes > 0);
+    }
+
+    #[test]
+    fn single_rail_bandwidth_matches_calibration() {
+        let size = 8 << 20;
+        let (t, _) = transfer(
+            StrategyKind::SingleRail(0),
+            vec![Bytes::from(vec![7u8; size])],
+        );
+        let bw = size as f64 / t.as_secs_f64() / 1e6;
+        assert!((bw - 1200.0).abs() < 40.0, "Myri-only bandwidth {bw}");
+        let (t, _) = transfer(
+            StrategyKind::SingleRail(1),
+            vec![Bytes::from(vec![7u8; size])],
+        );
+        let bw = size as f64 / t.as_secs_f64() / 1e6;
+        assert!((bw - 850.0).abs() < 30.0, "Quadrics-only bandwidth {bw}");
+    }
+
+    #[test]
+    fn greedy_two_segments_hits_equal_split_plateau() {
+        let seg = 4 << 20;
+        let (t, w) = transfer(
+            StrategyKind::Greedy,
+            vec![Bytes::from(vec![1u8; seg]), Bytes::from(vec![2u8; seg])],
+        );
+        let bw = (2 * seg) as f64 / t.as_secs_f64() / 1e6;
+        // Equal split paced by Quadrics: bound 1702, measured 1675 in the
+        // paper. Allow the same neighbourhood.
+        assert!(
+            (1600.0..1710.0).contains(&bw),
+            "greedy 2x4MB bandwidth {bw} MB/s"
+        );
+        let s = w.node(0).engine.stats();
+        assert!(s.rails[0].payload_bytes > 0 && s.rails[1].payload_bytes > 0);
+    }
+
+    #[test]
+    fn payload_integrity_through_split_transfer() {
+        let mut rng = nmad_sim::Xoshiro256StarStar::new(42);
+        let mut data = vec![0u8; 3_000_000];
+        rng.fill_bytes(&mut data);
+        let payload = Bytes::from(data.clone());
+        let (_, w) = transfer(StrategyKind::AdaptiveSplit, vec![payload]);
+        let got = &w.app1().got.as_ref().unwrap().1;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].as_ref(), data.as_slice());
+    }
+
+    #[test]
+    fn sender_reports_local_completion() {
+        let (_, w) = transfer(StrategyKind::Greedy, vec![Bytes::from(vec![0u8; 1024])]);
+        assert!(w.app0().send_done_at.is_some());
+        assert!(w.app0().send_done_at.unwrap() <= w.app1().got.as_ref().unwrap().0);
+    }
+
+    #[test]
+    fn compute_phase_builds_an_aggregation_window() {
+        // Submit 6 tiny messages interleaved with CPU computation: the
+        // engine cannot transmit while the CPU computes (single core), so
+        // the backlog accumulates and the aggregating strategy batches it.
+        struct BusySender;
+        impl AppLogic for BusySender {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                for i in 0..6u8 {
+                    api.submit_send(0, vec![Bytes::from(vec![i; 32])]);
+                    api.compute(SimDuration::from_us(2));
+                }
+            }
+        }
+        struct Sink {
+            got: usize,
+        }
+        impl AppLogic for Sink {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                for _ in 0..6 {
+                    api.post_recv(0);
+                }
+            }
+            fn on_recv_complete(
+                &mut self,
+                _r: RecvId,
+                _m: MessageAssembly,
+                _api: &mut NodeApi<'_>,
+            ) {
+                self.got += 1;
+            }
+        }
+        let p = platform::paper_platform();
+        let mut w = SimWorld::new(
+            &p,
+            EngineConfig::with_strategy(StrategyKind::AggregateEager),
+            BusySender,
+            Sink { got: 0 },
+        );
+        w.open_conn();
+        w.run(1_000_000);
+        assert_eq!(w.app1().got, 6, "all messages delivered");
+        let s = w.node(0).engine.stats();
+        // The first message may leave alone (NIC idle at submit time), but
+        // the compute phase must force at least one aggregate of the rest.
+        assert!(
+            s.aggregates_built >= 1,
+            "compute phase must build an aggregation window: {s:?}"
+        );
+        assert!(
+            s.total_packets() < 6,
+            "fewer physical packets than messages: {}",
+            s.total_packets()
+        );
+    }
+
+    #[test]
+    fn timeline_shows_pio_serialization_and_dma_overlap() {
+        fn run(total: usize) -> crate::timeline::Timeline {
+            let p = platform::paper_platform();
+            let seg = total / 2;
+            let mut w = SimWorld::new(
+                &p,
+                EngineConfig::with_strategy(StrategyKind::Greedy),
+                OneShotSender {
+                    conn: 0,
+                    payloads: vec![
+                        Bytes::from(vec![1u8; seg]),
+                        Bytes::from(vec![2u8; seg]),
+                    ],
+                    send_done_at: None,
+                },
+                OneShotReceiver { conn: 0, got: None },
+            );
+            w.open_conn();
+            w.enable_timeline();
+            w.run(1_000_000);
+            w.timeline.take().unwrap()
+        }
+
+        fn overlap(tl: &crate::timeline::Timeline, a: &str, b: &str) -> bool {
+            tl.lane(a).any(|x| {
+                tl.lane(b)
+                    .any(|y| x.start < y.end && y.start < x.end && x.end > x.start)
+            })
+        }
+
+        // PIO case (2 x 2 KiB): rail lanes are CPU lanes, so the two
+        // injections must NOT overlap in time.
+        let tl = run(4 << 10);
+        assert!(
+            !overlap(&tl, "n0.rail0", "n0.rail1"),
+            "PIO injections must serialize:
+{}",
+            tl.render(60)
+        );
+
+        // DMA case (2 x 512 KiB): the two rail transfers must overlap.
+        let tl = run(1 << 20);
+        assert!(
+            overlap(&tl, "n0.rail0", "n0.rail1"),
+            "DMA transfers must overlap:
+{}",
+            tl.render(60)
+        );
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let run = || {
+            let (t, w) = transfer(
+                StrategyKind::AdaptiveSplit,
+                vec![Bytes::from(vec![1u8; 777_777])],
+            );
+            (t, w.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,172 @@
+//! Serially reusable resources with busy-until semantics.
+//!
+//! A [`BusyResource`] models anything that can do one thing at a time: the
+//! host CPU executing a PIO injection or a memcpy, a NIC injection engine
+//! feeding its DMA queue, a driver lock. Work arriving while the resource is
+//! busy is implicitly queued FIFO by starting after the current busy period
+//! — exactly the "PIO monopolizes the CPU" effect the paper identifies as
+//! the reason multi-rail does not help below 8 KB segments.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A resource that serves one request at a time, FIFO.
+#[derive(Clone, Debug)]
+pub struct BusyResource {
+    /// Instant at which the resource next becomes free.
+    free_at: SimTime,
+    /// Total busy time accumulated (for utilization accounting).
+    busy_total: SimDuration,
+    /// Name used in traces and panics.
+    name: &'static str,
+}
+
+/// Outcome of an [`BusyResource::acquire`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// When the work actually starts (>= request time).
+    pub start: SimTime,
+    /// When the work completes and the resource frees up.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Queueing delay experienced before the work began.
+    pub fn wait(&self, requested_at: SimTime) -> SimDuration {
+        self.start.saturating_since(requested_at)
+    }
+}
+
+impl BusyResource {
+    /// Create a resource that is free immediately.
+    pub fn new(name: &'static str) -> Self {
+        BusyResource {
+            free_at: SimTime::ZERO,
+            busy_total: SimDuration::ZERO,
+            name,
+        }
+    }
+
+    /// Resource name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Request `duration` of exclusive use starting no earlier than `now`.
+    ///
+    /// Returns the granted `[start, end)` window and marks the resource busy
+    /// until `end`.
+    pub fn acquire(&mut self, now: SimTime, duration: SimDuration) -> Grant {
+        let start = self.free_at.max(now);
+        let end = start + duration;
+        self.free_at = end;
+        self.busy_total += duration;
+        Grant { start, end }
+    }
+
+    /// When the resource next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// True if the resource would serve a request at `now` without waiting.
+    pub fn is_free(&self, now: SimTime) -> bool {
+        self.free_at <= now
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Utilization over `[SimTime::ZERO, now]`, in `[0, 1]`.
+    /// Returns 0 at `now == 0`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_total.as_ps() as f64 / now.as_ps() as f64).min(1.0)
+    }
+
+    /// Reset accounting and availability (used between benchmark phases).
+    pub fn reset(&mut self, now: SimTime) {
+        self.free_at = now;
+        self.busy_total = SimDuration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_grant_when_free() {
+        let mut cpu = BusyResource::new("cpu");
+        let g = cpu.acquire(SimTime::from_ns(100), SimDuration::from_ns(50));
+        assert_eq!(g.start, SimTime::from_ns(100));
+        assert_eq!(g.end, SimTime::from_ns(150));
+        assert_eq!(g.wait(SimTime::from_ns(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn queues_fifo_when_busy() {
+        let mut cpu = BusyResource::new("cpu");
+        let g1 = cpu.acquire(SimTime::ZERO, SimDuration::from_ns(100));
+        let g2 = cpu.acquire(SimTime::from_ns(10), SimDuration::from_ns(30));
+        assert_eq!(g1.end, SimTime::from_ns(100));
+        assert_eq!(g2.start, SimTime::from_ns(100), "must wait for first job");
+        assert_eq!(g2.end, SimTime::from_ns(130));
+        assert_eq!(g2.wait(SimTime::from_ns(10)), SimDuration::from_ns(90));
+    }
+
+    #[test]
+    fn idle_gap_resets_start() {
+        let mut cpu = BusyResource::new("cpu");
+        cpu.acquire(SimTime::ZERO, SimDuration::from_ns(10));
+        let g = cpu.acquire(SimTime::from_ns(500), SimDuration::from_ns(10));
+        assert_eq!(g.start, SimTime::from_ns(500));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut nic = BusyResource::new("nic");
+        nic.acquire(SimTime::ZERO, SimDuration::from_ns(30));
+        nic.acquire(SimTime::from_ns(70), SimDuration::from_ns(30));
+        // 60 ns busy out of 100 ns elapsed.
+        let u = nic.utilization(SimTime::from_ns(100));
+        assert!((u - 0.6).abs() < 1e-9, "utilization {u}");
+        assert_eq!(nic.busy_total(), SimDuration::from_ns(60));
+    }
+
+    #[test]
+    fn utilization_at_zero_is_zero() {
+        let nic = BusyResource::new("nic");
+        assert_eq!(nic.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn is_free_boundary() {
+        let mut r = BusyResource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_ns(10));
+        assert!(!r.is_free(SimTime::from_ns(9)));
+        assert!(r.is_free(SimTime::from_ns(10)));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = BusyResource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_us(5));
+        r.reset(SimTime::from_us(10));
+        assert!(r.is_free(SimTime::from_us(10)));
+        assert_eq!(r.busy_total(), SimDuration::ZERO);
+        let g = r.acquire(SimTime::from_us(10), SimDuration::from_ns(1));
+        assert_eq!(g.start, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn zero_duration_grant() {
+        let mut r = BusyResource::new("r");
+        let g = r.acquire(SimTime::from_ns(5), SimDuration::ZERO);
+        assert_eq!(g.start, g.end);
+        assert!(r.is_free(SimTime::from_ns(5)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Bounded, zero-dependency run tracing.
+//!
+//! Simulation bugs are interleaving bugs; a chronological trace of what the
+//! engine and the hardware models did is the fastest way to see them. The
+//! tracer is a bounded ring buffer of `(time, category, message)` records —
+//! cheap enough to leave compiled in, and disabled by default.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// Trace record categories, used for filtering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Application-level submit/complete events.
+    App,
+    /// Strategy decisions (what the optimizing scheduler picked).
+    Strategy,
+    /// NIC/driver activity (post, tx done, arrival).
+    Nic,
+    /// Bus / fluid channel rate changes.
+    Bus,
+    /// CPU occupancy (PIO, memcpy).
+    Cpu,
+    /// Anything else.
+    Misc,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Category for filtering.
+    pub category: Category,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A bounded ring buffer of trace records.
+#[derive(Debug)]
+pub struct Tracer {
+    records: VecDeque<Record>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default for benchmark runs).
+    pub fn disabled() -> Self {
+        Tracer {
+            records: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// A tracer keeping the most recent `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Whether records are currently kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event. `message` is only constructed by the caller when the
+    /// tracer is enabled if the caller uses [`Tracer::record_with`].
+    pub fn record(&mut self, time: SimTime, category: Category, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(Record {
+            time,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// Record an event, building the message lazily.
+    pub fn record_with(
+        &mut self,
+        time: SimTime,
+        category: Category,
+        build: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.record(time, category, build());
+        }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Records in a category, oldest first.
+    pub fn records_in(&self, category: Category) -> impl Iterator<Item = &Record> {
+        self.records.iter().filter(move |r| r.category == category)
+    }
+
+    /// Count of records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop all held records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
+    /// Render the trace as one line per record (for test failure output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let cat = format!("{:?}", r.category);
+            let _ = writeln!(out, "{:>14} {cat:<8} {}", r.time.to_string(), r.message);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime::ZERO, Category::App, "x");
+        assert_eq!(t.records().count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut t = Tracer::with_capacity(3);
+        for i in 0..5 {
+            t.record(SimTime::from_ns(i), Category::Nic, format!("e{i}"));
+        }
+        let msgs: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Tracer::with_capacity(16);
+        t.record(SimTime::ZERO, Category::App, "a");
+        t.record(SimTime::ZERO, Category::Bus, "b");
+        t.record(SimTime::ZERO, Category::App, "c");
+        assert_eq!(t.records_in(Category::App).count(), 2);
+        assert_eq!(t.records_in(Category::Bus).count(), 1);
+        assert_eq!(t.records_in(Category::Cpu).count(), 0);
+    }
+
+    #[test]
+    fn lazy_message_not_built_when_disabled() {
+        let mut t = Tracer::disabled();
+        let mut built = false;
+        t.record_with(SimTime::ZERO, Category::Misc, || {
+            built = true;
+            String::from("expensive")
+        });
+        assert!(!built, "message closure must not run when disabled");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Tracer::with_capacity(2);
+        t.record(SimTime::ZERO, Category::Misc, "a");
+        t.record(SimTime::ZERO, Category::Misc, "b");
+        t.record(SimTime::ZERO, Category::Misc, "c");
+        t.clear();
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn render_contains_messages() {
+        let mut t = Tracer::with_capacity(4);
+        t.record(SimTime::from_us(1), Category::Strategy, "picked greedy");
+        let s = t.render();
+        assert!(s.contains("picked greedy"));
+    }
+}

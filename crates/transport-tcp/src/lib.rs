@@ -1,0 +1,601 @@
+//! # nmad-transport-tcp — the engine over real TCP sockets
+//!
+//! Paper §2 lists the library's drivers: Elan, MX, GM-2, SiSCI "and the
+//! legacy socket API on top of TCP/IP". The exotic NICs are simulated in
+//! this reproduction — but the socket driver can be implemented for real.
+//! This crate runs the unmodified NewMadeleine engine over one TCP
+//! connection per rail:
+//!
+//! * packets are framed with a `u32` little-endian length prefix and carry
+//!   the exact same wire format as every other harness;
+//! * a progress thread per endpoint plays the NIC-activity loop with
+//!   non-blocking sockets: it drains arrivals, flushes pending injections
+//!   and offers idle rails to the engine;
+//! * endpoints can live in the same process ([`pair_localhost`]) or in
+//!   different processes ([`listen`] / [`connect`]).
+//!
+//! Multiple TCP connections between the same two hosts are the classic
+//! poor man's multi-rail: the strategies still apply (striping a large
+//! message over N sockets, aggregating small ones onto the first).
+
+#![warn(missing_docs)]
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use nmad_core::engine::Engine;
+use nmad_core::request::{RecvId, SendId};
+use nmad_core::EngineConfig;
+use nmad_model::{Platform, RailId};
+use nmad_wire::reassembly::MessageAssembly;
+use nmad_wire::ConnId;
+use parking_lot::{Condvar, Mutex};
+
+/// Frame length prefix size.
+const LEN_PREFIX: usize = 4;
+/// Largest accepted frame (sanity bound against corrupt prefixes).
+const MAX_FRAME: usize = 64 << 20;
+
+/// Transport configuration.
+#[derive(Clone)]
+pub struct TcpConfig {
+    /// Rail layout (one TCP connection per rail; the model's thresholds
+    /// drive the strategies exactly as on the simulated platform).
+    pub platform: Platform,
+    /// Engine configuration. CRC is forced on.
+    pub engine: EngineConfig,
+    /// Logical channels opened at construction on both endpoints.
+    pub conns: usize,
+}
+
+impl TcpConfig {
+    /// Default configuration.
+    pub fn new(platform: Platform, engine: EngineConfig) -> Self {
+        TcpConfig {
+            platform,
+            engine,
+            conns: 1,
+        }
+    }
+}
+
+struct Shared {
+    engine: Mutex<Engine>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    rx_errors: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+/// One endpoint of the TCP fabric.
+pub struct Endpoint {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+    conns: Vec<ConnId>,
+}
+
+/// Handle to a send in flight.
+pub struct SendHandle {
+    shared: Arc<Shared>,
+    id: SendId,
+}
+
+/// Handle to a posted receive.
+pub struct RecvHandle {
+    shared: Arc<Shared>,
+    id: RecvId,
+}
+
+impl SendHandle {
+    /// Block until local completion or timeout.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut eng = self.shared.engine.lock();
+        loop {
+            if eng.send_complete(self.id) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.shared.cv.wait_for(&mut eng, deadline - now);
+        }
+    }
+
+    /// Block until the *peer confirms delivery* (requires
+    /// `EngineConfig::acked` on both endpoints), or `timeout` expires.
+    pub fn wait_acked(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut eng = self.shared.engine.lock();
+        loop {
+            if eng.send_acked(self.id) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.shared.cv.wait_for(&mut eng, deadline - now);
+        }
+    }
+
+    /// Acked-mode recovery loop: wait for the delivery confirmation,
+    /// retransmitting every `rto` until `timeout` expires. Returns true
+    /// once acknowledged.
+    pub fn wait_acked_with_retry(&self, timeout: Duration, rto: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            if self.wait_acked(rto.min(remaining)) {
+                return true;
+            }
+            self.shared.engine.lock().retransmit(self.id);
+        }
+    }
+
+    /// Re-enqueue the message for transmission (acked mode, after a
+    /// timeout). See [`nmad_core::Engine::retransmit`].
+    pub fn retransmit(&self) -> bool {
+        self.shared.engine.lock().retransmit(self.id)
+    }
+}
+
+impl RecvHandle {
+    /// Block until the message arrives or timeout.
+    pub fn wait(&self, timeout: Duration) -> Option<MessageAssembly> {
+        let deadline = Instant::now() + timeout;
+        let mut eng = self.shared.engine.lock();
+        loop {
+            if let Some(msg) = eng.try_recv(self.id) {
+                return Some(msg);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.cv.wait_for(&mut eng, deadline - now);
+        }
+    }
+}
+
+impl Endpoint {
+    /// Logical channels opened at construction.
+    pub fn conns(&self) -> &[ConnId] {
+        &self.conns
+    }
+
+    /// Submit a non-blocking send.
+    pub fn send(&self, conn: ConnId, segments: Vec<Bytes>) -> SendHandle {
+        let id = self.shared.engine.lock().submit_send(conn, segments);
+        SendHandle {
+            shared: self.shared.clone(),
+            id,
+        }
+    }
+
+    /// Post a non-blocking receive.
+    pub fn recv(&self, conn: ConnId) -> RecvHandle {
+        let id = self.shared.engine.lock().post_recv(conn);
+        RecvHandle {
+            shared: self.shared.clone(),
+            id,
+        }
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> nmad_core::EngineStats {
+        self.shared.engine.lock().stats().clone()
+    }
+
+    /// Packets rejected on receive (decode/CRC/reassembly errors).
+    pub fn rx_errors(&self) -> u64 {
+        self.shared.rx_errors.load(Ordering::Relaxed)
+    }
+
+    /// Socket-level I/O errors observed by the worker.
+    pub fn io_errors(&self) -> u64 {
+        self.shared.io_errors.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-rail socket state: partial reads and pending writes.
+struct RailIo {
+    stream: TcpStream,
+    /// Bytes read but not yet framed.
+    rx_buf: Vec<u8>,
+    /// Bytes queued for the wire (length-prefixed frames), not yet written.
+    tx_buf: Vec<u8>,
+    /// Tx token to report once `tx_buf` fully drains.
+    pending_token: Option<nmad_core::driver::TxToken>,
+}
+
+impl RailIo {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(RailIo {
+            stream,
+            rx_buf: Vec::new(),
+            tx_buf: Vec::new(),
+            pending_token: None,
+        })
+    }
+
+    /// Pull whatever the socket has; return complete frames.
+    fn drain_rx(&mut self) -> std::io::Result<Vec<Vec<u8>>> {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break, // peer closed; frames already buffered still count
+                Ok(n) => self.rx_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut frames = Vec::new();
+        let mut off = 0usize;
+        while self.rx_buf.len() - off >= LEN_PREFIX {
+            let len = u32::from_le_bytes(self.rx_buf[off..off + LEN_PREFIX].try_into().unwrap())
+                as usize;
+            if len > MAX_FRAME {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("frame length {len} exceeds bound"),
+                ));
+            }
+            if self.rx_buf.len() - off - LEN_PREFIX < len {
+                break;
+            }
+            frames.push(self.rx_buf[off + LEN_PREFIX..off + LEN_PREFIX + len].to_vec());
+            off += LEN_PREFIX + len;
+        }
+        if off > 0 {
+            self.rx_buf.drain(..off);
+        }
+        Ok(frames)
+    }
+
+    /// Queue a frame for transmission.
+    fn enqueue(&mut self, wire: &[u8], token: nmad_core::driver::TxToken) {
+        debug_assert!(self.pending_token.is_none(), "one injection at a time");
+        self.tx_buf
+            .extend_from_slice(&(wire.len() as u32).to_le_bytes());
+        self.tx_buf.extend_from_slice(wire);
+        self.pending_token = Some(token);
+    }
+
+    /// Push pending bytes; return the token once everything drained.
+    fn flush(&mut self) -> std::io::Result<Option<nmad_core::driver::TxToken>> {
+        while !self.tx_buf.is_empty() {
+            match self.stream.write(&self.tx_buf) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket refused bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.tx_buf.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.pending_token.take())
+    }
+
+    fn idle(&self) -> bool {
+        self.pending_token.is_none()
+    }
+}
+
+struct Worker {
+    shared: Arc<Shared>,
+    rails: Vec<RailIo>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        loop {
+            let progressed = match self.step() {
+                Ok(p) => p,
+                Err(_) => {
+                    self.shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            };
+            self.shared.cv.notify_all();
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if !progressed {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    fn step(&mut self) -> std::io::Result<bool> {
+        let mut progressed = false;
+        let mut eng = self.shared.engine.lock();
+
+        for rail in 0..self.rails.len() {
+            // 1. Arrivals.
+            for frame in self.rails[rail].drain_rx()? {
+                progressed = true;
+                if eng.on_packet(RailId(rail), &frame).is_err() {
+                    self.shared.rx_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // 2. Finish pending injections.
+            if let Some(token) = self.rails[rail].flush()? {
+                progressed = true;
+                eng.on_tx_done(RailId(rail), token)
+                    .expect("token issued by this worker");
+            }
+            // 3. Offer idle rails to the engine.
+            if self.rails[rail].idle() {
+                if let Some(d) = eng
+                    .next_tx(RailId(rail))
+                    .expect("engine invariant violated")
+                {
+                    progressed = true;
+                    self.rails[rail].enqueue(&d.wire, d.token);
+                    // Try to push it out immediately.
+                    if let Some(token) = self.rails[rail].flush()? {
+                        eng.on_tx_done(RailId(rail), token)
+                            .expect("token issued by this worker");
+                    }
+                }
+            }
+        }
+        Ok(progressed)
+    }
+}
+
+fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Result<Endpoint> {
+    let mut cfg_engine = config.engine.clone();
+    cfg_engine.crc = true;
+    let shared = Arc::new(Shared {
+        engine: Mutex::new(Engine::new(
+            cfg_engine,
+            config.platform.rails.clone(),
+            vec![],
+        )),
+        cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        rx_errors: AtomicU64::new(0),
+        io_errors: AtomicU64::new(0),
+    });
+    let mut conns = Vec::new();
+    for _ in 0..config.conns.max(1) {
+        conns.push(shared.engine.lock().conn_open());
+    }
+    let rails = streams
+        .into_iter()
+        .map(RailIo::new)
+        .collect::<std::io::Result<Vec<_>>>()?;
+    let worker = Worker {
+        shared: shared.clone(),
+        rails,
+    };
+    let handle = std::thread::Builder::new()
+        .name("nmad-tcp".into())
+        .spawn(move || worker.run())?;
+    Ok(Endpoint {
+        shared,
+        worker: Some(handle),
+        conns,
+    })
+}
+
+/// Listen for a peer: binds one listener per rail on `127.0.0.1:0` and
+/// returns the addresses to hand to [`connect`], plus a closure-ish
+/// acceptor to finish the handshake.
+pub struct PendingListen {
+    config: TcpConfig,
+    listeners: Vec<TcpListener>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl PendingListen {
+    /// The addresses (one per rail) the peer must connect to, in order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Accept one connection per rail and build the endpoint.
+    pub fn accept(self) -> std::io::Result<Endpoint> {
+        let mut streams = Vec::with_capacity(self.listeners.len());
+        for l in &self.listeners {
+            let (s, _) = l.accept()?;
+            streams.push(s);
+        }
+        build_endpoint(&self.config, streams)
+    }
+}
+
+/// Start listening (server side).
+pub fn listen(config: TcpConfig) -> std::io::Result<PendingListen> {
+    let n = config.platform.rail_count();
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(l.local_addr()?);
+        listeners.push(l);
+    }
+    Ok(PendingListen {
+        config,
+        listeners,
+        addrs,
+    })
+}
+
+/// Connect to a listening peer (client side): one address per rail, in the
+/// exact order published by [`PendingListen::addrs`].
+pub fn connect(config: TcpConfig, addrs: &[SocketAddr]) -> std::io::Result<Endpoint> {
+    assert_eq!(
+        addrs.len(),
+        config.platform.rail_count(),
+        "one address per rail"
+    );
+    let mut streams = Vec::with_capacity(addrs.len());
+    for a in addrs {
+        streams.push(TcpStream::connect(a)?);
+    }
+    build_endpoint(&config, streams)
+}
+
+/// Convenience: a connected pair within one process over localhost.
+pub fn pair_localhost(config: TcpConfig) -> std::io::Result<(Endpoint, Endpoint)> {
+    let pending = listen(config.clone())?;
+    let addrs = pending.addrs().to_vec();
+    let cfg = config;
+    let client = std::thread::spawn(move || connect(cfg, &addrs));
+    let server = pending.accept()?;
+    let client = client.join().expect("connect thread")?;
+    Ok((server, client))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmad_core::StrategyKind;
+    use nmad_model::platform;
+    use nmad_sim::Xoshiro256StarStar;
+
+    const T: Duration = Duration::from_secs(20);
+
+    fn fabric(kind: StrategyKind) -> (Endpoint, Endpoint) {
+        pair_localhost(TcpConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(kind),
+        ))
+        .expect("localhost pair")
+    }
+
+    fn random(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn small_message_over_real_sockets() {
+        let (a, b) = fabric(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let payload = random(512, 1);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T));
+        assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        assert_eq!(b.rx_errors(), 0);
+        assert_eq!(a.io_errors(), 0);
+    }
+
+    #[test]
+    fn large_message_striped_over_two_sockets() {
+        let (a, b) = fabric(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let payload = random(3 << 20, 2);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T));
+        assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        let st = a.stats();
+        assert!(st.rdv_handshakes >= 1);
+        assert!(
+            st.rails[0].payload_bytes > 0 && st.rails[1].payload_bytes > 0,
+            "large message must stripe across both sockets: {:?}",
+            st.rails
+        );
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let (a, b) = fabric(StrategyKind::Greedy);
+        let c = a.conns()[0];
+        let pa = random(100_000, 3);
+        let pb = random(120_000, 4);
+        let ra = a.recv(c);
+        let rb = b.recv(c);
+        let sa = a.send(c, vec![Bytes::from(pa.clone())]);
+        let sb = b.send(c, vec![Bytes::from(pb.clone())]);
+        assert!(sa.wait(T) && sb.wait(T));
+        assert_eq!(rb.wait(T).unwrap().segments[0].as_ref(), pa.as_slice());
+        assert_eq!(ra.wait(T).unwrap().segments[0].as_ref(), pb.as_slice());
+    }
+
+    #[test]
+    fn many_pipelined_messages_in_order() {
+        let (a, b) = fabric(StrategyKind::AggregateEager);
+        let c = a.conns()[0];
+        let n = 40;
+        let recvs: Vec<RecvHandle> = (0..n).map(|_| b.recv(c)).collect();
+        for i in 0..n {
+            a.send(c, vec![Bytes::from(random(32 + i * 7, i as u64))]);
+        }
+        for (i, r) in recvs.into_iter().enumerate() {
+            let msg = r.wait(T).expect("recv");
+            assert_eq!(
+                msg.segments[0].as_ref(),
+                random(32 + i * 7, i as u64).as_slice(),
+                "message {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_segment_message_over_sockets() {
+        let (a, b) = fabric(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let segs: Vec<Bytes> = vec![
+            Bytes::from(random(10, 9)),
+            Bytes::from(random(50_000, 10)),
+            Bytes::from(random(150_000, 11)),
+        ];
+        let r = b.recv(c);
+        let s = a.send(c, segs.clone());
+        assert!(s.wait(T));
+        assert_eq!(r.wait(T).unwrap().segments, segs);
+    }
+
+    #[test]
+    fn explicit_listen_connect_flow() {
+        let cfg = TcpConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::Greedy),
+        );
+        let pending = listen(cfg.clone()).unwrap();
+        let addrs = pending.addrs().to_vec();
+        assert_eq!(addrs.len(), 2, "one socket per rail");
+        let client = std::thread::spawn(move || connect(cfg, &addrs).unwrap());
+        let server = pending.accept().unwrap();
+        let client = client.join().unwrap();
+        let c = server.conns()[0];
+        let r = client.recv(c);
+        server.send(c, vec![Bytes::from_static(b"over real tcp")]);
+        assert_eq!(&r.wait(T).unwrap().segments[0][..], b"over real tcp");
+    }
+}

@@ -1,0 +1,85 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Used to protect packet payloads on the real threaded transport and to
+//! let failure-injection tests corrupt packets detectably. Implemented
+//! locally (the polynomial is public domain) to stay within the allowed
+//! dependency set.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed chunks through `state` (start from
+/// [`crc32_init`], finish with [`crc32_finish`]).
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Initial streaming state.
+pub fn crc32_init() -> u32 {
+    0xFFFF_FFFF
+}
+
+/// Finalize a streaming state.
+pub fn crc32_finish(state: u32) -> u32 {
+    state ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32(data);
+        let mut st = crc32_init();
+        for chunk in data.chunks(7) {
+            st = update(st, chunk);
+        }
+        assert_eq!(crc32_finish(st), oneshot);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 64];
+        let clean = crc32(&data);
+        data[17] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

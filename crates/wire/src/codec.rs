@@ -1,0 +1,224 @@
+//! Minimal safe reader/writer for the wire format.
+//!
+//! All integers are little-endian. The reader returns
+//! [`WireError::Truncated`] instead of panicking on short input, which the
+//! failure-injection tests rely on.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::WireError;
+
+/// A bounds-checked reader over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Name of the structure being decoded, for error messages.
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader labelled `what` for diagnostics.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Reader { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                what: self.what,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read `n` raw bytes as an owned [`Bytes`].
+    pub fn bytes(&mut self, n: usize) -> Result<Bytes, WireError> {
+        Ok(Bytes::copy_from_slice(self.take(n)?))
+    }
+
+    /// Read all remaining bytes.
+    pub fn rest(&mut self) -> Bytes {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        Bytes::copy_from_slice(s)
+    }
+
+    /// Fail if any bytes remain.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// A growable writer. Thin veneer over [`BytesMut`] kept symmetric with
+/// [`Reader`] so encode/decode code reads the same way.
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Writer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(n),
+        }
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.bytes(b"tail");
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf, "test");
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(&r.rest()[..], b"tail");
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn truncation_reports_context() {
+        let mut r = Reader::new(&[1, 2], "short thing");
+        assert_eq!(r.u8().unwrap(), 1);
+        let err = r.u32().unwrap_err();
+        match err {
+            WireError::Truncated {
+                what,
+                needed,
+                available,
+            } => {
+                assert_eq!(what, "short thing");
+                assert_eq!(needed, 4);
+                assert_eq!(available, 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(&[0; 3], "x");
+        assert_eq!(r.expect_end(), Err(WireError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn bytes_reads_exact() {
+        let mut r = Reader::new(b"abcdef", "x");
+        assert_eq!(&r.bytes(3).unwrap()[..], b"abc");
+        assert_eq!(r.remaining(), 3);
+        assert!(r.bytes(4).is_err());
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut w = Writer::new();
+        w.u16(0x0102);
+        assert_eq!(&w.finish()[..], &[0x02, 0x01]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Wire-format error type.
+
+use std::fmt;
+
+/// Errors arising while encoding or decoding packets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the structure was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The magic bytes did not match — not a NewMadeleine packet.
+    BadMagic(u16),
+    /// Unsupported wire-format version.
+    BadVersion(u8),
+    /// Unknown packet kind discriminant.
+    BadKind(u8),
+    /// Payload CRC mismatch.
+    BadChecksum {
+        /// CRC computed over the received payload.
+        computed: u32,
+        /// CRC carried in the header.
+        expected: u32,
+    },
+    /// A length field is inconsistent with the enclosing buffer.
+    BadLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Trailing bytes after a complete packet.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, {available} available"
+            ),
+            WireError::BadMagic(m) => write!(f, "bad magic 0x{m:04x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown packet kind {k}"),
+            WireError::BadChecksum { computed, expected } => write!(
+                f,
+                "payload checksum mismatch: computed 0x{computed:08x}, header says 0x{expected:08x}"
+            ),
+            WireError::BadLength { what, value } => {
+                write!(f, "inconsistent length for {what}: {value}")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after packet"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated {
+            what: "eager header",
+            needed: 12,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("eager header") && s.contains("12") && s.contains('3'));
+        assert!(WireError::BadMagic(0xdead).to_string().contains("dead"));
+        assert!(WireError::BadKind(99).to_string().contains("99"));
+    }
+}

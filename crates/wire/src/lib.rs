@@ -1,0 +1,46 @@
+//! # nmad-wire — the NewMadeleine wire format
+//!
+//! NewMadeleine's optimizing schedulers rewrite application requests into
+//! *packets*: small segments can be **aggregated** into one physical packet
+//! even when they belong to different logical channels, and large segments
+//! can be **split** into chunks sent over different rails and reassembled on
+//! the receive side (paper §2, §4). This crate defines those packets and the
+//! machinery around them:
+//!
+//! * [`header`] — the common packet envelope and the per-kind headers
+//!   (eager, aggregate, rendezvous request/ack, chunk, ack, sampling probes);
+//! * [`codec`] — a small safe reader/writer over byte buffers;
+//! * [`checksum`] — CRC-32 (IEEE) for payload integrity;
+//! * [`agg`] — building and parsing aggregation containers;
+//! * [`split`] — chunk planning for multi-rail splitting (iso and ratio
+//!   driven), with covering/non-overlap invariants;
+//! * [`reassembly`] — out-of-order, multi-rail reassembly of chunked
+//!   messages and multi-segment eager messages.
+//!
+//! Everything is pure data manipulation — no I/O — so the exact same code
+//! runs under the discrete-event simulator and on the real threaded
+//! transport.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod checksum;
+pub mod codec;
+pub mod error;
+pub mod header;
+pub mod reassembly;
+pub mod split;
+
+pub use agg::{AggregateBuilder, AggregateEntry};
+pub use error::WireError;
+pub use header::{
+    AckPacket, ChunkPacket, EagerPacket, Envelope, Packet, PacketKind, RdvAck, RdvRequest,
+    SamplePacket,
+};
+pub use reassembly::{MessageAssembly, Reassembler};
+pub use split::{ChunkSpec, SplitPlan};
+
+/// Message identifier: unique per (sender, connection) message.
+pub type MsgId = u64;
+/// Connection identifier.
+pub type ConnId = u32;

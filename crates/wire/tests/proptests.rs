@@ -1,0 +1,204 @@
+//! Property-based tests for the wire format invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use nmad_wire::agg::{parse_aggregate, AggregateBuilder, AggregateEntry};
+use nmad_wire::header::{
+    AckPacket, ChunkPacket, EagerPacket, Packet, RdvAck, RdvRequest, SamplePacket,
+};
+use nmad_wire::reassembly::Reassembler;
+use nmad_wire::split::SplitPlan;
+
+fn arb_bytes(max: usize) -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        (any::<u64>(), any::<u16>(), 1..64u16, arb_bytes(512)).prop_map(
+            |(msg_id, seg_raw, total_segs, data)| {
+                Packet::Eager(EagerPacket {
+                    msg_id,
+                    seg_index: seg_raw % total_segs,
+                    total_segs,
+                    data,
+                })
+            }
+        ),
+        (any::<u64>(), any::<u16>(), any::<u16>(), any::<u64>()).prop_map(
+            |(msg_id, seg_index, total_segs, total_len)| {
+                Packet::RdvRequest(RdvRequest {
+                    msg_id,
+                    seg_index,
+                    total_segs,
+                    total_len,
+                })
+            }
+        ),
+        (any::<u64>(), any::<u16>()).prop_map(|(msg_id, seg_index)| Packet::RdvAck(RdvAck {
+            msg_id,
+            seg_index
+        })),
+        any::<u64>().prop_map(|msg_id| Packet::Ack(AckPacket { msg_id })),
+        (any::<u64>(), arb_bytes(256))
+            .prop_map(|(probe_id, data)| Packet::SamplePing(SamplePacket { probe_id, data })),
+        (any::<u64>(), 0..1024u64, 0..512u64, any::<u16>(), any::<u16>(), 1..16u16).prop_map(
+            |(msg_id, total_extra, len, seg_index, chunk_index, total_segs)| {
+                // Construct a consistent chunk: offset + len <= total_len.
+                let data = Bytes::from(vec![0xA5u8; len as usize]);
+                let offset = total_extra;
+                Packet::Chunk(ChunkPacket {
+                    msg_id,
+                    seg_index,
+                    total_segs,
+                    offset,
+                    total_len: offset + len,
+                    chunk_index,
+                    data,
+                })
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any packet survives an encode/decode round trip, with and without CRC.
+    #[test]
+    fn packet_roundtrip(pkt in arb_packet(), conn in any::<u32>(), seq in any::<u32>(), crc in any::<bool>()) {
+        let buf = pkt.encode(conn, seq, crc);
+        prop_assert_eq!(buf.len(), pkt.wire_len());
+        let (env, decoded) = Packet::decode(&buf).unwrap();
+        prop_assert_eq!(env.conn_id, conn);
+        prop_assert_eq!(env.seq, seq);
+        prop_assert_eq!(env.crc_checked, crc);
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    /// Decoding any strict prefix of a packet fails rather than panicking
+    /// or succeeding.
+    #[test]
+    fn truncated_prefix_never_decodes(pkt in arb_packet(), frac in 0.0f64..1.0) {
+        let buf = pkt.encode(1, 1, true);
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assume!(cut < buf.len());
+        prop_assert!(Packet::decode(&buf[..cut]).is_err());
+    }
+
+    /// Single-byte corruption of a CRC-protected packet is either detected
+    /// or confined to the envelope fields checked separately.
+    #[test]
+    fn payload_corruption_detected(data in prop::collection::vec(any::<u8>(), 1..512), flip in any::<usize>(), bit in 0..8u32) {
+        let pkt = Packet::Eager(EagerPacket {
+            msg_id: 1, seg_index: 0, total_segs: 1, data: Bytes::from(data),
+        });
+        let buf = pkt.encode(0, 0, true);
+        let mut raw = buf.to_vec();
+        // Corrupt somewhere in the body (past the envelope).
+        let idx = 24 + (flip % (raw.len() - 24));
+        raw[idx] ^= 1 << bit;
+        if let Ok((_, decoded)) = Packet::decode(&raw) {
+            prop_assert_ne!(decoded, pkt, "silent corruption");
+        } // else: detected, good
+
+    }
+
+    /// Aggregation containers preserve entry order, ids and payload bytes.
+    #[test]
+    fn aggregate_roundtrip(entries in prop::collection::vec(
+        (any::<u64>(), any::<u16>(), 1..32u16, arb_bytes(128)), 1..20)) {
+        let mut b = AggregateBuilder::new();
+        let mut expect = Vec::new();
+        for (msg_id, seg_raw, total_segs, data) in entries {
+            let e = AggregateEntry { conn_id: (msg_id >> 32) as u32, msg_id, seg_index: seg_raw % total_segs, total_segs, data };
+            expect.push(e.clone());
+            b.push(e);
+        }
+        let Packet::Aggregate(body) = b.finish() else { unreachable!() };
+        let parsed = parse_aggregate(&body).unwrap();
+        prop_assert_eq!(parsed, expect);
+    }
+
+    /// Ratio split plans always cover the message exactly, with no chunk
+    /// below the minimum except the degenerate single-chunk case.
+    #[test]
+    fn split_plan_covers(total in 0u64..(32 << 20), w0 in 0.0f64..2000.0, w1 in 0.0f64..2000.0, min_chunk in 1u64..65_536) {
+        prop_assume!(w0 + w1 > 0.0);
+        let plan = SplitPlan::by_ratio(total, &[w0, w1], min_chunk);
+        prop_assert!(plan.validate().is_ok());
+        prop_assert_eq!(plan.bytes_on_rail(0) + plan.bytes_on_rail(1), total);
+        if plan.len() > 1 {
+            for c in plan.chunks() {
+                prop_assert!(c.len >= min_chunk,
+                    "multi-chunk plan has a {}-byte chunk < min {}", c.len, min_chunk);
+            }
+        }
+    }
+
+    /// A chunked segment reassembles to the exact original bytes under any
+    /// permutation of chunk arrivals.
+    #[test]
+    fn reassembly_any_order(
+        payload in prop::collection::vec(any::<u8>(), 1..8192),
+        cuts in prop::collection::vec(any::<usize>(), 0..6),
+        seed in any::<u64>(),
+    ) {
+        // Build a random partition of the payload.
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c % payload.len()).collect();
+        offsets.push(0);
+        offsets.push(payload.len());
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut pieces: Vec<(u64, &[u8])> = offsets.windows(2)
+            .map(|w| (w[0] as u64, &payload[w[0]..w[1]]))
+            .collect();
+        // Shuffle deterministically.
+        let mut rng = nmad_sim::Xoshiro256StarStar::new(seed);
+        rng.shuffle(&mut pieces);
+
+        let mut r = Reassembler::new();
+        let mut done = None;
+        let n = pieces.len();
+        for (i, (off, data)) in pieces.into_iter().enumerate() {
+            let res = r.insert_chunk(42, 0, 1, off, payload.len() as u64, data).unwrap();
+            if i + 1 == n {
+                done = res;
+            } else {
+                prop_assert!(res.is_none(), "completed early");
+            }
+        }
+        let done = done.expect("must complete on last chunk");
+        prop_assert_eq!(done.into_contiguous(), payload);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Feeding completely arbitrary bytes to the decoder must never panic
+    /// — it either errors or yields a structurally valid packet.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(raw in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Packet::decode(&raw);
+    }
+
+    /// Arbitrary bytes prefixed with a valid envelope header also must not
+    /// panic (exercises the per-kind body decoders).
+    #[test]
+    fn decode_valid_envelope_arbitrary_body(kind in 1u8..=8, body in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&0x4D4Eu16.to_le_bytes()); // magic
+        raw.push(1); // version
+        raw.push(kind);
+        raw.extend_from_slice(&0u32.to_le_bytes()); // conn
+        raw.extend_from_slice(&0u32.to_le_bytes()); // seq
+        raw.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes()); // crc (flag off)
+        raw.extend_from_slice(&0u16.to_le_bytes()); // flags
+        raw.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        raw.extend_from_slice(&body);
+        let _ = Packet::decode(&raw);
+    }
+}

@@ -1,0 +1,39 @@
+# Render the regenerated paper figures from the CSV dumps.
+#
+#   cargo bench --workspace          # writes target/figures/*.csv
+#   gnuplot docs/plot_figures.gp     # writes target/figures/*.png
+#
+# The axes mirror the paper: log2 sizes, log2 transfer times (latency
+# panels), linear-ish bandwidth panels with log2 sizes.
+
+set datafile separator ','
+set terminal pngcairo size 900,600 font ',10'
+set key left top
+set grid
+
+set logscale x 2
+set format x "%.0s%cB"
+
+do for [fig in "fig2 fig3 fig4 fig5 fig6"] {
+    lat = sprintf('target/figures/%s_latency.csv', fig)
+    set output sprintf('target/figures/%s_latency.png', fig)
+    set title sprintf('%s — transfer time', fig)
+    set ylabel 'one-way time (us)'
+    set logscale y 2
+    stats lat skip 1 nooutput
+    ncols = STATS_columns
+    plot for [i=2:ncols] lat using 1:i with linespoints title columnheader(i)
+    unset logscale y
+}
+
+do for [fig in "fig2 fig3 fig4 fig5 fig7 three_rail"] {
+    bw = sprintf('target/figures/%s_bandwidth.csv', fig)
+    set output sprintf('target/figures/%s_bandwidth.png', fig)
+    set title sprintf('%s — bandwidth', fig)
+    set ylabel 'bandwidth (MB/s)'
+    set logscale y 2
+    stats bw skip 1 nooutput
+    ncols = STATS_columns
+    plot for [i=2:ncols] bw using 1:i with linespoints title columnheader(i)
+    unset logscale y
+}

@@ -1,0 +1,75 @@
+//! A miniature MPI application over NewMadeleine: 3 ranks in one process,
+//! tag matching, collectives, and a large multi-rail transfer — the
+//! paper's §4 outlook ("update MPICH-Madeleine to use the multi-rail
+//! capabilities") in miniature.
+//!
+//! ```text
+//! cargo run --release --example mini_mpi
+//! ```
+
+use std::thread;
+
+use newmadeleine::core::{EngineConfig, StrategyKind};
+use newmadeleine::model::platform;
+use newmadeleine::mpi::{world, WorldConfig, COMM_WORLD};
+
+fn main() {
+    let ranks = world(
+        3,
+        WorldConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+        ),
+    );
+
+    thread::scope(|s| {
+        for r in &ranks {
+            s.spawn(move || {
+                // Phase 1: all-reduce a per-rank value.
+                let total = r.allreduce_sum(COMM_WORLD, (r.rank + 1) as f64);
+                assert_eq!(total, 6.0);
+                if r.rank == 0 {
+                    println!("allreduce: sum of ranks+1 = {total}");
+                }
+                r.barrier(COMM_WORLD);
+
+                // Phase 2: rank 0 broadcasts a parameter blob.
+                let params = r.bcast(
+                    0,
+                    COMM_WORLD,
+                    (r.rank == 0).then_some(&b"simulation-parameters-v1"[..]),
+                );
+                assert_eq!(params, b"simulation-parameters-v1");
+
+                // Phase 3: a large halo exchange between ranks 0 and 1,
+                // which rides both physical rails underneath.
+                if r.rank == 0 {
+                    let halo: Vec<u8> = (0..(2 << 20)).map(|i| (i % 253) as u8).collect();
+                    r.send(1, COMM_WORLD, 42, &halo);
+                    let st = r.link_stats(1);
+                    println!(
+                        "halo exchange: {} rendezvous, rail shares {:.1}% / {:.1}%",
+                        st.rdv_handshakes,
+                        100.0 * st.rail_share(0),
+                        100.0 * st.rail_share(1)
+                    );
+                } else if r.rank == 1 {
+                    let halo = r.recv(0, COMM_WORLD, 42);
+                    assert_eq!(halo.len(), 2 << 20);
+                    assert!(halo.iter().enumerate().all(|(i, &b)| b == (i % 253) as u8));
+                    println!("rank 1: halo verified ({} bytes)", halo.len());
+                }
+
+                // Phase 4: gather a small result at rank 2.
+                let gathered = r.gather(2, COMM_WORLD, &[r.rank as u8 + 10]);
+                if let Some(parts) = gathered {
+                    println!("rank 2 gathered: {parts:?}");
+                    assert_eq!(parts, vec![vec![10], vec![11], vec![12]]);
+                }
+                r.barrier(COMM_WORLD);
+            });
+        }
+    });
+
+    println!("mini-MPI run complete: collectives + multi-rail point-to-point all verified.");
+}

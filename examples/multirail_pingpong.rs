@@ -1,0 +1,88 @@
+//! The paper's benchmark as a CLI: ping-pong over the simulated two-rail
+//! platform with a chosen strategy and segment count.
+//!
+//! ```text
+//! cargo run --release --example multirail_pingpong -- [strategy] [segments]
+//!   strategy: single-myri | single-quadrics | greedy | aggregate | adaptive | iso
+//!   segments: 1, 2, 4, ...
+//! ```
+//!
+//! Prints the latency ladder (4 B – 32 KiB) and the bandwidth ladder
+//! (32 KiB – 8 MiB) like the paper's plots.
+
+use newmadeleine::core::{EngineConfig, StrategyKind};
+use newmadeleine::model::platform;
+use newmadeleine::runtime_sim::sweep::{bandwidth_sizes, latency_sizes};
+use newmadeleine::runtime_sim::{run_pingpong, sample_platform, PingPongSpec};
+
+fn parse_strategy(name: &str) -> StrategyKind {
+    match name {
+        "single-myri" => StrategyKind::SingleRail(0),
+        "single-quadrics" => StrategyKind::SingleRail(1),
+        "greedy" => StrategyKind::Greedy,
+        "aggregate" => StrategyKind::AggregateEager,
+        "adaptive" => StrategyKind::AdaptiveSplit,
+        "iso" => StrategyKind::IsoSplit,
+        other => {
+            eprintln!("unknown strategy '{other}', using adaptive");
+            StrategyKind::AdaptiveSplit
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = parse_strategy(args.get(1).map(String::as_str).unwrap_or("adaptive"));
+    let segments: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+
+    let platform = platform::paper_platform();
+    let config = EngineConfig::with_strategy(kind);
+    println!(
+        "strategy = {}, segments = {segments}, platform = Myri-10G + Quadrics",
+        kind.label()
+    );
+
+    // The adaptive strategy uses init-time sampling, like the real library.
+    let tables = if kind == StrategyKind::AdaptiveSplit {
+        println!("sampling rails (init-time, paper §3.4)...");
+        Some(sample_platform(&platform))
+    } else {
+        None
+    };
+
+    let run = |size: usize| {
+        let mut spec =
+            PingPongSpec::new(platform.clone(), config.clone(), size).with_segments(segments);
+        if let Some(t) = &tables {
+            spec = spec.with_tables(t.clone());
+        }
+        run_pingpong(&spec)
+    };
+
+    println!("\n{:>10} {:>14} {:>14}", "size", "one-way (us)", "MB/s");
+    for &size in latency_sizes().iter() {
+        if (size as usize) < segments {
+            continue;
+        }
+        let r = run(size as usize);
+        println!(
+            "{:>10} {:>14.2} {:>14.2}",
+            size,
+            r.one_way.as_us_f64(),
+            r.bandwidth_mbs
+        );
+    }
+    for &size in bandwidth_sizes().iter().skip(1) {
+        let r = run(size as usize);
+        println!(
+            "{:>10} {:>14.2} {:>14.2}",
+            size,
+            r.one_way.as_us_f64(),
+            r.bandwidth_mbs
+        );
+    }
+}

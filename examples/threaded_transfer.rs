@@ -1,0 +1,67 @@
+//! The engine on real threads: transfer randomized payloads through the
+//! in-process multi-rail fabric (no simulator involved) and verify
+//! integrity end-to-end.
+//!
+//! ```text
+//! cargo run --release --example threaded_transfer
+//! ```
+
+use std::time::{Duration, Instant};
+
+use newmadeleine::core::{EngineConfig, StrategyKind};
+use newmadeleine::model::platform;
+use newmadeleine::sim::Xoshiro256StarStar;
+use newmadeleine::transport_mem::{pair, FabricConfig};
+
+fn main() {
+    let cfg = FabricConfig::new(
+        platform::paper_platform(),
+        EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+    );
+    let (alice, bob) = pair(cfg);
+    let conn = alice.conns()[0];
+    let timeout = Duration::from_secs(30);
+
+    let mut rng = Xoshiro256StarStar::new(2007);
+    let sizes = [100usize, 10_000, 1 << 20, 4 << 20];
+    let start = Instant::now();
+    let mut total = 0usize;
+
+    for (i, &size) in sizes.iter().enumerate() {
+        let mut payload = vec![0u8; size];
+        rng.fill_bytes(&mut payload);
+        let recv = bob.recv(conn);
+        let send = alice.send(conn, vec![newmadeleine::bytes::Bytes::from(payload.clone())]);
+        assert!(send.wait(timeout), "send {i} timed out");
+        let msg = recv.wait(timeout).expect("recv timed out");
+        assert_eq!(
+            msg.segments[0].as_ref(),
+            payload.as_slice(),
+            "integrity check failed for message {i}"
+        );
+        total += size;
+        println!("message {i}: {size:>9} bytes transferred and verified");
+    }
+
+    let stats = alice.stats();
+    println!(
+        "\n{total} bytes in {:?} across {} packets",
+        start.elapsed(),
+        stats.total_packets()
+    );
+    for (i, rail) in stats.rails.iter().enumerate() {
+        println!(
+            "  rail{i}: {:>3} data packets, {:>9} payload bytes ({:>4.1}%)",
+            rail.packets,
+            rail.payload_bytes,
+            100.0 * stats.rail_share(i)
+        );
+    }
+    println!(
+        "  rendezvous: {}, chunks: {}, CRC errors seen by peer: {}",
+        stats.rdv_handshakes,
+        stats.chunks_sent,
+        bob.rx_errors()
+    );
+    println!("\nSame engine, same wire format as the simulator — but on live threads.");
+}

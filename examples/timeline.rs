@@ -1,0 +1,64 @@
+//! Visualize the overlap the strategies create: an ASCII Gantt chart of
+//! CPU and rail activity during one transfer, for the greedy strategy
+//! below and above the PIO threshold.
+//!
+//! ```text
+//! cargo run --release --example timeline
+//! ```
+//!
+//! Below 16 KiB total, the two PIO injections serialize on the single CPU
+//! lane (the §3.2 effect); above it the two DMA flows overlap on both
+//! rails while the CPU stays almost idle.
+
+use newmadeleine::bytes::Bytes;
+use newmadeleine::core::request::{RecvId, SendId};
+use newmadeleine::core::{EngineConfig, StrategyKind};
+use newmadeleine::model::platform;
+use newmadeleine::runtime_sim::world::{AppLogic, NodeApi, SimWorld};
+use newmadeleine::wire::reassembly::MessageAssembly;
+
+struct Sender {
+    payloads: Vec<Bytes>,
+}
+impl AppLogic for Sender {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        api.submit_send(0, self.payloads.clone());
+    }
+    fn on_send_complete(&mut self, _s: SendId, _api: &mut NodeApi<'_>) {}
+}
+
+struct Receiver;
+impl AppLogic for Receiver {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        api.post_recv(0);
+    }
+    fn on_recv_complete(&mut self, _r: RecvId, _m: MessageAssembly, _api: &mut NodeApi<'_>) {}
+}
+
+fn show(total: usize) {
+    let seg = total / 2;
+    let payloads = vec![Bytes::from(vec![1u8; seg]), Bytes::from(vec![2u8; seg])];
+    let mut world = SimWorld::new(
+        &platform::paper_platform(),
+        EngineConfig::with_strategy(StrategyKind::Greedy),
+        Sender { payloads },
+        Receiver,
+    );
+    world.open_conn();
+    world.enable_timeline();
+    world.run(1_000_000);
+    println!(
+        "\n=== greedy, 2 segments x {seg} B (total {total} B) ===\n{}",
+        world.timeline.as_ref().unwrap().render(72)
+    );
+}
+
+fn main() {
+    println!(
+        "Lanes: nX.cpu = host CPU of node X; nX.railY = NIC Y of node X.\n\
+         Watch how sub-threshold PIO serializes on n0.cpu, while large DMA\n\
+         transfers overlap on both rails."
+    );
+    show(4 << 10); // 2 x 2 KiB: PIO, serialized on the CPU
+    show(1 << 20); // 2 x 512 KiB: rendezvous DMA, overlapping rails
+}
