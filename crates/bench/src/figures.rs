@@ -4,12 +4,12 @@ use nmad_core::{EngineConfig, PerfTable, StrategyKind};
 use nmad_model::{platform, Platform};
 use nmad_runtime_sim::sweep::{bandwidth_sizes, latency_sizes};
 use nmad_runtime_sim::{sample_platform, Sweep};
-use serde::Serialize;
+use serde::{ser, Serialize, Value};
 
 /// The outcome of reproducing one figure: labelled series over the paper's
 /// size ladders (latency points for the (a) plot, bandwidth points for the
 /// (b) plot — each [`Sweep`] point carries both).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureResult {
     /// Figure identifier, e.g. `"fig4"`.
     pub id: String,
@@ -21,6 +21,17 @@ pub struct FigureResult {
     /// Series measured over the bandwidth ladder (32 KiB – 8 MiB), if the
     /// figure has a bandwidth panel.
     pub bandwidth: Vec<Sweep>,
+}
+
+impl Serialize for FigureResult {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("id", ser::v(&self.id)),
+            ("caption", ser::v(&self.caption)),
+            ("latency", ser::v(&self.latency)),
+            ("bandwidth", ser::v(&self.bandwidth)),
+        ])
+    }
 }
 
 fn single(rail_nic: nmad_model::NicModel) -> (Platform, EngineConfig) {

@@ -15,7 +15,7 @@ use nmad_model::platform;
 use nmad_runtime_sim::world::{AppLogic, NodeApi, SimWorld};
 use nmad_sim::{SimTime, Xoshiro256StarStar};
 use nmad_wire::reassembly::MessageAssembly;
-use serde::Serialize;
+use serde::{ser, Serialize, Value};
 
 /// Message-size pattern of a burst.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,7 +95,7 @@ impl BurstSpec {
 }
 
 /// Result of one burst run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BurstResult {
     /// Strategy label.
     pub strategy: String,
@@ -109,6 +109,19 @@ pub struct BurstResult {
     pub chunks: u64,
     /// Fraction of payload bytes on rail 0.
     pub rail0_share: f64,
+}
+
+impl Serialize for BurstResult {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("strategy", ser::v(&self.strategy)),
+            ("makespan_us", ser::v(&self.makespan_us)),
+            ("goodput_mbs", ser::v(&self.goodput_mbs)),
+            ("aggregates", ser::v(&self.aggregates)),
+            ("chunks", ser::v(&self.chunks)),
+            ("rail0_share", ser::v(&self.rail0_share)),
+        ])
+    }
 }
 
 struct BurstSender {

@@ -19,7 +19,7 @@
 //! Unspecified knobs fall back to paper-platform-like defaults, so a
 //! two-line rail description is enough to start experimenting.
 
-use serde::{Deserialize, Serialize};
+use serde::{de, ser, DeError, Deserialize, Serialize, Value};
 
 use nmad_sim::SimDuration;
 
@@ -29,7 +29,7 @@ use crate::platform::Platform;
 use crate::{KIB, MB, MIB};
 
 /// JSON description of one rail (human units).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NicSpec {
     /// Rail name (figure legends, traces).
     pub name: String,
@@ -38,23 +38,50 @@ pub struct NicSpec {
     /// Sustained link bandwidth in decimal MB/s.
     pub bandwidth_mbs: f64,
     /// PIO/DMA switch in bytes (default 8 KiB).
-    #[serde(default = "default_pio_threshold")]
     pub pio_threshold: usize,
     /// Rendezvous threshold in bytes (default 32 KiB).
-    #[serde(default = "default_rdv_threshold")]
     pub rdv_threshold: usize,
     /// PIO injection rate in MB/s (default 75% of link bandwidth).
-    #[serde(default)]
     pub pio_mbs: Option<f64>,
     /// Per-packet send-side software overhead in ns (default 400).
-    #[serde(default = "default_tx_overhead_ns")]
     pub tx_overhead_ns: u64,
     /// Per-packet receive-side software overhead in ns (default 600).
-    #[serde(default = "default_rx_overhead_ns")]
     pub rx_overhead_ns: u64,
     /// Poll cost in ns (default 100).
-    #[serde(default = "default_poll_ns")]
     pub poll_ns: u64,
+}
+
+impl Serialize for NicSpec {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("name", ser::v(&self.name)),
+            ("latency_ns", ser::v(&self.latency_ns)),
+            ("bandwidth_mbs", ser::v(&self.bandwidth_mbs)),
+            ("pio_threshold", ser::v(&self.pio_threshold)),
+            ("rdv_threshold", ser::v(&self.rdv_threshold)),
+            ("pio_mbs", ser::v(&self.pio_mbs)),
+            ("tx_overhead_ns", ser::v(&self.tx_overhead_ns)),
+            ("rx_overhead_ns", ser::v(&self.rx_overhead_ns)),
+            ("poll_ns", ser::v(&self.poll_ns)),
+        ])
+    }
+}
+
+impl Deserialize for NicSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        de::require_object(v, "rail")?;
+        Ok(NicSpec {
+            name: de::field(v, "name")?,
+            latency_ns: de::field(v, "latency_ns")?,
+            bandwidth_mbs: de::field(v, "bandwidth_mbs")?,
+            pio_threshold: de::field_or(v, "pio_threshold", default_pio_threshold)?,
+            rdv_threshold: de::field_or(v, "rdv_threshold", default_rdv_threshold)?,
+            pio_mbs: de::field_or(v, "pio_mbs", || None)?,
+            tx_overhead_ns: de::field_or(v, "tx_overhead_ns", default_tx_overhead_ns)?,
+            rx_overhead_ns: de::field_or(v, "rx_overhead_ns", default_rx_overhead_ns)?,
+            poll_ns: de::field_or(v, "poll_ns", default_poll_ns)?,
+        })
+    }
 }
 
 fn default_pio_threshold() -> usize {
@@ -96,20 +123,39 @@ impl NicSpec {
 }
 
 /// JSON description of the host (human units).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HostSpec {
     /// Host name.
-    #[serde(default = "default_host_name")]
     pub name: String,
     /// Memcpy bandwidth in MB/s (default 6400).
-    #[serde(default = "default_memcpy_mbs")]
     pub memcpy_mbs: f64,
     /// Effective I/O bus capacity in MB/s (default 1950).
-    #[serde(default = "default_bus_mbs")]
     pub bus_mbs: f64,
     /// CPU cores available to the engine (default 1).
-    #[serde(default = "default_cores")]
     pub cores: usize,
+}
+
+impl Serialize for HostSpec {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("name", ser::v(&self.name)),
+            ("memcpy_mbs", ser::v(&self.memcpy_mbs)),
+            ("bus_mbs", ser::v(&self.bus_mbs)),
+            ("cores", ser::v(&self.cores)),
+        ])
+    }
+}
+
+impl Deserialize for HostSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        de::require_object(v, "host")?;
+        Ok(HostSpec {
+            name: de::field_or(v, "name", default_host_name)?,
+            memcpy_mbs: de::field_or(v, "memcpy_mbs", default_memcpy_mbs)?,
+            bus_mbs: de::field_or(v, "bus_mbs", default_bus_mbs)?,
+            cores: de::field_or(v, "cores", default_cores)?,
+        })
+    }
 }
 
 fn default_host_name() -> String {
@@ -153,13 +199,31 @@ impl HostSpec {
 }
 
 /// JSON description of a whole platform.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PlatformSpec {
     /// Host model (defaults mirror the paper's Opteron node).
-    #[serde(default)]
     pub host: HostSpec,
     /// Rails in rail-id order (at least one).
     pub rails: Vec<NicSpec>,
+}
+
+impl Serialize for PlatformSpec {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("host", ser::v(&self.host)),
+            ("rails", ser::v(&self.rails)),
+        ])
+    }
+}
+
+impl Deserialize for PlatformSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        de::require_object(v, "platform")?;
+        Ok(PlatformSpec {
+            host: de::field_or(v, "host", HostSpec::default)?,
+            rails: de::field(v, "rails")?,
+        })
+    }
 }
 
 impl PlatformSpec {

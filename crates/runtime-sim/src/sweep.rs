@@ -2,12 +2,12 @@
 
 use nmad_core::{EngineConfig, PerfTable};
 use nmad_model::Platform;
-use serde::Serialize;
+use serde::{ser, Serialize, Value};
 
 use crate::pingpong::{run_pingpong, PingPongSpec};
 
 /// One measured point of a series.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SeriesPoint {
     /// Total message size in bytes.
     pub size: u64,
@@ -17,13 +17,32 @@ pub struct SeriesPoint {
     pub bandwidth_mbs: f64,
 }
 
+impl Serialize for SeriesPoint {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("size", ser::v(&self.size)),
+            ("one_way_us", ser::v(&self.one_way_us)),
+            ("bandwidth_mbs", ser::v(&self.bandwidth_mbs)),
+        ])
+    }
+}
+
 /// A labelled series (one curve of a figure).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Sweep {
     /// Curve label as it appears in the figure legend.
     pub label: String,
     /// Measured points, in size order.
     pub points: Vec<SeriesPoint>,
+}
+
+impl Serialize for Sweep {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("label", ser::v(&self.label)),
+            ("points", ser::v(&self.points)),
+        ])
+    }
 }
 
 impl Sweep {

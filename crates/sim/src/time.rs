@@ -6,21 +6,42 @@
 //! picoseconds keep per-byte quantization below 0.1% while a `u64` still
 //! holds ~213 days of virtual time.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An absolute instant of virtual time, in picoseconds since simulation start.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, in picoseconds (serialized as a bare
 /// picosecond count).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
+
+// Transparent serialization: both types appear on the wire as a bare
+// picosecond count.
+impl Serialize for SimTime {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+impl Deserialize for SimTime {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u64::from_value(v).map(SimTime)
+    }
+}
+impl Serialize for SimDuration {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+impl Deserialize for SimDuration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u64::from_value(v).map(SimDuration)
+    }
+}
 
 /// Picoseconds per nanosecond.
 pub const PS_PER_NS: u64 = 1_000;

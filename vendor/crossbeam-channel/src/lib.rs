@@ -1,0 +1,239 @@
+//! Offline stand-in for `crossbeam-channel` covering the subset this
+//! workspace uses: unbounded MPMC channels with `send`, `try_recv`,
+//! `recv` and `recv_timeout`, with disconnection detection when all
+//! senders or all receivers drop.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Chan<T> {
+    queue: Mutex<ChanState<T>>,
+    cv: Condvar,
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cv: Condvar::new(),
+    });
+    (
+        Sender { chan: chan.clone() },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message; fails only if every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.receivers == 0 {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.chan.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        match st.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Block until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block until a message arrives, every sender is gone, or the
+    /// timeout elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, _) = self
+                .chan
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// True if no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_try_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send(1u8).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(1));
+        t.join().unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

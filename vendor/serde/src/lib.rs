@@ -1,0 +1,365 @@
+//! Offline stand-in for `serde`. Instead of the real crate's
+//! serializer/deserializer visitors (which need the `serde_derive` proc
+//! macro, unavailable offline), this exposes a small value-tree model:
+//! types convert to and from [`Value`], and `serde_json` renders that
+//! tree as JSON. Structs implement the traits by hand — see
+//! `nmad-model`'s `config.rs` for the idiom.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamically-typed serialization tree (what `serde_json::Value` is
+/// in the real ecosystem, hoisted here so `Serialize` can target it).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order preserved for readable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Integer view (accepts any numeric representation that fits).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Float view (accepts integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure with a human-readable path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// A "field X: ..." error.
+    pub fn at(field: &str, inner: DeError) -> DeError {
+        DeError(format!("{field}: {}", inner.0))
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+/// Conversion into the serialization tree.
+pub trait Serialize {
+    /// Render `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the serialization tree.
+pub trait Deserialize: Sized {
+    /// Build `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| DeError(format!("{n} out of range for i64")))?,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| DeError(format!("[{i}]: {}", e.0))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+/// Helpers for hand-written struct impls.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Required field of an object.
+    pub fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
+        match obj.get(name) {
+            Some(v) => T::from_value(v).map_err(|e| DeError::at(name, e)),
+            None => Err(DeError(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Optional field falling back to a default (the `#[serde(default)]`
+    /// idiom).
+    pub fn field_or<T: Deserialize>(
+        obj: &Value,
+        name: &str,
+        default: impl FnOnce() -> T,
+    ) -> Result<T, DeError> {
+        match obj.get(name) {
+            Some(Value::Null) | None => Ok(default()),
+            Some(v) => T::from_value(v).map_err(|e| DeError::at(name, e)),
+        }
+    }
+
+    /// Fail unless the value is an object.
+    pub fn require_object(v: &Value, what: &str) -> Result<(), DeError> {
+        match v {
+            Value::Object(_) => Ok(()),
+            other => Err(DeError(format!(
+                "expected {what} object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Helpers for hand-written `Serialize` impls.
+pub mod ser {
+    use super::{Serialize, Value};
+
+    /// Build an object value from named fields.
+    pub fn object<const N: usize>(fields: [(&str, Value); N]) -> Value {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Shorthand: serialize a field value.
+    pub fn v<T: Serialize + ?Sized>(x: &T) -> Value {
+        x.to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn field_helpers() {
+        let obj = ser::object([("a", Value::U64(1))]);
+        assert_eq!(de::field::<u64>(&obj, "a").unwrap(), 1);
+        assert_eq!(de::field_or(&obj, "b", || 9u64).unwrap(), 9);
+        assert!(de::field::<u64>(&obj, "b").is_err());
+    }
+}
