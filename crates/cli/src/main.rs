@@ -52,6 +52,10 @@ fn usage() -> &'static str {
        tcp-serve [--conns N]            real-socket receiver (prints addresses)\n\
        tcp-send <addr0> <addr1> [--size BYTES]\n\
                                         real-socket sender\n\
+       faults [--strategy S] [--size BYTES] [--messages N] [--drop P] [--dup P]\n\
+              [--reorder P] [--seed N] [--kill-rail R] [--down-at MS] [--up-at MS]\n\
+                                        threaded transfer under fault injection;\n\
+                                        prints per-rail health and recovery stats\n\
      strategies: single-myri single-quadrics greedy aggregate adaptive iso static"
 }
 
@@ -80,6 +84,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("timeline") => cmd_timeline(&args),
         Some("tcp-serve") => cmd_tcp_serve(&args),
         Some("tcp-send") => cmd_tcp_send(&args),
+        Some("faults") => cmd_faults(&args),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
     }
@@ -382,6 +387,133 @@ fn cmd_tcp_send(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    use nmad_transport_mem::{pair, FabricConfig, FaultSpec, RailOutage};
+    use std::time::Duration;
+
+    let kind = parse_strategy(args.flag("strategy").unwrap_or("adaptive"))?;
+    let size = args.size("size", 1 << 20)?;
+    let messages: usize = args.num("messages", 8)?;
+    let drop_prob: f64 = args.num("drop", 0.0)?;
+    let dup_prob: f64 = args.num("dup", 0.0)?;
+    let reorder_prob: f64 = args.num("reorder", 0.0)?;
+    let seed: u64 = args.num("seed", 42)?;
+
+    let plat = platform::paper_platform();
+    let mut engine = EngineConfig::with_strategy(kind);
+    engine.acked = true;
+    // Wall-clock-sized recovery timers (the defaults are tuned for
+    // simulated time).  The mem fabric delivers instantly, but the
+    // receiver still checksums and reassembles every byte, so the
+    // first ack of a large message arrives only after real CPU time,
+    // and all messages are pipelined, so the last ack waits behind
+    // the whole batch; scale the initial guess with the batch size
+    // (~50 MB/s floor) so clean runs don't retransmit before the
+    // estimator has its first sample.
+    let rto0 = 10_000_000 + (size as u64).saturating_mul(messages as u64).saturating_mul(20);
+    engine.health.initial_rto_ns = rto0;
+    engine.health.min_rto_ns = 2_000_000;
+    engine.health.max_rto_ns = rto0.saturating_mul(20).max(200_000_000);
+    engine.health.probe_interval_ns = 20_000_000;
+    engine.health.probe_timeout_ns = 10_000_000;
+
+    let mut outages = Vec::new();
+    if let Some(r) = args.flag("kill-rail") {
+        let rail: usize = r
+            .parse()
+            .map_err(|_| format!("--kill-rail: cannot parse '{r}'"))?;
+        if rail >= plat.rails.len() {
+            return Err(format!("--kill-rail: no rail {rail}"));
+        }
+        let down_ms: u64 = args.num("down-at", 5)?;
+        let up_ms: u64 = args.num("up-at", 500)?;
+        outages.push(RailOutage {
+            rail,
+            down_at: Duration::from_millis(down_ms),
+            up_at: Some(Duration::from_millis(up_ms)),
+        });
+        println!(
+            "killing rail {rail} ({}) at {down_ms} ms, reviving at {up_ms} ms",
+            plat.rails[rail].name
+        );
+    }
+
+    let mut cfg = FabricConfig::new(plat.clone(), engine);
+    cfg.faults = Some(FaultSpec {
+        drop_prob,
+        dup_prob,
+        reorder_prob,
+        seed,
+        outages,
+        ..FaultSpec::default()
+    });
+
+    let (a, b) = pair(cfg);
+    let conn = a.conns()[0];
+    println!(
+        "sending {messages} x {size} B over {} with drop {:.0}% dup {:.0}% reorder {:.0}%",
+        kind.label(),
+        drop_prob * 100.0,
+        dup_prob * 100.0,
+        reorder_prob * 100.0
+    );
+    let start = std::time::Instant::now();
+    let recvs: Vec<_> = (0..messages).map(|_| b.recv(conn)).collect();
+    let sends: Vec<_> = (0..messages)
+        .map(|i| a.send(conn, vec![Bytes::from(vec![i as u8; size])]))
+        .collect();
+    for (i, s) in sends.iter().enumerate() {
+        if !s.wait_acked(Duration::from_secs(120)) {
+            return Err(format!("message {i} not acked within 120 s"));
+        }
+    }
+    for (i, r) in recvs.iter().enumerate() {
+        let msg = r
+            .wait(Duration::from_secs(120))
+            .ok_or_else(|| format!("message {i} not delivered"))?;
+        if msg.total_len() != size {
+            return Err(format!("message {i}: {} bytes, want {size}", msg.total_len()));
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let st = a.stats();
+    println!(
+        "\nall {messages} messages acked in {:.2} s  \
+         (retransmits {}, duplicates dropped at rx {})",
+        elapsed.as_secs_f64(),
+        st.retransmits,
+        b.stats().duplicates_dropped,
+    );
+    println!(
+        "\n{:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>12} {:>9}",
+        "rail", "tx pkts", "rx pkts", "control", "timeouts", "retx", "probes", "transitions", "state"
+    );
+    let states = a.rail_states();
+    for (i, r) in st.rails.iter().enumerate() {
+        println!(
+            "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>12} {:>9}",
+            plat.rails[i].name,
+            r.packets,
+            r.rx_packets,
+            r.control_packets,
+            r.timeouts,
+            r.retransmit_packets,
+            r.probes_sent,
+            r.state_transitions,
+            format!("{:?}", states[i]),
+        );
+    }
+    for i in 0..plat.rails.len() {
+        let hist = a.rail_history(i);
+        if hist.len() > 1 {
+            let path: Vec<String> = hist.iter().map(|s| format!("{s:?}")).collect();
+            println!("rail {i} health path: {}", path.join(" -> "));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +565,24 @@ mod tests {
             "greedy".into(),
             "--size".into(),
             "64K".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn faults_command_recovers_from_loss() {
+        run(&[
+            "faults".to_string(),
+            "--strategy".into(),
+            "greedy".into(),
+            "--messages".into(),
+            "4".into(),
+            "--size".into(),
+            "64K".into(),
+            "--drop".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "7".into(),
         ])
         .unwrap();
     }

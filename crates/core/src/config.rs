@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::health::HealthConfig;
 use crate::strategy::StrategyKind;
 
 /// Tunable knobs of the engine, with defaults matching the paper's setup.
@@ -29,6 +30,10 @@ pub struct EngineConfig {
     /// networks are reliable; this is the hook the failure-injection tests
     /// and a future retransmission layer build on.
     pub acked: bool,
+    /// Rail health tracking and adaptive retransmission timers (only
+    /// active in acked mode and when the runtime drives
+    /// [`crate::Engine::progress`]).
+    pub health: HealthConfig,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +45,7 @@ impl Default for EngineConfig {
             min_chunk: 8 * 1024,
             crc: false,
             acked: false,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -62,6 +68,7 @@ impl EngineConfig {
             self.min_chunk,
             self.rdv_threshold
         );
+        self.health.validate();
     }
 }
 

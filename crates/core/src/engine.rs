@@ -30,6 +30,7 @@ use nmad_wire::{ConnId, MsgId};
 use crate::config::EngineConfig;
 use crate::driver::{TxDecision, TxItem, TxToken};
 use crate::error::EngineError;
+use crate::health::{HealthTracker, RailState, Transition};
 use crate::request::{Backlog, RecvId, SegKey, SegPhase, SendId};
 use crate::sampling::{default_ladder, PerfTable};
 use crate::stats::EngineStats;
@@ -49,6 +50,38 @@ pub struct OnPacketOutcome {
     pub sample_pongs: Vec<(u64, usize)>,
 }
 
+/// Outcome of one [`Engine::progress`] call.
+#[derive(Debug, Default)]
+pub struct ProgressOutcome {
+    /// Sends automatically re-enqueued after a retransmission timeout.
+    pub retransmitted: Vec<SendId>,
+    /// True when control traffic (probes) was queued — the runtime should
+    /// offer idle rails to the engine again.
+    pub control_enqueued: bool,
+}
+
+/// High bit of a sample probe id marks engine-internal health probes, so
+/// they never collide with runtime-issued sampling probes and are consumed
+/// by the engine instead of surfacing in
+/// [`OnPacketOutcome::sample_pongs`].
+const PROBE_BIT: u64 = 1 << 63;
+
+/// Per-message retransmission timer state (acked mode only).
+#[derive(Debug)]
+struct Attempt {
+    /// When the current attempt started (Karn: RTT samples only come from
+    /// attempts that were never retransmitted).
+    started_ns: u64,
+    /// When the retransmission timer fires.
+    deadline_ns: u64,
+    /// Current timeout, doubled on every expiry (exponential backoff).
+    rto_ns: u64,
+    /// The message was retransmitted at least once.
+    retransmitted: bool,
+    /// Rails that carried packets of the current attempt.
+    rails_used: Vec<bool>,
+}
+
 #[derive(Debug)]
 struct SendState {
     /// Segments not yet fully consumed from the backlog.
@@ -66,8 +99,10 @@ struct ConnRx {
     /// tolerance under retransmission).
     delivered: std::collections::HashSet<MsgId>,
     /// Rendezvous requests waiting for their receive to be posted
-    /// (flow control: large data moves only into posted buffers).
-    pending_rdv: Vec<(MsgId, u16)>,
+    /// (flow control: large data moves only into posted buffers). The
+    /// rail the request arrived on routes the eventual grant back over
+    /// a path known to work.
+    pending_rdv: Vec<(MsgId, u16, RailId)>,
     /// Completed messages with no matching posted recv yet ("unexpected").
     unexpected: HashMap<MsgId, MessageAssembly>,
     /// Posted recvs by the msg_id they match (in-order matching).
@@ -92,8 +127,10 @@ pub struct Engine {
     strategy: Option<Box<dyn Strategy>>,
     backlog: Backlog,
     rail_busy: Vec<bool>,
-    /// Outbound control packets: `(conn, packet)` FIFO.
-    control_q: VecDeque<(ConnId, Packet)>,
+    /// Outbound control packets: `(conn, packet, rail pin)` FIFO. Most
+    /// control traffic is unpinned (any usable rail); health probes and
+    /// their pongs are pinned to the rail under test.
+    control_q: VecDeque<(ConnId, Packet, Option<RailId>)>,
     /// Send-side payloads, keyed by (conn, msg): one `Bytes` per segment.
     send_data: HashMap<(ConnId, MsgId), Vec<Bytes>>,
     sends: HashMap<SendId, SendState>,
@@ -112,6 +149,15 @@ pub struct Engine {
     send_key: HashMap<SendId, (ConnId, MsgId)>,
     /// Messages confirmed delivered by the peer (acked mode).
     acked: std::collections::HashSet<(ConnId, MsgId)>,
+    /// Per-rail health records (fed by acks/timeouts, drives failover).
+    health: HealthTracker,
+    /// Engine-internal clock, advanced by [`Engine::progress`].
+    now_ns: u64,
+    /// Retransmission timers, one per unacknowledged send (acked mode).
+    attempts: HashMap<SendId, Attempt>,
+    /// Health probes in flight: probe id -> rail under test, sent at.
+    probe_sent: HashMap<u64, (usize, u64)>,
+    next_probe_id: u64,
 }
 
 /// Marker type to keep `in_flight` readable: control decisions have no
@@ -138,6 +184,7 @@ impl Engine {
         let n = rails.len();
         Engine {
             strategy: Some(config.strategy.build()),
+            health: HealthTracker::new(config.health, n),
             config,
             tables,
             backlog: Backlog::new(),
@@ -158,6 +205,10 @@ impl Engine {
             stats: EngineStats::new(n),
             send_key: HashMap::new(),
             acked: std::collections::HashSet::new(),
+            now_ns: 0,
+            attempts: HashMap::new(),
+            probe_sent: HashMap::new(),
+            next_probe_id: 0,
             rails,
         }
     }
@@ -255,6 +306,7 @@ impl Engine {
                         total_segs,
                         total_len: seg.len() as u64,
                     }),
+                    None,
                 ));
                 self.stats.rdv_handshakes += 1;
             } else {
@@ -273,6 +325,19 @@ impl Engine {
                 done: false,
             },
         );
+        if self.config.acked {
+            let rto = self.health.rto_hint_ns();
+            self.attempts.insert(
+                send_id,
+                Attempt {
+                    started_ns: self.now_ns,
+                    deadline_ns: self.now_ns.saturating_add(rto),
+                    rto_ns: rto,
+                    retransmitted: false,
+                    rails_used: vec![false; self.rails.len()],
+                },
+            );
+        }
         send_id
     }
 
@@ -286,6 +351,7 @@ impl Engine {
                 probe_id,
                 data: Bytes::from(vec![0u8; size]),
             }),
+            None,
         ));
     }
 
@@ -309,21 +375,22 @@ impl Engine {
         }
         // Release any rendezvous parked on this receive (flow control).
         let mut grants = Vec::new();
-        rx.pending_rdv.retain(|&(m, seg)| {
+        rx.pending_rdv.retain(|&(m, seg, rail)| {
             if m == msg_id {
-                grants.push((m, seg));
+                grants.push((m, seg, rail));
                 false
             } else {
                 true
             }
         });
-        for (m, seg) in grants {
+        for (m, seg, rail) in grants {
             self.control_q.push_back((
                 conn,
                 Packet::RdvAck(RdvAck {
                     msg_id: m,
                     seg_index: seg,
                 }),
+                Some(rail),
             ));
         }
         recv_id
@@ -370,19 +437,45 @@ impl Engine {
         if self.rail_busy[rail.0] {
             return Ok(None);
         }
+        let usable = self.health.usable(rail);
         // Control plane jumps the queue: rendezvous latency directly gates
-        // large-message throughput.
-        if let Some((conn, pkt)) = self.control_q.pop_front() {
+        // large-message throughput. A control packet pinned to a rail only
+        // goes out on that rail (health probes must travel the rail under
+        // test); unpinned control avoids unusable rails unless no rail is
+        // usable at all (an ack is better sent on a dying rail than never).
+        let unpinned_ok = usable || self.health.none_usable();
+        if let Some(pos) = self.control_q.iter().position(|(_, _, pin)| match pin {
+            Some(p) => *p == rail,
+            None => unpinned_ok,
+        }) {
+            let (conn, pkt, _) = self.control_q.remove(pos).expect("position valid");
+            // A rendezvous request travels on behalf of an acked send: tie
+            // it to the attempt so a lost request blames this rail too.
+            if let Packet::RdvRequest(ref rr) = pkt {
+                if let Some(&sid) = self.send_index.get(&(conn, rr.msg_id)) {
+                    if let Some(att) = self.attempts.get_mut(&sid) {
+                        att.rails_used[rail.0] = true;
+                    }
+                }
+            }
             let decision = self.finish_decision(rail, conn, pkt, vec![TxItem::Control], 0, 0);
             return Ok(Some(decision));
         }
+        if !usable {
+            // Down/Probing rails carry nothing but their own probes.
+            return Ok(None);
+        }
 
+        let rail_ok: Vec<bool> = (0..self.rails.len())
+            .map(|r| self.health.usable(RailId(r)))
+            .collect();
         let mut strategy = self.strategy.take().expect("strategy present");
         let op = {
             let mut ctx = StrategyCtx {
                 backlog: &mut self.backlog,
                 rails: &self.rails,
                 rail_busy: &self.rail_busy,
+                rail_ok: &rail_ok,
                 tables: &self.tables,
                 config: &self.config,
             };
@@ -567,6 +660,29 @@ impl Engine {
             }
         }
         rs.wire_bytes += wire.len() as u64;
+        // Arm/refresh the retransmission timers of the sends this packet
+        // carries, and remember which rails the attempt touched so a
+        // timeout knows whom to blame.
+        let mut retransmitted_payload = false;
+        for item in &items {
+            let key = match item {
+                TxItem::EagerSeg(k) | TxItem::AggSeg(k) => *k,
+                TxItem::Chunk { key, .. } => *key,
+                TxItem::Control => continue,
+            };
+            let Some(&send_id) = self.send_index.get(&(key.conn, key.msg_id)) else {
+                continue;
+            };
+            if let Some(att) = self.attempts.get_mut(&send_id) {
+                att.rails_used[rail.0] = true;
+                let deadline = self.now_ns.saturating_add(att.rto_ns);
+                att.deadline_ns = att.deadline_ns.max(deadline);
+                retransmitted_payload |= att.retransmitted;
+            }
+        }
+        if retransmitted_payload {
+            self.stats.rails[rail.0].retransmit_packets += 1;
+        }
 
         let token = TxToken(self.next_token);
         self.next_token += 1;
@@ -626,14 +742,15 @@ impl Engine {
     /// Process one incoming wire packet from `rail`.
     pub fn on_packet(
         &mut self,
-        _rail: RailId,
+        rail: RailId,
         wire: &[u8],
     ) -> Result<OnPacketOutcome, EngineError> {
         let (env, pkt) = Packet::decode(wire)?;
+        self.stats.rails[rail.0].rx_packets += 1;
         let mut out = OnPacketOutcome::default();
         match pkt {
             Packet::Eager(p) => {
-                if self.drop_duplicate(env.conn_id, p.msg_id, &mut out)? {
+                if self.drop_duplicate(env.conn_id, rail, p.msg_id, &mut out)? {
                     return Ok(out);
                 }
                 let done = self.insert_eager_tolerant(
@@ -643,12 +760,12 @@ impl Engine {
                     p.total_segs,
                     p.data,
                 )?;
-                self.settle_completion(env.conn_id, done, &mut out);
+                self.settle_completion(env.conn_id, rail, done, &mut out);
             }
             Packet::Aggregate(body) => {
                 let entries = parse_aggregate(&body)?;
                 for e in entries {
-                    if self.drop_duplicate(e.conn_id, e.msg_id, &mut out)? {
+                    if self.drop_duplicate(e.conn_id, rail, e.msg_id, &mut out)? {
                         continue;
                     }
                     let done = self.insert_eager_tolerant(
@@ -658,20 +775,20 @@ impl Engine {
                         e.total_segs,
                         e.data,
                     )?;
-                    self.settle_completion(e.conn_id, done, &mut out);
+                    self.settle_completion(e.conn_id, rail, done, &mut out);
                 }
             }
             Packet::Chunk(p) => {
-                if self.drop_duplicate(env.conn_id, p.msg_id, &mut out)? {
+                if self.drop_duplicate(env.conn_id, rail, p.msg_id, &mut out)? {
                     return Ok(out);
                 }
                 let done = self.insert_chunk_tolerant(env.conn_id, &p)?;
-                self.settle_completion(env.conn_id, done, &mut out);
+                self.settle_completion(env.conn_id, rail, done, &mut out);
             }
             Packet::RdvRequest(p) => {
                 // A rendezvous for a message we already delivered means the
                 // sender lost our ack: answer with the ack, not a grant.
-                if self.drop_duplicate(env.conn_id, p.msg_id, &mut out)? {
+                if self.drop_duplicate(env.conn_id, rail, p.msg_id, &mut out)? {
                     return Ok(out);
                 }
                 // Flow control: the whole point of the rendezvous track is
@@ -681,16 +798,19 @@ impl Engine {
                 // otherwise park the request until `post_recv` matches it.
                 let rx = self.rx_conn(env.conn_id)?;
                 if p.msg_id < rx.next_match {
+                    // Answer over the rail the request arrived on: it
+                    // demonstrably works, which matters mid-outage.
                     self.control_q.push_back((
                         env.conn_id,
                         Packet::RdvAck(RdvAck {
                             msg_id: p.msg_id,
                             seg_index: p.seg_index,
                         }),
+                        Some(rail),
                     ));
                     out.control_enqueued = true;
                 } else {
-                    rx.pending_rdv.push((p.msg_id, p.seg_index));
+                    rx.pending_rdv.push((p.msg_id, p.seg_index, rail));
                 }
             }
             Packet::RdvAck(p) => {
@@ -699,16 +819,54 @@ impl Engine {
                     msg_id: p.msg_id,
                     seg_index: p.seg_index,
                 };
-                if !self.backlog.grant(key) {
+                if self.backlog.grant(key) {
+                    out.granted = true;
+                } else if self.config.acked {
+                    // A duplicated or stale grant: a retransmitted request
+                    // can be answered twice, or the answer can outlive the
+                    // message it granted. Carries no work.
+                    self.stats.duplicates_dropped += 1;
+                } else {
                     return Err(EngineError::UnknownRendezvous {
                         msg_id: p.msg_id,
                         seg_index: p.seg_index,
                     });
                 }
-                out.granted = true;
             }
             Packet::Ack(p) => {
                 self.stats.acks_received += 1;
+                // The rail the ack itself rode is alive right now.
+                self.health.note_ok(rail, self.now_ns);
+                // Feed the health tracker: the ack proves every rail the
+                // current attempt used is alive. Karn's rule: only a
+                // never-retransmitted attempt yields an RTT sample.
+                if let Some(&send_id) = self.send_index.get(&(env.conn_id, p.msg_id)) {
+                    if let Some(att) = self.attempts.remove(&send_id) {
+                        let rtt = self.now_ns.saturating_sub(att.started_ns);
+                        for (r, used) in att.rails_used.iter().enumerate() {
+                            if !used {
+                                continue;
+                            }
+                            // A per-message ack is coarse evidence: it
+                            // cannot say WHICH rail delivered. Enough to
+                            // exonerate a rail still in service, not to
+                            // reinstate a Down one — the attempt may have
+                            // succeeded entirely over the survivors.
+                            // Reinstatement requires a rail-pinned probe
+                            // pong.
+                            if !self.health.usable(RailId(r)) {
+                                continue;
+                            }
+                            self.health.note_ok(RailId(r), self.now_ns);
+                            let t = if att.retransmitted {
+                                self.health.on_success(RailId(r))
+                            } else {
+                                self.health.on_rtt_sample(RailId(r), rtt)
+                            };
+                            self.note_transition(t);
+                        }
+                    }
+                }
                 if self.acked.insert((env.conn_id, p.msg_id)) {
                     // Confirmed: the retransmission copy can go, and any
                     // queued re-send of this message is now pointless (a
@@ -728,18 +886,32 @@ impl Engine {
                 }
             }
             Packet::SamplePing(p) => {
-                // Echo back for RTT sampling.
+                // Echo back for RTT sampling. Health probes (high bit set)
+                // must return on the rail under test, so their pong is
+                // pinned to the arrival rail.
+                let pin = (p.probe_id & PROBE_BIT != 0).then_some(rail);
                 self.control_q.push_back((
                     env.conn_id,
                     Packet::SamplePong(SamplePacket {
                         probe_id: p.probe_id,
                         data: p.data,
                     }),
+                    pin,
                 ));
                 out.control_enqueued = true;
             }
             Packet::SamplePong(p) => {
-                out.sample_pongs.push((p.probe_id, p.data.len()));
+                if p.probe_id & PROBE_BIT != 0 {
+                    // A health probe came home: the probed rail is alive.
+                    if let Some((r, sent_ns)) = self.probe_sent.remove(&p.probe_id) {
+                        let rtt = self.now_ns.saturating_sub(sent_ns);
+                        self.health.note_ok(RailId(r), self.now_ns);
+                        let t = self.health.on_probe_ok(RailId(r), rtt);
+                        self.note_transition(t);
+                    }
+                } else {
+                    out.sample_pongs.push((p.probe_id, p.data.len()));
+                }
             }
         }
         Ok(out)
@@ -752,6 +924,7 @@ impl Engine {
     fn drop_duplicate(
         &mut self,
         conn: ConnId,
+        rail: RailId,
         msg_id: MsgId,
         out: &mut OnPacketOutcome,
     ) -> Result<bool, EngineError> {
@@ -764,7 +937,7 @@ impl Engine {
         }
         self.stats.duplicates_dropped += 1;
         self.control_q
-            .push_back((conn, Packet::Ack(AckPacket { msg_id })));
+            .push_back((conn, Packet::Ack(AckPacket { msg_id }), Some(rail)));
         self.stats.acks_sent += 1;
         out.control_enqueued = true;
         Ok(true)
@@ -816,6 +989,7 @@ impl Engine {
                         total_segs,
                         total_len: seg.len() as u64,
                     }),
+                    None,
                 ));
             } else {
                 self.backlog
@@ -823,7 +997,171 @@ impl Engine {
             }
         }
         self.stats.retransmits += 1;
+        // Restart the attempt: Karn's rule forbids RTT samples from now on,
+        // and the timer re-arms from scratch.
+        if let Some(att) = self.attempts.get_mut(&id) {
+            att.retransmitted = true;
+            att.started_ns = self.now_ns;
+            att.deadline_ns = self.now_ns.saturating_add(att.rto_ns);
+            att.rails_used.iter_mut().for_each(|u| *u = false);
+        }
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: timers, health, probes
+    // ------------------------------------------------------------------
+
+    /// Advance the engine clock and run everything time-based: fire
+    /// retransmission timeouts (adaptive RTO with exponential backoff),
+    /// blame the rails an expired attempt used, take failed rails out of
+    /// service, and issue/expire reinstatement probes.
+    ///
+    /// Runtimes should call this whenever they drive the engine, passing a
+    /// monotonic clock in nanoseconds (wall clock for threads, virtual
+    /// time for the simulator). Without `progress` the engine behaves
+    /// exactly as before: no timers, no probes, caller-driven recovery.
+    pub fn progress(&mut self, now_ns: u64) -> ProgressOutcome {
+        self.now_ns = self.now_ns.max(now_ns);
+        let now = self.now_ns;
+        let mut out = ProgressOutcome::default();
+        if self.config.acked {
+            let mut due: Vec<SendId> = self
+                .attempts
+                .iter()
+                .filter(|(_, a)| now >= a.deadline_ns)
+                .map(|(&id, _)| id)
+                .collect();
+            due.sort_unstable();
+            // Several attempts expiring in the same pass are correlated
+            // evidence, not independent failures: blame each rail at most
+            // once per pass, or a burst of in-flight messages lost to one
+            // dead rail would condemn the healthy survivors alongside it.
+            let mut blamed_this_pass = vec![false; self.rails.len()];
+            for id in due {
+                // Injections still in flight, or schedulable segments
+                // still queued behind other traffic: the attempt is
+                // waiting on the local scheduler, not the network — push
+                // the deadline out without blame or backoff. A message
+                // parked in the rendezvous handshake (RdvRequested, not
+                // yet granted) does NOT defer: a lost request or grant is
+                // exactly what the timer must catch.
+                let outstanding = self
+                    .sends
+                    .get(&id)
+                    .map(|s| s.items_outstanding > 0)
+                    .unwrap_or(false);
+                let queued = self
+                    .send_key
+                    .get(&id)
+                    .map(|&(conn, msg)| {
+                        let mine =
+                            |k: &SegKey| k.conn == conn && k.msg_id == msg;
+                        self.backlog.eager_items().any(|i| mine(&i.key))
+                            || self.backlog.granted_items().any(|i| mine(&i.key))
+                    })
+                    .unwrap_or(false);
+                let att = self.attempts.get_mut(&id).expect("collected above");
+                if outstanding || queued {
+                    att.deadline_ns = now.saturating_add(att.rto_ns);
+                    continue;
+                }
+                // Blame every rail the attempt used (with per-message acks
+                // we cannot tell which rail lost the packet) — except
+                // rails with positive evidence newer than the attempt: a
+                // rail that delivered an ack since this attempt started is
+                // almost certainly not the one that lost its packets.
+                // Probes sort out any remaining innocents quickly.
+                let started = att.started_ns;
+                let blamed: Vec<usize> = att
+                    .rails_used
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, u)| **u)
+                    .map(|(r, _)| r)
+                    .filter(|&r| !self.health.ok_since(RailId(r), started))
+                    .collect();
+                att.rto_ns = (att.rto_ns * 2).min(self.config.health.max_rto_ns);
+                for r in blamed {
+                    self.stats.rails[r].timeouts += 1;
+                    if !blamed_this_pass[r] {
+                        blamed_this_pass[r] = true;
+                        let t = self.health.on_timeout(RailId(r), now);
+                        self.note_transition(t);
+                    }
+                }
+                if self.retransmit(id) {
+                    out.retransmitted.push(id);
+                } else if let Some(att) = self.attempts.get_mut(&id) {
+                    // Not retransmittable right now (e.g. already acked
+                    // but not yet reaped): re-arm quietly.
+                    att.deadline_ns = now.saturating_add(att.rto_ns);
+                }
+            }
+        }
+        // Probe management is independent of acked mode: any engine with a
+        // connection can check its rails.
+        if let Some(&conn) = self.conn_tx.keys().min() {
+            for r in 0..self.rails.len() {
+                if self.health.probe_due(RailId(r), now) {
+                    let probe_id = PROBE_BIT | self.next_probe_id;
+                    self.next_probe_id += 1;
+                    self.control_q.push_back((
+                        conn,
+                        Packet::SamplePing(SamplePacket {
+                            probe_id,
+                            data: Bytes::new(),
+                        }),
+                        Some(RailId(r)),
+                    ));
+                    self.probe_sent.insert(probe_id, (r, now));
+                    self.stats.rails[r].probes_sent += 1;
+                    let t = self.health.on_probe_sent(RailId(r), now);
+                    self.note_transition(t);
+                    out.control_enqueued = true;
+                } else if self.health.probe_expired(RailId(r), now) {
+                    self.stats.rails[r].timeouts += 1;
+                    let t = self.health.on_probe_timeout(RailId(r), now);
+                    self.note_transition(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Earliest future instant at which [`Engine::progress`] has work to
+    /// do (a retransmission deadline or a probe timer), if any. Runtimes
+    /// use this to size their idle sleeps.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        let attempts = self.attempts.values().map(|a| a.deadline_ns);
+        let probes =
+            (0..self.rails.len()).filter_map(|r| self.health.next_event_ns(RailId(r)));
+        attempts.chain(probes).min()
+    }
+
+    /// Record a health transition in the stats and, when a rail went
+    /// down, move its pending planned chunks to the surviving rails.
+    fn note_transition(&mut self, t: Option<Transition>) {
+        let Some(t) = t else { return };
+        self.stats.rails[t.rail.0].state_transitions += 1;
+        if t.to == RailState::Down {
+            let survivors: Vec<usize> = (0..self.rails.len())
+                .filter(|&r| self.health.usable(RailId(r)))
+                .collect();
+            if !survivors.is_empty() {
+                self.backlog.reassign_rail(t.rail.0, &survivors);
+            }
+        }
+    }
+
+    /// Per-rail health records.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Current state of every rail.
+    pub fn rail_states(&self) -> Vec<RailState> {
+        self.health.states()
     }
 
     /// Errors a retransmission attempt can legitimately provoke against
@@ -868,7 +1206,12 @@ impl Engine {
         }
     }
 
-    /// Chunk counterpart of [`Self::insert_eager_tolerant`].
+    /// Chunk counterpart of [`Self::insert_eager_tolerant`]. Unlike the
+    /// eager case, a conflicting chunk must NOT abort the partial message:
+    /// retransmissions re-chunk the whole message, so their chunk
+    /// boundaries routinely straddle data that survived the earlier
+    /// attempt. The lenient insert trims the overlap and keeps everything
+    /// already received.
     fn insert_chunk_tolerant(
         &mut self,
         conn: ConnId,
@@ -876,31 +1219,30 @@ impl Engine {
     ) -> Result<Option<MessageAssembly>, EngineError> {
         let acked = self.config.acked;
         let rx = self.rx_conn(conn)?;
-        match rx.reassembler.insert_chunk(
-            p.msg_id,
-            p.seg_index,
-            p.total_segs,
-            p.offset,
-            p.total_len,
-            &p.data,
-        ) {
-            Ok(done) => Ok(done),
-            Err(e) if acked && Self::is_retry_conflict(&e) => {
-                rx.reassembler.abort(p.msg_id);
+        if acked {
+            let (done, new_bytes) = rx.reassembler.insert_chunk_lenient(
+                p.msg_id,
+                p.seg_index,
+                p.total_segs,
+                p.offset,
+                p.total_len,
+                &p.data,
+            )?;
+            if new_bytes == 0 {
                 self.stats.duplicates_dropped += 1;
-                self.rx_conn(conn)?
-                    .reassembler
-                    .insert_chunk(
-                        p.msg_id,
-                        p.seg_index,
-                        p.total_segs,
-                        p.offset,
-                        p.total_len,
-                        &p.data,
-                    )
-                    .map_err(Into::into)
             }
-            Err(e) => Err(e.into()),
+            Ok(done)
+        } else {
+            rx.reassembler
+                .insert_chunk(
+                    p.msg_id,
+                    p.seg_index,
+                    p.total_segs,
+                    p.offset,
+                    p.total_len,
+                    &p.data,
+                )
+                .map_err(Into::into)
         }
     }
 
@@ -913,17 +1255,21 @@ impl Engine {
     fn settle_completion(
         &mut self,
         conn: ConnId,
+        rail: RailId,
         done: Option<MessageAssembly>,
         out: &mut OnPacketOutcome,
     ) {
         let Some(assembly) = done else { return };
         self.stats.msgs_received += 1;
         if self.config.acked {
+            // The ack rides the rail the completing packet arrived on — a
+            // path the sender is actively using and watching.
             self.control_q.push_back((
                 conn,
                 Packet::Ack(AckPacket {
                     msg_id: assembly.msg_id,
                 }),
+                Some(rail),
             ));
             self.stats.acks_sent += 1;
             out.control_enqueued = true;

@@ -1,0 +1,527 @@
+//! Per-rail link health: RTT estimation, failure detection and probing.
+//!
+//! The transmit layer feeds this tracker with acknowledgement round-trip
+//! samples and retransmission timeouts; the engine consults it to steer
+//! the strategies away from failing rails and to decide when a rail that
+//! went dark should be probed and reinstated.
+//!
+//! Each rail moves through a small state machine:
+//!
+//! ```text
+//!           consecutive timeouts                 more timeouts
+//!   Up ───────────────────────────► Suspect ───────────────────► Down
+//!    ▲                                 │                           │
+//!    │ probe answered / ack arrived    │                           │ probe
+//!    └─────────────────────────────────┘                           │ timer
+//!    ▲                                                             ▼
+//!    └──────────────── probe answered ────────────────────── Probing
+//! ```
+//!
+//! `Up` and `Suspect` rails remain schedulable; `Down` and `Probing`
+//! rails carry only probe traffic until a probe comes back.
+//!
+//! Retransmission timing follows the classic TCP estimator: Jacobson
+//! SRTT/RTTVAR smoothing for the round-trip estimate, Karn's rule (no
+//! samples from retransmitted attempts) and exponential backoff on
+//! timeout, clamped to a configurable window.
+
+use nmad_model::RailId;
+
+/// Reachability state of one rail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RailState {
+    /// Healthy: scheduled normally.
+    Up,
+    /// Recent timeouts observed; still scheduled, but being probed.
+    Suspect,
+    /// Declared unreachable: data traffic avoids it, probes are sent
+    /// periodically to detect recovery.
+    Down,
+    /// A reinstatement probe is outstanding on a down rail.
+    Probing,
+}
+
+/// Thresholds and timers for [`HealthTracker`]. All times are in
+/// nanoseconds of the runtime's clock (wall clock for the threaded
+/// transports, virtual time for the simulator).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthConfig {
+    /// Retransmission timeout used before any RTT sample exists.
+    pub initial_rto_ns: u64,
+    /// Lower clamp for the adaptive RTO.
+    pub min_rto_ns: u64,
+    /// Upper clamp for the adaptive RTO (and its exponential backoff).
+    pub max_rto_ns: u64,
+    /// Consecutive timeouts that move a rail `Up -> Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive timeouts that move a rail to `Down`.
+    pub down_after: u32,
+    /// Delay between reinstatement probes while a rail is `Down`.
+    pub probe_interval_ns: u64,
+    /// How long to wait for a probe's pong before counting a timeout.
+    pub probe_timeout_ns: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            initial_rto_ns: 50_000_000, // 50 ms: generous for threaded runs
+            min_rto_ns: 1_000_000,
+            max_rto_ns: 2_000_000_000,
+            suspect_after: 1,
+            down_after: 3,
+            probe_interval_ns: 100_000_000,
+            probe_timeout_ns: 50_000_000,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Panic on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(self.min_rto_ns > 0, "min RTO must be positive");
+        assert!(
+            self.min_rto_ns <= self.max_rto_ns,
+            "min RTO must not exceed max RTO"
+        );
+        assert!(
+            (self.min_rto_ns..=self.max_rto_ns).contains(&self.initial_rto_ns),
+            "initial RTO must lie within [min, max]"
+        );
+        assert!(self.suspect_after >= 1, "suspect threshold must be >= 1");
+        assert!(
+            self.down_after >= self.suspect_after,
+            "down threshold must not precede suspect threshold"
+        );
+        assert!(self.probe_interval_ns > 0, "probe interval must be positive");
+        assert!(self.probe_timeout_ns > 0, "probe timeout must be positive");
+    }
+}
+
+/// Health record of a single rail.
+#[derive(Clone, Debug)]
+pub struct RailHealth {
+    state: RailState,
+    /// Smoothed RTT (Jacobson), `None` until the first sample.
+    srtt_ns: Option<u64>,
+    /// RTT variance estimate (Jacobson).
+    rttvar_ns: u64,
+    /// Timeouts since the last success on this rail.
+    consecutive_timeouts: u32,
+    /// Earliest time the next reinstatement probe may go out (`Down`).
+    next_probe_ns: u64,
+    /// When the outstanding probe was issued (`Suspect`/`Probing`).
+    probe_sent_ns: u64,
+    /// A probe is outstanding (suppresses duplicates).
+    probe_outstanding: bool,
+    /// Last time positive evidence (ack, pong) arrived for this rail.
+    last_ok_ns: Option<u64>,
+    /// Every state this rail has been in, in order (starts at `Up`).
+    history: Vec<RailState>,
+}
+
+impl RailHealth {
+    fn new() -> Self {
+        RailHealth {
+            state: RailState::Up,
+            srtt_ns: None,
+            rttvar_ns: 0,
+            consecutive_timeouts: 0,
+            next_probe_ns: 0,
+            probe_sent_ns: 0,
+            probe_outstanding: false,
+            last_ok_ns: None,
+            history: vec![RailState::Up],
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RailState {
+        self.state
+    }
+
+    /// Smoothed round-trip estimate, if any sample arrived yet.
+    pub fn srtt_ns(&self) -> Option<u64> {
+        self.srtt_ns
+    }
+
+    /// Full state history, oldest first (starts with [`RailState::Up`]).
+    pub fn history(&self) -> &[RailState] {
+        &self.history
+    }
+
+    fn transition(&mut self, to: RailState) -> bool {
+        if self.state == to {
+            return false;
+        }
+        self.state = to;
+        self.history.push(to);
+        true
+    }
+}
+
+/// A state change reported back to the engine for accounting/failover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// The rail that changed state.
+    pub rail: RailId,
+    /// Its new state.
+    pub to: RailState,
+}
+
+/// Tracks the health of every rail of an engine.
+#[derive(Clone, Debug)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    rails: Vec<RailHealth>,
+}
+
+impl HealthTracker {
+    /// A tracker with all `n` rails starting `Up`.
+    pub fn new(cfg: HealthConfig, n: usize) -> Self {
+        cfg.validate();
+        HealthTracker {
+            cfg,
+            rails: (0..n).map(|_| RailHealth::new()).collect(),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Per-rail record.
+    pub fn rail(&self, rail: RailId) -> &RailHealth {
+        &self.rails[rail.0]
+    }
+
+    /// Current state of every rail.
+    pub fn states(&self) -> Vec<RailState> {
+        self.rails.iter().map(|r| r.state).collect()
+    }
+
+    /// True when `rail` may carry data traffic (`Up` or `Suspect`).
+    pub fn usable(&self, rail: RailId) -> bool {
+        matches!(self.rails[rail.0].state, RailState::Up | RailState::Suspect)
+    }
+
+    /// True when no rail at all is usable (the engine then falls back to
+    /// sending control packets on whatever rail is offered).
+    pub fn none_usable(&self) -> bool {
+        (0..self.rails.len()).all(|r| !self.usable(RailId(r)))
+    }
+
+    /// Record positive evidence (an ack or pong touching `rail`) at
+    /// `now_ns`. Used to exonerate rails from collective blame: a rail
+    /// that demonstrably delivered since an attempt started is almost
+    /// certainly not the one that lost that attempt's packets.
+    pub fn note_ok(&mut self, rail: RailId, now_ns: u64) {
+        let r = &mut self.rails[rail.0];
+        r.last_ok_ns = Some(r.last_ok_ns.map_or(now_ns, |t| t.max(now_ns)));
+    }
+
+    /// True when positive evidence arrived for `rail` at or after `t_ns`.
+    pub fn ok_since(&self, rail: RailId, t_ns: u64) -> bool {
+        self.rails[rail.0].last_ok_ns.is_some_and(|t| t >= t_ns)
+    }
+
+    /// Adaptive retransmission timeout for `rail`:
+    /// `SRTT + 4·RTTVAR`, clamped, or the configured initial RTO before
+    /// the first sample.
+    pub fn rto_ns(&self, rail: RailId) -> u64 {
+        let r = &self.rails[rail.0];
+        match r.srtt_ns {
+            Some(srtt) => {
+                (srtt + 4 * r.rttvar_ns).clamp(self.cfg.min_rto_ns, self.cfg.max_rto_ns)
+            }
+            None => self.cfg.initial_rto_ns,
+        }
+    }
+
+    /// A conservative RTO covering every currently-usable rail (used to
+    /// arm per-message retransmission timers that may span rails).
+    pub fn rto_hint_ns(&self) -> u64 {
+        (0..self.rails.len())
+            .filter(|&r| self.usable(RailId(r)))
+            .map(|r| self.rto_ns(RailId(r)))
+            .max()
+            .unwrap_or(self.cfg.initial_rto_ns)
+    }
+
+    /// Feed one round-trip sample (Jacobson/Karn: callers must not sample
+    /// retransmitted attempts). Also counts as a success.
+    pub fn on_rtt_sample(&mut self, rail: RailId, rtt_ns: u64) -> Option<Transition> {
+        let r = &mut self.rails[rail.0];
+        match r.srtt_ns {
+            None => {
+                r.srtt_ns = Some(rtt_ns);
+                r.rttvar_ns = rtt_ns / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298 with alpha = 1/8, beta = 1/4.
+                let err = srtt.abs_diff(rtt_ns);
+                r.rttvar_ns = (3 * r.rttvar_ns + err) / 4;
+                r.srtt_ns = Some((7 * srtt + rtt_ns) / 8);
+            }
+        }
+        self.on_success(rail)
+    }
+
+    /// A transmission involving `rail` was acknowledged (no RTT sample
+    /// available, e.g. a retransmitted attempt under Karn's rule).
+    pub fn on_success(&mut self, rail: RailId) -> Option<Transition> {
+        let r = &mut self.rails[rail.0];
+        r.consecutive_timeouts = 0;
+        r.probe_outstanding = false;
+        match r.state {
+            RailState::Up => None,
+            // Any ack on the rail proves liveness; recover immediately.
+            RailState::Suspect | RailState::Down | RailState::Probing => {
+                r.transition(RailState::Up);
+                Some(Transition {
+                    rail,
+                    to: RailState::Up,
+                })
+            }
+        }
+    }
+
+    /// A retransmission timeout is blamed on `rail`.
+    pub fn on_timeout(&mut self, rail: RailId, now_ns: u64) -> Option<Transition> {
+        let cfg = self.cfg;
+        let r = &mut self.rails[rail.0];
+        if matches!(r.state, RailState::Down | RailState::Probing) {
+            return None; // already out of service
+        }
+        r.consecutive_timeouts = r.consecutive_timeouts.saturating_add(1);
+        let to = if r.consecutive_timeouts >= cfg.down_after {
+            RailState::Down
+        } else if r.consecutive_timeouts >= cfg.suspect_after {
+            RailState::Suspect
+        } else {
+            return None;
+        };
+        if to == RailState::Down {
+            r.next_probe_ns = now_ns.saturating_add(cfg.probe_interval_ns);
+            r.probe_outstanding = false;
+        }
+        r.transition(to)
+            .then_some(Transition { rail, to })
+    }
+
+    /// Rails that should get a probe now: `Down` rails whose probe timer
+    /// expired, and `Suspect` rails with no probe outstanding (probing a
+    /// suspect rail quickly separates "rail dead" from "message stalled
+    /// for another reason").
+    pub fn probe_due(&self, rail: RailId, now_ns: u64) -> bool {
+        let r = &self.rails[rail.0];
+        match r.state {
+            RailState::Down => now_ns >= r.next_probe_ns,
+            RailState::Suspect => !r.probe_outstanding,
+            _ => false,
+        }
+    }
+
+    /// Record that a probe was queued on `rail`. A `Down` rail moves to
+    /// `Probing`; a `Suspect` rail stays schedulable while its probe is
+    /// out.
+    pub fn on_probe_sent(&mut self, rail: RailId, now_ns: u64) -> Option<Transition> {
+        let r = &mut self.rails[rail.0];
+        r.probe_sent_ns = now_ns;
+        r.probe_outstanding = true;
+        if r.state == RailState::Down && r.transition(RailState::Probing) {
+            return Some(Transition {
+                rail,
+                to: RailState::Probing,
+            });
+        }
+        None
+    }
+
+    /// True when the outstanding probe on `rail` went unanswered past the
+    /// probe timeout.
+    pub fn probe_expired(&self, rail: RailId, now_ns: u64) -> bool {
+        let r = &self.rails[rail.0];
+        r.probe_outstanding && now_ns >= r.probe_sent_ns.saturating_add(self.cfg.probe_timeout_ns)
+    }
+
+    /// The outstanding probe on `rail` timed out. A `Probing` rail drops
+    /// back to `Down` (and re-arms the probe timer); a `Suspect` rail
+    /// counts the lost probe as one more timeout.
+    pub fn on_probe_timeout(&mut self, rail: RailId, now_ns: u64) -> Option<Transition> {
+        let interval = self.cfg.probe_interval_ns;
+        let r = &mut self.rails[rail.0];
+        r.probe_outstanding = false;
+        match r.state {
+            RailState::Probing => {
+                r.next_probe_ns = now_ns.saturating_add(interval);
+                r.transition(RailState::Down);
+                Some(Transition {
+                    rail,
+                    to: RailState::Down,
+                })
+            }
+            RailState::Suspect => self.on_timeout(rail, now_ns),
+            _ => None,
+        }
+    }
+
+    /// A probe pong came back on `rail`: the rail is alive.
+    pub fn on_probe_ok(&mut self, rail: RailId, rtt_ns: u64) -> Option<Transition> {
+        self.on_rtt_sample(rail, rtt_ns)
+    }
+
+    /// The next instant at which this rail needs attention (a probe to
+    /// send or an outstanding probe to expire), if any. Lets runtimes
+    /// size their idle sleeps.
+    pub fn next_event_ns(&self, rail: RailId) -> Option<u64> {
+        let r = &self.rails[rail.0];
+        match r.state {
+            RailState::Down => Some(r.next_probe_ns),
+            RailState::Probing => {
+                Some(r.probe_sent_ns.saturating_add(self.cfg.probe_timeout_ns))
+            }
+            RailState::Suspect => Some(if r.probe_outstanding {
+                r.probe_sent_ns.saturating_add(self.cfg.probe_timeout_ns)
+            } else {
+                0 // probe due immediately
+            }),
+            RailState::Up => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            initial_rto_ns: 100,
+            min_rto_ns: 10,
+            max_rto_ns: 10_000,
+            suspect_after: 1,
+            down_after: 3,
+            probe_interval_ns: 500,
+            probe_timeout_ns: 200,
+        }
+    }
+
+    #[test]
+    fn rto_starts_at_initial_and_tracks_samples() {
+        let mut h = HealthTracker::new(cfg(), 2);
+        assert_eq!(h.rto_ns(RailId(0)), 100);
+        h.on_rtt_sample(RailId(0), 80);
+        // First sample: srtt = 80, rttvar = 40 -> rto = 80 + 160 = 240.
+        assert_eq!(h.rto_ns(RailId(0)), 240);
+        for _ in 0..50 {
+            h.on_rtt_sample(RailId(0), 80);
+        }
+        // Stable samples shrink the variance towards the clamp floor.
+        assert!(h.rto_ns(RailId(0)) < 240);
+        assert!(h.rto_ns(RailId(0)) >= 80);
+        // Other rail untouched.
+        assert_eq!(h.rto_ns(RailId(1)), 100);
+    }
+
+    #[test]
+    fn timeouts_walk_up_suspect_down() {
+        let mut h = HealthTracker::new(cfg(), 1);
+        let r = RailId(0);
+        assert_eq!(
+            h.on_timeout(r, 0),
+            Some(Transition {
+                rail: r,
+                to: RailState::Suspect
+            })
+        );
+        assert!(h.usable(r), "suspect rails stay schedulable");
+        assert_eq!(h.on_timeout(r, 10), None, "still suspect");
+        assert_eq!(
+            h.on_timeout(r, 20),
+            Some(Transition {
+                rail: r,
+                to: RailState::Down
+            })
+        );
+        assert!(!h.usable(r));
+        assert!(h.none_usable());
+    }
+
+    #[test]
+    fn success_resets_and_recovers() {
+        let mut h = HealthTracker::new(cfg(), 1);
+        let r = RailId(0);
+        h.on_timeout(r, 0);
+        assert_eq!(h.rail(r).state(), RailState::Suspect);
+        let t = h.on_success(r).expect("recovery transition");
+        assert_eq!(t.to, RailState::Up);
+        // Counter reset: one timeout only re-suspects, doesn't go down.
+        h.on_timeout(r, 0);
+        assert_eq!(h.rail(r).state(), RailState::Suspect);
+    }
+
+    #[test]
+    fn probe_cycle_reinstates_a_down_rail() {
+        let mut h = HealthTracker::new(cfg(), 1);
+        let r = RailId(0);
+        for t in 0..3 {
+            h.on_timeout(r, t);
+        }
+        assert_eq!(h.rail(r).state(), RailState::Down);
+        assert!(!h.probe_due(r, 0), "probe timer not yet expired");
+        // Rail went down at t=2 -> next probe due at 502.
+        assert!(h.probe_due(r, 502));
+        h.on_probe_sent(r, 502);
+        assert_eq!(h.rail(r).state(), RailState::Probing);
+        // Unanswered: back to Down, timer re-armed.
+        assert!(h.probe_expired(r, 702));
+        h.on_probe_timeout(r, 702);
+        assert_eq!(h.rail(r).state(), RailState::Down);
+        assert!(!h.probe_due(r, 900));
+        assert!(h.probe_due(r, 1202));
+        // Answered this time: Up again.
+        h.on_probe_sent(r, 1200);
+        h.on_probe_ok(r, 50);
+        assert_eq!(h.rail(r).state(), RailState::Up);
+        assert_eq!(
+            h.rail(r).history(),
+            &[
+                RailState::Up,
+                RailState::Suspect,
+                RailState::Down,
+                RailState::Probing,
+                RailState::Down,
+                RailState::Probing,
+                RailState::Up,
+            ]
+        );
+    }
+
+    #[test]
+    fn suspect_probe_timeout_counts_towards_down() {
+        let mut h = HealthTracker::new(cfg(), 1);
+        let r = RailId(0);
+        h.on_timeout(r, 0); // 1: Suspect
+        assert!(h.probe_due(r, 0), "suspect rails probe immediately");
+        h.on_probe_sent(r, 0);
+        assert_eq!(h.rail(r).state(), RailState::Suspect, "still schedulable");
+        assert!(!h.probe_due(r, 10), "one probe at a time");
+        h.on_probe_timeout(r, 200); // 2: still Suspect
+        assert_eq!(h.rail(r).state(), RailState::Suspect);
+        h.on_probe_sent(r, 200);
+        h.on_probe_timeout(r, 400); // 3: Down
+        assert_eq!(h.rail(r).state(), RailState::Down);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial RTO")]
+    fn config_validation_rejects_out_of_window_initial() {
+        HealthConfig {
+            initial_rto_ns: 5,
+            ..cfg()
+        }
+        .validate();
+    }
+}

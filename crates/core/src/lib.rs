@@ -77,6 +77,7 @@ pub mod config;
 pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod request;
 pub mod sampling;
 pub mod stats;
@@ -85,8 +86,9 @@ pub mod strategy;
 pub use api::{MessageBuilder, MessageReader};
 pub use config::EngineConfig;
 pub use driver::{TxDecision, TxToken};
-pub use engine::{Engine, OnPacketOutcome};
+pub use engine::{Engine, OnPacketOutcome, ProgressOutcome};
 pub use error::EngineError;
+pub use health::{HealthConfig, HealthTracker, RailState};
 pub use request::{Backlog, RecvId, SendId};
 pub use sampling::PerfTable;
 pub use stats::EngineStats;

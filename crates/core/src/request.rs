@@ -289,6 +289,24 @@ impl Backlog {
         self.eager_items().map(|i| i.size).sum()
     }
 
+    /// Failover support: re-point every not-yet-taken planned chunk that
+    /// targets `dead` at the surviving rails (round-robin). Returns how
+    /// many chunks moved.
+    pub fn reassign_rail(&mut self, dead: usize, survivors: &[usize]) -> usize {
+        assert!(!survivors.is_empty(), "failover needs a surviving rail");
+        let mut moved = 0;
+        for item in &mut self.items {
+            let Some(plan) = &mut item.plan else { continue };
+            for c in plan.iter_mut() {
+                if !c.taken && c.rail == dead {
+                    c.rail = survivors[moved % survivors.len()];
+                    moved += 1;
+                }
+            }
+        }
+        moved
+    }
+
     /// Remove every waiting segment of one message (retransmission
     /// support); returns how many were dropped.
     pub fn remove_msg(&mut self, conn: nmad_wire::ConnId, msg_id: nmad_wire::MsgId) -> usize {

@@ -19,6 +19,16 @@ pub struct RailStats {
     pub dma_packets: u64,
     /// Control packets (rdv request/ack, acks).
     pub control_packets: u64,
+    /// Packets received on this rail (before decoding).
+    pub rx_packets: u64,
+    /// Retransmission timeouts blamed on this rail (drops observed).
+    pub timeouts: u64,
+    /// Data packets that re-sent payload of a retransmitted message.
+    pub retransmit_packets: u64,
+    /// Health probes issued on this rail.
+    pub probes_sent: u64,
+    /// Health state transitions (Up/Suspect/Down/Probing changes).
+    pub state_transitions: u64,
 }
 
 /// Engine-wide counters.

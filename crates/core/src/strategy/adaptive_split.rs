@@ -188,6 +188,7 @@ mod tests {
                 backlog: &mut self.backlog,
                 rails: &self.rails,
                 rail_busy: busy,
+                rail_ok: &[true, true],
                 tables: &self.tables,
                 config: &self.config,
             }
@@ -320,6 +321,7 @@ mod tests {
             backlog: &mut backlog,
             rails: &rails,
             rail_busy: &busy,
+            rail_ok: &[true, true],
             tables: &tables,
             config: &config,
         };

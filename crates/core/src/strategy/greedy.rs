@@ -100,6 +100,7 @@ mod tests {
                 backlog: &mut self.backlog,
                 rails: &self.rails,
                 rail_busy: busy,
+                rail_ok: &[true, true],
                 tables: &self.tables,
                 config: &self.config,
             }

@@ -56,6 +56,10 @@ pub struct StrategyCtx<'a> {
     /// Per-rail busy flags (true = currently transmitting). The rail being
     /// asked is always idle.
     pub rail_busy: &'a [bool],
+    /// Per-rail health flags (true = schedulable). Rails marked false are
+    /// out of service; strategies must plan around them. The engine never
+    /// asks for data traffic on an unhealthy rail.
+    pub rail_ok: &'a [bool],
     /// Per-rail sampled performance tables (init-time sampling, §3.4).
     pub tables: &'a [PerfTable],
     /// Engine configuration (thresholds).
@@ -63,22 +67,32 @@ pub struct StrategyCtx<'a> {
 }
 
 impl StrategyCtx<'_> {
-    /// Rails currently idle (including the one being asked).
+    /// True when `rail` may carry data traffic.
+    pub fn rail_ok(&self, rail: RailId) -> bool {
+        self.rail_ok.get(rail.0).copied().unwrap_or(true)
+    }
+
+    /// Rails currently idle and healthy (including the one being asked).
     pub fn idle_rails(&self) -> Vec<RailId> {
         self.rail_busy
             .iter()
             .enumerate()
-            .filter(|(_, &b)| !b)
+            .filter(|&(i, &b)| !b && self.rail_ok(RailId(i)))
             .map(|(i, _)| RailId(i))
             .collect()
     }
 
-    /// The enabled rail with the lowest minimal-message latency.
+    /// The healthy rail with the lowest minimal-message latency (falls
+    /// back over all rails when none is healthy).
     pub fn lowest_latency_rail(&self) -> RailId {
-        (0..self.rails.len())
-            .min_by_key(|&i| self.rails[i].analytic_pio_oneway(0))
-            .map(RailId)
-            .expect("engine always has rails")
+        let best = (0..self.rails.len())
+            .filter(|&i| self.rail_ok(RailId(i)))
+            .min_by_key(|&i| self.rails[i].analytic_pio_oneway(0));
+        best.or_else(|| {
+            (0..self.rails.len()).min_by_key(|&i| self.rails[i].analytic_pio_oneway(0))
+        })
+        .map(RailId)
+        .expect("engine always has rails")
     }
 }
 

@@ -40,9 +40,11 @@ impl Strategy for SingleRail {
     }
 
     fn next_tx(&mut self, rail: RailId, ctx: &mut StrategyCtx<'_>) -> Option<TxOp> {
-        if rail != self.rail {
-            return None; // other rails stay silent
+        if rail != self.rail && ctx.rail_ok(self.rail) {
+            return None; // other rails stay silent while ours is healthy
         }
+        // Failover: when the pinned rail is out of service, whichever
+        // healthy rail asks serves the backlog instead.
         // Granted large segments first (they were submitted earlier or the
         // handshake would not have completed): consume sequentially, whole
         // remainder in one chunk — a single rail gains nothing from
@@ -100,6 +102,7 @@ mod tests {
             backlog: &mut backlog,
             rails: &rails,
             rail_busy: &[false, false],
+            rail_ok: &[true, true],
             tables: &tables,
             config: &config,
         };
@@ -118,6 +121,7 @@ mod tests {
             backlog: &mut backlog,
             rails: &rails,
             rail_busy: &[false, false],
+            rail_ok: &[true, true],
             tables: &tables,
             config: &config,
         };
@@ -135,6 +139,7 @@ mod tests {
             backlog: &mut backlog,
             rails: &rails,
             rail_busy: &[false, false],
+            rail_ok: &[true, true],
             tables: &tables,
             config: &config,
         };
@@ -154,6 +159,7 @@ mod tests {
             backlog: &mut backlog,
             rails: &rails,
             rail_busy: &[false, false],
+            rail_ok: &[true, true],
             tables: &tables,
             config: &config,
         };
@@ -172,6 +178,7 @@ mod tests {
             backlog: &mut backlog,
             rails: &rails,
             rail_busy: &[false, false],
+            rail_ok: &[true, true],
             tables: &tables,
             config: &config,
         };
@@ -191,6 +198,7 @@ mod tests {
             backlog: &mut backlog,
             rails: &rails,
             rail_busy: &[false, false],
+            rail_ok: &[true, true],
             tables: &tables,
             config: &config,
         };
@@ -209,6 +217,7 @@ mod tests {
             backlog: &mut backlog,
             rails: &rails,
             rail_busy: &[false, false],
+            rail_ok: &[true, true],
             tables: &tables,
             config: &config,
         };

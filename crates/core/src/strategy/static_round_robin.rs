@@ -54,6 +54,24 @@ impl StaticRoundRobin {
             self.assignment.insert(key, self.next_rail);
             self.next_rail = (self.next_rail + 1) % n;
         }
+        // Failover: rebind work stuck on an out-of-service rail. The
+        // static baseline normally never revisits a binding — rail death
+        // is the one event that forces it to.
+        if ctx.rail_ok.iter().any(|ok| !ok) && !ctx.rail_ok.iter().all(|ok| !ok) {
+            let dead: Vec<SegKey> = self
+                .assignment
+                .iter()
+                .filter(|&(_, &r)| !ctx.rail_ok(RailId(r)))
+                .map(|(k, _)| *k)
+                .collect();
+            for key in dead {
+                while !ctx.rail_ok(RailId(self.next_rail)) {
+                    self.next_rail = (self.next_rail + 1) % n;
+                }
+                self.assignment.insert(key, self.next_rail);
+                self.next_rail = (self.next_rail + 1) % n;
+            }
+        }
     }
 }
 
@@ -134,6 +152,7 @@ mod tests {
                 backlog: &mut self.backlog,
                 rails: &self.rails,
                 rail_busy: busy,
+                rail_ok: &[true, true],
                 tables: &self.tables,
                 config: &self.config,
             }

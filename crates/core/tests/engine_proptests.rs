@@ -249,3 +249,107 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full fault model, no manual retries: packets are dropped,
+    /// duplicated, and reordered at random while a synthetic clock drives
+    /// `Engine::progress`. The adaptive retransmission and rail-health
+    /// machinery alone must converge to exactly-once delivery with intact
+    /// payloads.
+    #[test]
+    fn automatic_retransmission_survives_drop_dup_reorder(
+        msgs in prop::collection::vec(arb_msg(), 1..4),
+        strat in any::<u8>(),
+        fault_seed in any::<u64>(),
+        drop_pct in 0u8..40,
+        dup_pct in 0u8..30,
+        reorder_pct in 0u8..30,
+    ) {
+        let kind = strategy_from(strat);
+        let mut cfg = EngineConfig::with_strategy(kind);
+        cfg.acked = true;
+        // Timers sized to the synthetic 1 µs step below.
+        cfg.health.initial_rto_ns = 50_000;
+        cfg.health.min_rto_ns = 20_000;
+        cfg.health.max_rto_ns = 500_000;
+        cfg.health.probe_interval_ns = 100_000;
+        cfg.health.probe_timeout_ns = 50_000;
+        let mk = |cfg: &EngineConfig| {
+            Engine::new(cfg.clone(), platform::paper_platform().rails, vec![])
+        };
+        let (mut tx, mut rx) = (mk(&cfg), mk(&cfg));
+        let conn = tx.conn_open();
+        rx.conn_open();
+        let mut rng = Xoshiro256StarStar::new(fault_seed);
+        let drop_prob = f64::from(drop_pct) / 100.0;
+        let dup_prob = f64::from(dup_pct) / 100.0;
+        let reorder_prob = f64::from(reorder_pct) / 100.0;
+
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for m in &msgs {
+            recvs.push(rx.post_recv(conn));
+            sends.push(tx.submit_send(conn, payloads(m)));
+        }
+
+        // In-flight packets per destination: (delivery step, rail, wire).
+        let mut inflight: [Vec<(u64, usize, Bytes)>; 2] = [Vec::new(), Vec::new()];
+        let mut converged = false;
+        for step in 0u64..400_000 {
+            let now_ns = step * 1_000;
+            for (dir, eng) in [&mut tx, &mut rx].into_iter().enumerate() {
+                let _ = eng.progress(now_ns);
+                for r in 0..2 {
+                    while let Some(d) = eng.next_tx(RailId(r)).expect("next_tx") {
+                        eng.on_tx_done(RailId(r), d.token).expect("tx_done");
+                        let copies = if rng.chance(drop_prob) { 0 }
+                            else if rng.chance(dup_prob) { 2 }
+                            else { 1 };
+                        for _ in 0..copies {
+                            let delay = if rng.chance(reorder_prob) {
+                                2 + rng.next_u64() % 30
+                            } else {
+                                1
+                            };
+                            inflight[1 - dir].push((step + delay, r, d.wire.clone()));
+                        }
+                    }
+                }
+            }
+            for (dst, eng) in [&mut tx, &mut rx].into_iter().enumerate() {
+                let due: Vec<(u64, usize, Bytes)> = {
+                    let q = &mut inflight[dst];
+                    let mut kept = Vec::new();
+                    let mut now = Vec::new();
+                    for p in q.drain(..) {
+                        if p.0 <= step { now.push(p) } else { kept.push(p) }
+                    }
+                    *q = kept;
+                    now
+                };
+                for (_, r, wire) in due {
+                    eng.on_packet(RailId(r), &wire).expect("on_packet");
+                }
+            }
+            if sends.iter().all(|&s| tx.send_acked(s)) {
+                converged = true;
+                break;
+            }
+        }
+        prop_assert!(
+            converged,
+            "automatic retransmission failed to converge (drop {drop_pct}% dup {dup_pct}% reorder {reorder_pct}%)"
+        );
+        for (i, (m, recv)) in msgs.iter().zip(&recvs).enumerate() {
+            let got = rx.try_recv(*recv).expect("delivered");
+            prop_assert_eq!(&got.segments, &payloads(m), "message {} corrupted", i);
+        }
+        prop_assert_eq!(
+            rx.stats().msgs_received,
+            msgs.len() as u64,
+            "exactly-once delivery violated"
+        );
+    }
+}

@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use nmad_core::engine::Engine;
+use nmad_core::health::RailState;
 use nmad_core::request::{RecvId, SendId};
 use nmad_core::EngineConfig;
 use nmad_model::{Platform, RailId};
@@ -33,15 +34,41 @@ use nmad_wire::reassembly::MessageAssembly;
 use nmad_wire::ConnId;
 use parking_lot::{Condvar, Mutex};
 
-/// Deterministic fault injection on the wire.
+/// A scheduled outage of one rail: every packet on `rail` is dropped
+/// from `down_at` until `up_at` (measured from fabric construction).
+/// `up_at: None` kills the rail for good.
 #[derive(Clone, Copy, Debug)]
+pub struct RailOutage {
+    /// Rail to kill.
+    pub rail: usize,
+    /// Outage start, relative to fabric construction.
+    pub down_at: Duration,
+    /// Outage end; `None` means the rail never comes back.
+    pub up_at: Option<Duration>,
+}
+
+impl RailOutage {
+    fn covers(&self, elapsed: Duration) -> bool {
+        elapsed >= self.down_at && self.up_at.map(|u| elapsed < u).unwrap_or(true)
+    }
+}
+
+/// Deterministic fault injection on the wire.
+#[derive(Clone, Debug, Default)]
 pub struct FaultSpec {
     /// Probability a packet byte gets flipped in flight.
     pub corrupt_prob: f64,
     /// Probability a packet is silently dropped.
     pub drop_prob: f64,
+    /// Probability a packet is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a packet is held back and delivered after the next
+    /// packet on the same rail (pairwise reordering).
+    pub reorder_prob: f64,
     /// PRNG seed.
     pub seed: u64,
+    /// Scheduled rail outages (kill / flap windows).
+    pub outages: Vec<RailOutage>,
 }
 
 /// Fabric configuration.
@@ -83,6 +110,20 @@ struct Shared {
     rx_errors: AtomicU64,
     /// Packets the fault injector dropped on this endpoint's tx side.
     tx_dropped: AtomicU64,
+    /// Wakeup for this endpoint's worker: set under `work` and notified
+    /// whenever new work arrives (a submit, a retransmit request, or a
+    /// delivery from the peer worker), so the idle loop sleeps on a
+    /// condvar instead of spin-polling.
+    work: Mutex<bool>,
+    work_cv: Condvar,
+}
+
+impl Shared {
+    /// Wake this endpoint's worker.
+    fn kick(&self) {
+        *self.work.lock() = true;
+        self.work_cv.notify_one();
+    }
 }
 
 /// One endpoint of the in-process fabric.
@@ -139,27 +180,16 @@ impl SendHandle {
         }
     }
 
-    /// Acked-mode recovery loop: wait for the delivery confirmation,
-    /// retransmitting every `rto` until `timeout` expires. Returns true
-    /// once acknowledged.
-    pub fn wait_acked_with_retry(&self, timeout: Duration, rto: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return false;
-            }
-            if self.wait_acked(rto.min(remaining)) {
-                return true;
-            }
-            self.shared.engine.lock().retransmit(self.id);
-        }
-    }
-
-    /// Re-enqueue the message for transmission (acked mode, after a
-    /// timeout). See [`nmad_core::Engine::retransmit`].
+    /// Manually re-enqueue the message for transmission (acked mode).
+    /// Normally unnecessary: the progress thread retransmits
+    /// automatically on adaptive timeouts. See
+    /// [`nmad_core::Engine::retransmit`].
     pub fn retransmit(&self) -> bool {
-        self.shared.engine.lock().retransmit(self.id)
+        let ok = self.shared.engine.lock().retransmit(self.id);
+        if ok {
+            self.shared.kick();
+        }
+        ok
     }
 }
 
@@ -190,6 +220,7 @@ impl Endpoint {
     /// Submit a non-blocking send.
     pub fn send(&self, conn: ConnId, segments: Vec<Bytes>) -> SendHandle {
         let id = self.shared.engine.lock().submit_send(conn, segments);
+        self.shared.kick();
         SendHandle {
             shared: self.shared.clone(),
             id,
@@ -199,6 +230,7 @@ impl Endpoint {
     /// Post a non-blocking receive.
     pub fn recv(&self, conn: ConnId) -> RecvHandle {
         let id = self.shared.engine.lock().post_recv(conn);
+        self.shared.kick();
         RecvHandle {
             shared: self.shared.clone(),
             id,
@@ -229,11 +261,28 @@ impl Endpoint {
     pub fn tx_dropped(&self) -> u64 {
         self.shared.tx_dropped.load(Ordering::Relaxed)
     }
+
+    /// Current health state of every rail.
+    pub fn rail_states(&self) -> Vec<RailState> {
+        self.shared.engine.lock().rail_states()
+    }
+
+    /// Full health state history of one rail, oldest first.
+    pub fn rail_history(&self, rail: usize) -> Vec<RailState> {
+        self.shared
+            .engine
+            .lock()
+            .health()
+            .rail(RailId(rail))
+            .history()
+            .to_vec()
+    }
 }
 
 impl Drop for Endpoint {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.kick();
         if let Some(h) = self.worker.take() {
             let _ = h.join();
         }
@@ -248,14 +297,26 @@ struct InFlight {
 
 struct Worker {
     shared: Arc<Shared>,
+    /// The peer endpoint's shared state, to wake its worker on delivery.
+    peer: Arc<Shared>,
     platform: Platform,
     rx: Vec<Receiver<Bytes>>,
     tx: Vec<Sender<Bytes>>,
     inflight: Vec<Option<InFlight>>,
+    /// Packets held back by the reorder injector, per rail.
+    held: Vec<Option<Bytes>>,
+    /// Fabric construction time: the engine clock and outage windows are
+    /// measured from here.
+    start: Instant,
     time_scale: f64,
     faults: Option<FaultSpec>,
     rng: Xoshiro256StarStar,
 }
+
+/// Upper bound on an idle wait: keeps shutdown responsive even if a
+/// wakeup is lost to a race outside the `work` lock.
+const MAX_IDLE_WAIT: Duration = Duration::from_millis(2);
+const MIN_IDLE_WAIT: Duration = Duration::from_micros(20);
 
 impl Worker {
     fn run(mut self) {
@@ -266,16 +327,46 @@ impl Worker {
                 break;
             }
             if !progressed {
-                std::thread::sleep(Duration::from_micros(50));
+                // Sleep until someone kicks us or the next engine/shaping
+                // deadline — no spin-polling.
+                let wait = self.idle_wait();
+                let mut pending = self.shared.work.lock();
+                if !*pending {
+                    self.shared.work_cv.wait_for(&mut pending, wait);
+                }
+                *pending = false;
             }
         }
+    }
+
+    /// How long the worker may sleep: bounded by the earliest shaped
+    /// transmission completion and the engine's next timer deadline.
+    fn idle_wait(&self) -> Duration {
+        let now = Instant::now();
+        let mut wait = MAX_IDLE_WAIT;
+        for f in self.inflight.iter().flatten() {
+            wait = wait.min(f.ready_at.saturating_duration_since(now));
+        }
+        if let Some(deadline_ns) = self.shared.engine.lock().next_deadline_ns() {
+            let now_ns = self.start.elapsed().as_nanos() as u64;
+            wait = wait.min(Duration::from_nanos(deadline_ns.saturating_sub(now_ns)));
+        }
+        wait.max(MIN_IDLE_WAIT)
     }
 
     fn step(&mut self) -> bool {
         let mut progressed = false;
         let now = Instant::now();
+        let now_ns = now.saturating_duration_since(self.start).as_nanos() as u64;
         let mut to_deliver: Vec<(usize, Bytes)> = Vec::new();
         let mut eng = self.shared.engine.lock();
+
+        // 0. Run the engine's timers: adaptive retransmission, rail
+        // health bookkeeping, reinstatement probes.
+        let timer_out = eng.progress(now_ns);
+        if !timer_out.retransmitted.is_empty() || timer_out.control_enqueued {
+            progressed = true;
+        }
 
         // 1. Deliver arrivals.
         for rail in 0..self.rx.len() {
@@ -334,25 +425,56 @@ impl Worker {
     }
 
     fn deliver(&mut self, rail: usize, wire: Bytes) {
-        let wire = match &self.faults {
-            None => wire,
-            Some(spec) => {
-                if self.rng.chance(spec.drop_prob) {
-                    self.shared.tx_dropped.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-                if self.rng.chance(spec.corrupt_prob) {
-                    let mut raw = wire.to_vec();
-                    let idx = self.rng.range_usize(0, raw.len());
-                    raw[idx] ^= 1 << self.rng.range_u64(0, 8);
-                    Bytes::from(raw)
-                } else {
-                    wire
-                }
-            }
+        let Some(spec) = self.faults.clone() else {
+            self.push(rail, wire);
+            return;
         };
+        // Scheduled outage: the rail eats everything, including probes.
+        let elapsed = self.start.elapsed();
+        if spec
+            .outages
+            .iter()
+            .any(|o| o.rail == rail && o.covers(elapsed))
+        {
+            self.shared.tx_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if self.rng.chance(spec.drop_prob) {
+            self.shared.tx_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let wire = if self.rng.chance(spec.corrupt_prob) {
+            let mut raw = wire.to_vec();
+            let idx = self.rng.range_usize(0, raw.len());
+            raw[idx] ^= 1 << self.rng.range_u64(0, 8);
+            Bytes::from(raw)
+        } else {
+            wire
+        };
+        let dup = self.rng.chance(spec.dup_prob);
+        if self.held[rail].is_none() && self.rng.chance(spec.reorder_prob) {
+            // Hold this packet back; it goes out right after the next one
+            // on this rail (pairwise reorder).
+            self.held[rail] = Some(wire.clone());
+            if dup {
+                self.push(rail, wire);
+            }
+            return;
+        }
+        self.push(rail, wire.clone());
+        if dup {
+            self.push(rail, wire);
+        }
+        if let Some(h) = self.held[rail].take() {
+            self.push(rail, h);
+        }
+    }
+
+    /// Hand one wire packet to the peer and wake its worker.
+    fn push(&self, rail: usize, wire: Bytes) {
         // Peer gone: drop silently (shutdown path).
         let _ = self.tx[rail].send(wire);
+        self.peer.kick();
     }
 }
 
@@ -373,6 +495,8 @@ pub fn pair(config: FabricConfig) -> (Endpoint, Endpoint) {
             shutdown: AtomicBool::new(false),
             rx_errors: AtomicU64::new(0),
             tx_dropped: AtomicU64::new(0),
+            work: Mutex::new(false),
+            work_cv: Condvar::new(),
         })
     };
     let shared_a = mk_shared();
@@ -398,20 +522,36 @@ pub fn pair(config: FabricConfig) -> (Endpoint, Endpoint) {
         b_to_a_rx.push(r);
     }
 
-    let mk_worker = |shared: Arc<Shared>, rx, tx, seed| Worker {
+    let start = Instant::now();
+    let mk_worker = |shared: Arc<Shared>, peer: Arc<Shared>, rx, tx, seed| Worker {
         shared,
+        peer,
         platform: config.platform.clone(),
         rx,
         tx,
         inflight: (0..n_rails).map(|_| None).collect(),
+        held: (0..n_rails).map(|_| None).collect(),
+        start,
         time_scale: config.time_scale,
-        faults: config.faults,
+        faults: config.faults.clone(),
         rng: Xoshiro256StarStar::new(seed),
     };
 
-    let seed = config.faults.map(|f| f.seed).unwrap_or(0);
-    let worker_a = mk_worker(shared_a.clone(), b_to_a_rx, a_to_b_tx, seed ^ 0xA);
-    let worker_b = mk_worker(shared_b.clone(), a_to_b_rx, b_to_a_tx, seed ^ 0xB);
+    let seed = config.faults.as_ref().map(|f| f.seed).unwrap_or(0);
+    let worker_a = mk_worker(
+        shared_a.clone(),
+        shared_b.clone(),
+        b_to_a_rx,
+        a_to_b_tx,
+        seed ^ 0xA,
+    );
+    let worker_b = mk_worker(
+        shared_b.clone(),
+        shared_a.clone(),
+        a_to_b_rx,
+        b_to_a_tx,
+        seed ^ 0xB,
+    );
 
     let ha = std::thread::Builder::new()
         .name("nmad-mem-a".into())
@@ -554,6 +694,7 @@ mod tests {
             corrupt_prob: 1.0, // every packet corrupted
             drop_prob: 0.0,
             seed: 7,
+            ..FaultSpec::default()
         });
         let (a, b) = pair(cfg);
         let c = a.conns()[0];
@@ -578,6 +719,7 @@ mod tests {
             corrupt_prob: 0.0,
             drop_prob: 1.0,
             seed: 9,
+            ..FaultSpec::default()
         });
         let (a, b) = pair(cfg);
         let c = a.conns()[0];
@@ -625,19 +767,31 @@ mod tests {
         assert!(a.stats().acks_received >= 1);
     }
 
+    /// Health timers scaled for tests: quick timeouts, quick probes.
+    fn fast_health(engine: &mut EngineConfig) {
+        engine.health.initial_rto_ns = 10_000_000; // 10 ms
+        engine.health.min_rto_ns = 2_000_000;
+        engine.health.max_rto_ns = 200_000_000;
+        engine.health.probe_interval_ns = 20_000_000;
+        engine.health.probe_timeout_ns = 10_000_000;
+    }
+
     #[test]
     fn retransmission_recovers_on_a_lossy_fabric() {
-        // 40% of packets silently dropped; the acked-mode retry loop must
-        // still deliver every message exactly once.
+        // 40% of packets silently dropped; the engine's own adaptive
+        // retransmission timers must deliver every message exactly once —
+        // no caller-driven retry loop.
         let mut cfg = FabricConfig::new(
             platform::paper_platform(),
             EngineConfig::with_strategy(StrategyKind::AggregateEager),
         );
         cfg.engine.acked = true;
+        fast_health(&mut cfg.engine);
         cfg.faults = Some(FaultSpec {
             corrupt_prob: 0.0,
             drop_prob: 0.4,
             seed: 17,
+            ..FaultSpec::default()
         });
         let (a, b) = pair(cfg);
         let c = a.conns()[0];
@@ -648,7 +802,7 @@ mod tests {
             .collect();
         for (i, s) in sends.iter().enumerate() {
             assert!(
-                s.wait_acked_with_retry(Duration::from_secs(30), Duration::from_millis(30)),
+                s.wait_acked(Duration::from_secs(30)),
                 "message {i} never recovered"
             );
         }
@@ -665,6 +819,129 @@ mod tests {
     }
 
     #[test]
+    fn duplicates_and_reordering_tolerated() {
+        let mut cfg = FabricConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::Greedy),
+        );
+        cfg.engine.acked = true;
+        fast_health(&mut cfg.engine);
+        cfg.faults = Some(FaultSpec {
+            drop_prob: 0.1,
+            dup_prob: 0.3,
+            reorder_prob: 0.3,
+            seed: 29,
+            ..FaultSpec::default()
+        });
+        let (a, b) = pair(cfg);
+        let c = a.conns()[0];
+        let n = 12;
+        let recvs: Vec<RecvHandle> = (0..n).map(|_| b.recv(c)).collect();
+        let sends: Vec<SendHandle> = (0..n)
+            .map(|i| a.send(c, vec![Bytes::from(random_payload(300 + i * 53, 100 + i as u64))]))
+            .collect();
+        for (i, s) in sends.iter().enumerate() {
+            assert!(s.wait_acked(Duration::from_secs(30)), "message {i} lost");
+        }
+        for (i, r) in recvs.into_iter().enumerate() {
+            let msg = r.wait(T).expect("delivered");
+            assert_eq!(
+                msg.segments[0].as_ref(),
+                random_payload(300 + i * 53, 100 + i as u64).as_slice(),
+                "message {i} corrupted"
+            );
+        }
+        assert_eq!(b.stats().msgs_received, n as u64, "exactly-once delivery");
+    }
+
+    #[test]
+    fn rail_failover_and_recovery_mid_transfer() {
+        // The acceptance scenario: one of two rails dies while an 8 MB
+        // acked transfer is in flight. The engine must (1) time out, blame
+        // and take the dead rail out of service, (2) finish the transfer
+        // over the survivor via automatic retransmission — the caller only
+        // waits — and (3) reinstate the rail via probes once the outage
+        // ends, walking the full Up -> Suspect -> Down -> Probing -> Up
+        // cycle.
+        let mut cfg = FabricConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+        );
+        cfg.engine.acked = true;
+        fast_health(&mut cfg.engine);
+        cfg.faults = Some(FaultSpec {
+            seed: 41,
+            outages: vec![RailOutage {
+                rail: 0,
+                down_at: Duration::from_millis(5),
+                up_at: Some(Duration::from_millis(700)),
+            }],
+            ..FaultSpec::default()
+        });
+        let (a, b) = pair(cfg);
+        let c = a.conns()[0];
+        let payload = random_payload(8 << 20, 55);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        // No caller-driven retry: a plain wait must suffice.
+        assert!(
+            s.wait_acked(Duration::from_secs(60)),
+            "transfer must survive the rail outage"
+        );
+        let msg = r.wait(T).expect("delivered");
+        assert_eq!(msg.segments[0].as_ref(), payload.as_slice());
+        let st = a.stats();
+        assert!(st.retransmits > 0, "outage must have forced retransmission");
+        assert!(
+            st.rails[0].timeouts > 0,
+            "dead rail must have been blamed: {:?}",
+            st.rails
+        );
+        // Wait out the outage window plus probe turnaround, then check
+        // the rail came back.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let hist = a.rail_history(0);
+            let recovered = is_subsequence(
+                &[
+                    RailState::Up,
+                    RailState::Suspect,
+                    RailState::Down,
+                    RailState::Probing,
+                    RailState::Up,
+                ],
+                &hist,
+            );
+            if recovered {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "rail 0 never walked the full recovery cycle: {hist:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(a.rail_states()[0], RailState::Up);
+        assert!(
+            a.stats().rails[0].probes_sent > 0,
+            "recovery must come from probing"
+        );
+        assert!(a.stats().rails[0].state_transitions >= 4);
+        // The reinstated rail carries traffic again.
+        let r2 = b.recv(c);
+        let s2 = a.send(c, vec![Bytes::from(random_payload(2 << 20, 56))]);
+        assert!(s2.wait_acked(Duration::from_secs(30)));
+        assert!(r2.wait(T).is_some());
+    }
+
+    /// True when `needle` appears in `haystack` in order (not necessarily
+    /// contiguously).
+    fn is_subsequence(needle: &[RailState], haystack: &[RailState]) -> bool {
+        let mut it = haystack.iter();
+        needle.iter().all(|n| it.any(|h| h == n))
+    }
+
+    #[test]
     fn ack_never_arrives_when_message_dropped() {
         let mut cfg = FabricConfig::new(
             platform::paper_platform(),
@@ -675,6 +952,7 @@ mod tests {
             corrupt_prob: 0.0,
             drop_prob: 1.0,
             seed: 3,
+            ..FaultSpec::default()
         });
         let (a, _b) = pair(cfg);
         let c = a.conns()[0];

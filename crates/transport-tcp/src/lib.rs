@@ -125,25 +125,10 @@ impl SendHandle {
         }
     }
 
-    /// Acked-mode recovery loop: wait for the delivery confirmation,
-    /// retransmitting every `rto` until `timeout` expires. Returns true
-    /// once acknowledged.
-    pub fn wait_acked_with_retry(&self, timeout: Duration, rto: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return false;
-            }
-            if self.wait_acked(rto.min(remaining)) {
-                return true;
-            }
-            self.shared.engine.lock().retransmit(self.id);
-        }
-    }
-
-    /// Re-enqueue the message for transmission (acked mode, after a
-    /// timeout). See [`nmad_core::Engine::retransmit`].
+    /// Re-enqueue the message for transmission (acked mode). Normally the
+    /// engine's own adaptive timers handle this from the progress thread;
+    /// the manual hook remains for tests. See
+    /// [`nmad_core::Engine::retransmit`].
     pub fn retransmit(&self) -> bool {
         self.shared.engine.lock().retransmit(self.id)
     }
@@ -312,6 +297,8 @@ impl RailIo {
 struct Worker {
     shared: Arc<Shared>,
     rails: Vec<RailIo>,
+    /// Epoch for the engine's monotonic clock (timeouts, probes).
+    start: Instant,
 }
 
 impl Worker {
@@ -337,6 +324,16 @@ impl Worker {
     fn step(&mut self) -> std::io::Result<bool> {
         let mut progressed = false;
         let mut eng = self.shared.engine.lock();
+
+        // 0. Run the engine's timer wheel: adaptive retransmission of
+        // overdue acked sends, health probes, failover re-planning.
+        let now_ns = Instant::now()
+            .saturating_duration_since(self.start)
+            .as_nanos() as u64;
+        let outcome = eng.progress(now_ns);
+        if !outcome.retransmitted.is_empty() || outcome.control_enqueued {
+            progressed = true;
+        }
 
         for rail in 0..self.rails.len() {
             // 1. Arrivals.
@@ -397,6 +394,7 @@ fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Resul
     let worker = Worker {
         shared: shared.clone(),
         rails,
+        start: Instant::now(),
     };
     let handle = std::thread::Builder::new()
         .name("nmad-tcp".into())
@@ -579,6 +577,23 @@ mod tests {
         let s = a.send(c, segs.clone());
         assert!(s.wait(T));
         assert_eq!(r.wait(T).unwrap().segments, segs);
+    }
+
+    #[test]
+    fn acked_delivery_over_sockets() {
+        let mut engine = EngineConfig::with_strategy(StrategyKind::Greedy);
+        engine.acked = true;
+        let (a, b) = pair_localhost(TcpConfig::new(platform::paper_platform(), engine))
+            .expect("localhost pair");
+        let c = a.conns()[0];
+        let payload = random(200_000, 21);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait_acked(T), "ack must arrive");
+        assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        // TCP does not lose frames: the adaptive timers must not have
+        // fired spuriously on a healthy fabric.
+        assert_eq!(a.stats().retransmits, 0);
     }
 
     #[test]

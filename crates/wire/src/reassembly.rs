@@ -315,6 +315,92 @@ impl Reassembler {
         Ok(self.finish_if_done(msg_id))
     }
 
+    /// Like [`Self::insert_chunk`], but tolerant of data already received:
+    /// overlapping byte ranges are trimmed away and only the missing bytes
+    /// are stored. Retransmissions re-send whole messages and re-chunk
+    /// them independently, so a retransmitted chunk's boundaries may
+    /// straddle data that survived an earlier attempt — the payload bytes
+    /// are identical, only the framing differs. Returns the completed
+    /// message (if this chunk finished it) and the number of genuinely new
+    /// bytes stored (0 for a pure duplicate).
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_chunk_lenient(
+        &mut self,
+        msg_id: MsgId,
+        seg_index: u16,
+        total_segs: u16,
+        offset: u64,
+        total_len: u64,
+        data: &[u8],
+    ) -> Result<(Option<MessageAssembly>, u64), ReasmError> {
+        Self::check_index(msg_id, seg_index, total_segs)?;
+        if offset + data.len() as u64 > total_len {
+            return Err(ReasmError::LengthMismatch { msg_id, seg_index });
+        }
+        let pm = self.entry(msg_id, total_segs)?;
+        let slot = &mut pm.segs[seg_index as usize];
+        if let SegState::Missing = slot {
+            *slot = SegState::Chunked {
+                buf: vec![0; total_len as usize],
+                intervals: Vec::new(),
+                total_len,
+                received: 0,
+            };
+        }
+        let mut new_bytes = 0u64;
+        match slot {
+            SegState::Chunked {
+                buf,
+                intervals,
+                total_len: have_len,
+                received,
+            } => {
+                if *have_len != total_len {
+                    return Err(ReasmError::LengthMismatch { msg_id, seg_index });
+                }
+                // Walk the sorted disjoint interval set and copy only the
+                // uncovered sub-ranges of [offset, end).
+                let end = offset + data.len() as u64;
+                let mut cur = offset;
+                let mut gaps: Vec<(u64, u64)> = Vec::new();
+                for &(s, e) in intervals.iter() {
+                    if e <= cur {
+                        continue;
+                    }
+                    if s >= end {
+                        break;
+                    }
+                    if s > cur {
+                        gaps.push((cur, s));
+                    }
+                    cur = cur.max(e);
+                    if cur >= end {
+                        break;
+                    }
+                }
+                if cur < end {
+                    gaps.push((cur, end));
+                }
+                for &(s, e) in &gaps {
+                    buf[s as usize..e as usize]
+                        .copy_from_slice(&data[(s - offset) as usize..(e - offset) as usize]);
+                    let idx = intervals.partition_point(|&(is, _)| is < s);
+                    intervals.insert(idx, (s, e));
+                    new_bytes += e - s;
+                }
+                *received += new_bytes;
+                if new_bytes > 0 && *received == *have_len {
+                    pm.complete_segs += 1;
+                }
+            }
+            // The segment already arrived whole (eager) — a chunked
+            // retransmission of it carries nothing new.
+            SegState::Complete(_) => {}
+            SegState::Missing => unreachable!("initialized above"),
+        }
+        Ok((self.finish_if_done(msg_id), new_bytes))
+    }
+
     fn finish_if_done(&mut self, msg_id: MsgId) -> Option<MessageAssembly> {
         let pm = self.partial.get(&msg_id)?;
         if pm.complete_segs != pm.total_segs {
@@ -430,6 +516,36 @@ mod tests {
         // Exact duplicate also overlaps.
         let err = r.insert_chunk(1, 0, 1, 0, 100, &[0; 50]).unwrap_err();
         assert!(matches!(err, ReasmError::OverlappingChunk { offset: 0, .. }));
+    }
+
+    #[test]
+    fn lenient_chunk_trims_overlap_and_keeps_received_data() {
+        let mut r = Reassembler::new();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(100).collect();
+        // A chunk from the first attempt survived: [60, 100).
+        r.insert_chunk(1, 0, 1, 60, 100, &payload[60..]).unwrap();
+        // The retransmission re-chunks the message with different
+        // boundaries; its pieces straddle the surviving interval.
+        let (done, fresh) = r
+            .insert_chunk_lenient(1, 0, 1, 0, 100, &payload[..50])
+            .unwrap();
+        assert!(done.is_none());
+        assert_eq!(fresh, 50);
+        // [40, 80) overlaps both existing intervals; only [50, 60) is new.
+        let (done, fresh) = r
+            .insert_chunk_lenient(1, 0, 1, 40, 100, &payload[40..80])
+            .unwrap();
+        assert_eq!(fresh, 10);
+        let done = done.expect("message complete once every byte is covered");
+        assert_eq!(done.segments[0].as_ref(), payload.as_slice());
+        // Entirely-covered chunks are pure duplicates.
+        let mut r2 = Reassembler::new();
+        r2.insert_chunk(2, 0, 1, 0, 100, &payload[..50]).unwrap();
+        let (done, fresh) = r2
+            .insert_chunk_lenient(2, 0, 1, 10, 100, &payload[10..30])
+            .unwrap();
+        assert!(done.is_none());
+        assert_eq!(fresh, 0);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: what CI runs and what a PR must keep green.
+#
+#   scripts/verify.sh          # build + tests + lints
+#   scripts/verify.sh --quick  # skip the release build
+#
+# Everything runs offline against the vendored registry (see README).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check 2>/dev/null || echo "    (rustfmt unavailable or diffs; non-fatal)"
+
+echo "verify: OK"

@@ -48,6 +48,7 @@ fn corrupted_wire_is_rejected_loudly() {
         corrupt_prob: 1.0,
         drop_prob: 0.0,
         seed: 123,
+        ..FaultSpec::default()
     });
     let (a, b) = pair(cfg);
     let c = a.conns()[0];
@@ -69,6 +70,7 @@ fn partial_corruption_still_delivers_clean_messages() {
         corrupt_prob: 0.3,
         drop_prob: 0.0,
         seed: 5,
+        ..FaultSpec::default()
     });
     let (a, b) = pair(cfg);
     let c = a.conns()[0];
