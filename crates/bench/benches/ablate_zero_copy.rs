@@ -1,0 +1,40 @@
+//! Datapath copy accounting: measures bytes copied vs moved zero-copy and
+//! gates against the copy budget. Run with
+//! `cargo bench -p nmad-bench --bench ablate_zero_copy`.
+//! Set `NMAD_DATAPATH_SMOKE=1` for the small CI sweep.
+
+use std::path::Path;
+
+fn main() {
+    let smoke = std::env::var("NMAD_DATAPATH_SMOKE").is_ok_and(|v| v != "0");
+    eprintln!(
+        "running ablate_zero_copy ({} sweep, deterministic simulation)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = nmad_bench::datapath::run(smoke);
+    println!("{}", nmad_bench::datapath::render(&report));
+
+    let dir = nmad_bench::report::figures_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+    }
+    let path: std::path::PathBuf = Path::new(&dir).join("BENCH_datapath.json");
+    let bytes = serde_json::to_vec_pretty(&report).expect("serializable");
+    match std::fs::write(&path, bytes) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    let violations = nmad_bench::datapath::check(&report);
+    if !violations.is_empty() {
+        eprintln!("copy budget violated:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "copy budget OK: {:.1}x reduction vs legacy pipeline",
+        report.reduction_factor
+    );
+}

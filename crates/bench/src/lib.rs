@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod datapath;
 pub mod figures;
 pub mod report;
 pub mod workload;

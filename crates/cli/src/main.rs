@@ -49,6 +49,8 @@ fn usage() -> &'static str {
                                         backlog accumulation during compute phases\n\
        timeline [--strategy S] [--size BYTES] [--segments N]\n\
                                         ASCII Gantt of one transfer\n\
+       datapath [--smoke] [--check]     copy accounting across the datapath\n\
+                                        (--check exits nonzero on budget violation)\n\
        tcp-serve [--conns N]            real-socket receiver (prints addresses)\n\
        tcp-send <addr0> <addr1> [--size BYTES]\n\
                                         real-socket sender\n\
@@ -82,6 +84,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("burst") => cmd_burst(&args),
         Some("window") => cmd_window(&args),
         Some("timeline") => cmd_timeline(&args),
+        Some("datapath") => cmd_datapath(&args),
         Some("tcp-serve") => cmd_tcp_serve(&args),
         Some("tcp-send") => cmd_tcp_send(&args),
         Some("faults") => cmd_faults(&args),
@@ -320,6 +323,26 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_datapath(args: &Args) -> Result<(), String> {
+    use nmad_bench::datapath;
+    let report = datapath::run(args.has("smoke"));
+    println!("{}", datapath::render(&report));
+    if args.has("check") {
+        let violations = datapath::check(&report);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("copy budget violated: {v}");
+            }
+            return Err("datapath copy budget violated".into());
+        }
+        println!(
+            "copy budget OK: {:.1}x reduction vs legacy pipeline",
+            report.reduction_factor
+        );
+    }
+    Ok(())
+}
+
 fn cmd_tcp_serve(args: &Args) -> Result<(), String> {
     use nmad_transport_tcp::{listen, TcpConfig};
     let mut cfg = TcpConfig::new(
@@ -346,8 +369,8 @@ fn cmd_tcp_serve(args: &Args) -> Result<(), String> {
     let st = ep.stats();
     println!(
         "socket shares seen by receiver: {} / {} packets",
-        st.rails.first().map(|r| r.packets).unwrap_or(0),
-        st.rails.get(1).map(|r| r.packets).unwrap_or(0)
+        st.rails.first().map(|r| r.rx_packets).unwrap_or(0),
+        st.rails.get(1).map(|r| r.rx_packets).unwrap_or(0)
     );
     Ok(())
 }
@@ -585,6 +608,11 @@ mod tests {
             "7".into(),
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn datapath_smoke_check_passes() {
+        run(&["datapath".to_string(), "--smoke".into(), "--check".into()]).unwrap();
     }
 
     #[test]

@@ -158,12 +158,12 @@ mod tests {
                 if let Some(d) = tx.next_tx(rail).unwrap() {
                     progressed = true;
                     tx.on_tx_done(rail, d.token).unwrap();
-                    rx.on_packet(rail, &d.wire).unwrap();
+                    rx.on_frame(rail, &d.frame).unwrap();
                 }
                 if let Some(d) = rx.next_tx(rail).unwrap() {
                     progressed = true;
                     rx.on_tx_done(rail, d.token).unwrap();
-                    tx.on_packet(rail, &d.wire).unwrap();
+                    tx.on_frame(rail, &d.frame).unwrap();
                 }
             }
             if !progressed {

@@ -58,7 +58,7 @@
 //!             if let Some(d) = tx.next_tx(RailId(r)).unwrap() {
 //!                 progressed = true;
 //!                 tx.on_tx_done(RailId(r), d.token).unwrap();
-//!                 rx.on_packet(RailId(r), &d.wire).unwrap();
+//!                 rx.on_frame(RailId(r), &d.frame).unwrap();
 //!             }
 //!         }
 //!     }
@@ -78,6 +78,7 @@ pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod health;
+pub mod pool;
 pub mod request;
 pub mod sampling;
 pub mod stats;
@@ -89,7 +90,8 @@ pub use driver::{TxDecision, TxToken};
 pub use engine::{Engine, OnPacketOutcome, ProgressOutcome};
 pub use error::EngineError;
 pub use health::{HealthConfig, HealthTracker, RailState};
+pub use pool::BufferPool;
 pub use request::{Backlog, RecvId, SendId};
 pub use sampling::PerfTable;
-pub use stats::EngineStats;
+pub use stats::{DataPathStats, EngineStats};
 pub use strategy::{Strategy, StrategyKind};

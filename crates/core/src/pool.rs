@@ -1,0 +1,148 @@
+//! Reusable buffer pool for the transmit hot path.
+//!
+//! Every packet needs a small owned head buffer (envelope + body header)
+//! and aggregation needs a staging slab; allocating them fresh per packet
+//! is exactly the per-packet overhead §3.3 warns about. The pool keeps a
+//! free list of recycled `Vec<u8>` allocations: [`BufferPool::take`] pops
+//! one (a *pool hit*) or allocates (a counted *hot-path alloc*), and
+//! [`BufferPool::reclaim`] recovers the allocation from a frozen
+//! [`Bytes`] once the frame leaves the in-flight set — which succeeds
+//! precisely when no one else still holds a reference (the threaded
+//! transports drop theirs at tx completion; the in-process fabric's
+//! receiver may legitimately still hold one, which is counted as a miss,
+//! not an error).
+
+use bytes::{Bytes, BytesMut};
+
+/// Counters the pool reports back to
+/// [`crate::stats::DataPathStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Requests served from the free list.
+    pub hits: u64,
+    /// Requests that had to allocate.
+    pub allocs: u64,
+    /// Buffers recovered into the free list.
+    pub reclaims: u64,
+    /// Reclaim attempts on still-shared buffers.
+    pub reclaim_misses: u64,
+}
+
+/// A bounded free list of byte buffers.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    max_buffers: usize,
+    counters: PoolCounters,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+impl BufferPool {
+    /// Pool keeping at most `max_buffers` free buffers (excess reclaims
+    /// are dropped to bound memory).
+    pub fn new(max_buffers: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_buffers,
+            counters: PoolCounters::default(),
+        }
+    }
+
+    /// Take a cleared buffer with at least `min_capacity` bytes of
+    /// capacity, preferring a recycled one.
+    pub fn take(&mut self, min_capacity: usize) -> BytesMut {
+        // Find a free buffer that already has the capacity; otherwise
+        // reuse the largest available (growing it amortizes like a fresh
+        // Vec, but keeps the allocation count honest).
+        if let Some(idx) = self.free.iter().position(|b| b.capacity() >= min_capacity) {
+            let mut buf = self.free.swap_remove(idx);
+            buf.clear();
+            self.counters.hits += 1;
+            return BytesMut::from(buf);
+        }
+        self.counters.allocs += 1;
+        BytesMut::with_capacity(min_capacity)
+    }
+
+    /// Try to recover the allocation behind `buf` into the free list.
+    /// Succeeds only when `buf` is the sole reference; a shared buffer is
+    /// counted as a miss and dropped (the other holder keeps it alive).
+    pub fn reclaim(&mut self, buf: Bytes) {
+        if buf.is_unique() {
+            if self.free.len() < self.max_buffers {
+                let v: Vec<u8> = buf.into();
+                self.free.push(v);
+            }
+            self.counters.reclaims += 1;
+        } else {
+            self.counters.reclaim_misses += 1;
+        }
+    }
+
+    /// Buffers currently on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Cumulative hit/alloc/reclaim counters.
+    pub fn counters(&self) -> PoolCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_allocates_then_hits_after_reclaim() {
+        let mut p = BufferPool::new(4);
+        let b = p.take(64);
+        assert_eq!(p.counters().allocs, 1);
+        assert_eq!(p.counters().hits, 0);
+        p.reclaim(b.freeze());
+        assert_eq!(p.counters().reclaims, 1);
+        assert_eq!(p.free_buffers(), 1);
+        let b2 = p.take(32);
+        assert_eq!(p.counters().hits, 1);
+        assert!(b2.capacity() >= 32);
+        assert!(b2.is_empty(), "recycled buffer must come back cleared");
+    }
+
+    #[test]
+    fn shared_buffer_is_a_miss() {
+        let mut p = BufferPool::new(4);
+        let b = p.take(16).freeze();
+        let _other = b.clone();
+        p.reclaim(b);
+        assert_eq!(p.counters().reclaim_misses, 1);
+        assert_eq!(p.free_buffers(), 0);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut p = BufferPool::new(2);
+        for _ in 0..5 {
+            let b = p.take(8);
+            p.reclaim(b.freeze());
+        }
+        assert!(p.free_buffers() <= 2);
+    }
+
+    #[test]
+    fn capacity_preference() {
+        let mut p = BufferPool::new(4);
+        let small = p.take(8);
+        let big = p.take(4096);
+        p.reclaim(small.freeze());
+        p.reclaim(big.freeze());
+        let got = p.take(2048);
+        assert!(got.capacity() >= 2048, "must pick the big free buffer");
+        assert_eq!(p.counters().hits, 1);
+    }
+}

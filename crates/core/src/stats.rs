@@ -31,6 +31,49 @@ pub struct RailStats {
     pub state_transitions: u64,
 }
 
+/// Copy and allocation accounting for the scatter-gather datapath.
+///
+/// The zero-copy refactor makes every copy on the hot path *explicit*:
+/// the only tx-side payload copy allowed is sub-PIO aggregation staging
+/// (see DESIGN.md "Datapath and copy discipline"), and these counters
+/// prove it. `nmad-bench`'s `ablate_zero_copy` target and the
+/// `scripts/verify.sh` smoke gate read them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataPathStats {
+    /// Payload bytes memcpy'd into staging slabs on transmit (sub-PIO
+    /// aggregation entries only — everything else must be zero).
+    pub tx_staged_copy_bytes: u64,
+    /// Payload bytes transmitted as refcounted slices (no copy).
+    pub tx_zero_copy_bytes: u64,
+    /// Payload bytes copied on receive (part-straddling reads and legacy
+    /// flat-buffer delivery; frame delivery keeps this at zero).
+    pub rx_copy_bytes: u64,
+    /// Payload bytes sliced zero-copy out of received frames.
+    pub rx_zero_copy_bytes: u64,
+    /// Fresh allocations taken on the hot path (head buffers or staging
+    /// slabs the pool could not satisfy).
+    pub hot_path_allocs: u64,
+    /// Buffer requests served from the pool free list.
+    pub pool_hits: u64,
+    /// Transmit buffers reclaimed into the pool at tx completion.
+    pub pool_reclaims: u64,
+    /// Reclaim attempts that failed because the buffer was still shared
+    /// (e.g. the in-process fabric's receiver holds a reference).
+    pub pool_reclaim_misses: u64,
+}
+
+impl DataPathStats {
+    /// Total payload bytes copied on the hot path (tx staging + rx).
+    pub fn total_copied_bytes(&self) -> u64 {
+        self.tx_staged_copy_bytes + self.rx_copy_bytes
+    }
+
+    /// Total payload bytes moved without copying.
+    pub fn total_zero_copy_bytes(&self) -> u64 {
+        self.tx_zero_copy_bytes + self.rx_zero_copy_bytes
+    }
+}
+
 /// Engine-wide counters.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
@@ -62,6 +105,8 @@ pub struct EngineStats {
     pub retransmits: u64,
     /// Duplicate packets tolerated on the receive side (acked mode).
     pub duplicates_dropped: u64,
+    /// Copy/allocation accounting for the scatter-gather datapath.
+    pub datapath: DataPathStats,
 }
 
 impl EngineStats {
@@ -114,5 +159,19 @@ mod tests {
         assert_eq!(s.total_packets(), 0);
         assert_eq!(s.rail_share(1), 0.0);
         assert_eq!(s.rails.len(), 3);
+        assert_eq!(s.datapath, DataPathStats::default());
+    }
+
+    #[test]
+    fn datapath_totals() {
+        let d = DataPathStats {
+            tx_staged_copy_bytes: 100,
+            tx_zero_copy_bytes: 1000,
+            rx_copy_bytes: 7,
+            rx_zero_copy_bytes: 2000,
+            ..Default::default()
+        };
+        assert_eq!(d.total_copied_bytes(), 107);
+        assert_eq!(d.total_zero_copy_bytes(), 3000);
     }
 }

@@ -8,6 +8,7 @@ use nmad_core::engine::Engine;
 use nmad_core::{EngineConfig, StrategyKind};
 use nmad_model::{platform, RailId};
 use nmad_sim::Xoshiro256StarStar;
+use nmad_wire::PacketFrame;
 use proptest::prelude::*;
 
 fn engines(kind: StrategyKind, acked: bool) -> (Engine, Engine) {
@@ -32,7 +33,7 @@ fn pump(a: &mut Engine, b: &mut Engine) -> usize {
                 if let Some(d) = tx.next_tx(rail).expect("next_tx") {
                     progressed = true;
                     tx.on_tx_done(rail, d.token).expect("tx_done");
-                    rx.on_packet(rail, &d.wire).expect("on_packet");
+                    rx.on_frame(rail, &d.frame).expect("on_frame");
                 }
             }
         }
@@ -220,7 +221,7 @@ proptest! {
                             progressed = true;
                             a.on_tx_done(rail, d.token).expect("tx_done");
                             if !rng.chance(drop_prob) {
-                                b.on_packet(rail, &d.wire).expect("on_packet");
+                                b.on_frame(rail, &d.frame).expect("on_frame");
                             }
                         }
                     }
@@ -294,8 +295,8 @@ proptest! {
             sends.push(tx.submit_send(conn, payloads(m)));
         }
 
-        // In-flight packets per destination: (delivery step, rail, wire).
-        let mut inflight: [Vec<(u64, usize, Bytes)>; 2] = [Vec::new(), Vec::new()];
+        // In-flight packets per destination: (delivery step, rail, frame).
+        let mut inflight: [Vec<(u64, usize, PacketFrame)>; 2] = [Vec::new(), Vec::new()];
         let mut converged = false;
         for step in 0u64..400_000 {
             let now_ns = step * 1_000;
@@ -313,13 +314,13 @@ proptest! {
                             } else {
                                 1
                             };
-                            inflight[1 - dir].push((step + delay, r, d.wire.clone()));
+                            inflight[1 - dir].push((step + delay, r, d.frame.clone()));
                         }
                     }
                 }
             }
             for (dst, eng) in [&mut tx, &mut rx].into_iter().enumerate() {
-                let due: Vec<(u64, usize, Bytes)> = {
+                let due: Vec<(u64, usize, PacketFrame)> = {
                     let q = &mut inflight[dst];
                     let mut kept = Vec::new();
                     let mut now = Vec::new();
@@ -329,8 +330,8 @@ proptest! {
                     *q = kept;
                     now
                 };
-                for (_, r, wire) in due {
-                    eng.on_packet(RailId(r), &wire).expect("on_packet");
+                for (_, r, frame) in due {
+                    eng.on_frame(RailId(r), &frame).expect("on_frame");
                 }
             }
             if sends.iter().all(|&s| tx.send_acked(s)) {

@@ -27,7 +27,7 @@ use nmad_model::{HostModel, NicModel, Platform, RailId, TxMode};
 use nmad_sim::trace::{Category, Tracer};
 use nmad_sim::{EventQueue, FlowId, FluidChannel, MultiResource, SimDuration, SimTime};
 use nmad_wire::reassembly::MessageAssembly;
-use nmad_wire::ConnId;
+use nmad_wire::{ConnId, PacketFrame};
 
 use crate::timeline::Timeline;
 
@@ -84,7 +84,7 @@ impl FaultPlan {
 struct PendingDma {
     rail: usize,
     token: nmad_core::driver::TxToken,
-    wire: Bytes,
+    frame: PacketFrame,
     started: SimTime,
 }
 
@@ -136,21 +136,23 @@ enum Ev {
         node: usize,
         rail: usize,
         token: nmad_core::driver::TxToken,
-        wire: Bytes,
+        frame: PacketFrame,
     },
     /// Re-examine the node's bus for flow completions.
     BusCheck { node: usize, epoch: u64 },
     /// A packet reached the destination NIC (before rx software overhead).
+    /// The frame travels as refcounted parts — the modelled wire moves
+    /// bytes without the simulator ever flattening them.
     Arrive {
         node: usize,
         rail: usize,
-        wire: Bytes,
+        frame: PacketFrame,
     },
-    /// Rx overhead paid; hand the packet to the engine.
+    /// Rx overhead paid; hand the frame to the engine.
     Deliver {
         node: usize,
         rail: usize,
-        wire: Bytes,
+        frame: PacketFrame,
     },
     /// Periodic engine progress pass (retransmission timers, health
     /// probes). Only scheduled when a [`FaultPlan`] is active.
@@ -378,17 +380,17 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                 node,
                 rail,
                 token,
-                wire,
+                frame,
             } => {
                 let cap = self.nodes[node].rails[rail].link_bandwidth;
-                let len = wire.len() as u64;
+                let len = frame.wire_len() as u64;
                 let flow = self.nodes[node].bus.add_flow(now, len, cap);
                 self.nodes[node].dma.insert(
                     flow,
                     PendingDma {
                         rail,
                         token,
-                        wire,
+                        frame,
                         started: now,
                     },
                 );
@@ -410,7 +412,7 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                     let PendingDma {
                         rail,
                         token,
-                        wire,
+                        frame,
                         started,
                     } = self.nodes[node]
                         .dma
@@ -421,7 +423,7 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                             format!("n{node}.rail{rail}"),
                             started,
                             now,
-                            format!("dma {}B", wire.len()),
+                            format!("dma {}B", frame.wire_len()),
                         );
                     }
                     let completed = self.nodes[node]
@@ -435,7 +437,7 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                         Ev::Arrive {
                             node: dst,
                             rail,
-                            wire,
+                            frame,
                         },
                     );
                     for s in completed {
@@ -445,12 +447,15 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                 }
                 self.schedule_bus_check(node, now);
             }
-            Ev::Arrive { node, rail, wire } => {
+            Ev::Arrive { node, rail, frame } => {
                 if let Some(p) = &self.faults {
                     if p.rail == rail && p.covers(now) {
                         self.packets_lost += 1;
                         self.trace.record_with(now, Category::Nic, || {
-                            format!("n{node} rail{rail} lost {}B (link down)", wire.len())
+                            format!(
+                                "n{node} rail{rail} lost {}B (link down)",
+                                frame.wire_len()
+                            )
                         });
                         return;
                     }
@@ -460,12 +465,12 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                 if let Some(tl) = &mut self.timeline {
                     tl.record(format!("n{node}.cpu"), g.start, g.end, "rx");
                 }
-                self.queue.push(g.end, Ev::Deliver { node, rail, wire });
+                self.queue.push(g.end, Ev::Deliver { node, rail, frame });
             }
-            Ev::Deliver { node, rail, wire } => {
+            Ev::Deliver { node, rail, frame } => {
                 let outcome = self.nodes[node]
                     .engine
-                    .on_packet(RailId(rail), &wire)
+                    .on_frame(RailId(rail), &frame)
                     .unwrap_or_else(|e| panic!("n{node} rx error: {e}"));
                 for recv in outcome.completed_recvs {
                     let msg = self.nodes[node]
@@ -504,7 +509,7 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
         if d.copied_bytes > 0 {
             cpu_cost += host.memcpy_time(d.copied_bytes);
         }
-        let wire_len = d.wire.len();
+        let wire_len = d.frame.wire_len();
         match d.mode {
             TxMode::Pio => {
                 cpu_cost += nic.pio_injection_time(wire_len);
@@ -536,7 +541,7 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                     Ev::Arrive {
                         node: 1 - node,
                         rail,
-                        wire: d.wire,
+                        frame: d.frame,
                     },
                 );
             }
@@ -557,7 +562,7 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                         node,
                         rail,
                         token: d.token,
-                        wire: d.wire,
+                        frame: d.frame,
                     },
                 );
             }

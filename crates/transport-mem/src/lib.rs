@@ -14,15 +14,23 @@
 //!   rails to the engine;
 //! * payload CRCs are enabled, and a deterministic fault injector can
 //!   corrupt packets in flight to exercise the detection path.
+//!
+//! The channels carry [`PacketFrame`]s — refcounted scatter-gather views
+//! of the sender's buffers, not flattened copies. Duplication and
+//! reordering in the fault injector are refcount bumps; corruption does a
+//! copy-on-write of the one affected part only (mutating in place would
+//! reach back into the sender's retransmission state).
 
 #![warn(missing_docs)]
+// Copy-regression gate: see DESIGN.md "Datapath and copy discipline".
+#![deny(clippy::unnecessary_to_owned, clippy::redundant_clone)]
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use nmad_core::engine::Engine;
 use nmad_core::health::RailState;
@@ -31,7 +39,7 @@ use nmad_core::EngineConfig;
 use nmad_model::{Platform, RailId};
 use nmad_sim::Xoshiro256StarStar;
 use nmad_wire::reassembly::MessageAssembly;
-use nmad_wire::ConnId;
+use nmad_wire::{ConnId, PacketFrame};
 use parking_lot::{Condvar, Mutex};
 
 /// A scheduled outage of one rail: every packet on `rail` is dropped
@@ -292,7 +300,7 @@ impl Drop for Endpoint {
 struct InFlight {
     ready_at: Instant,
     token: nmad_core::driver::TxToken,
-    wire: Bytes,
+    frame: PacketFrame,
 }
 
 struct Worker {
@@ -300,11 +308,11 @@ struct Worker {
     /// The peer endpoint's shared state, to wake its worker on delivery.
     peer: Arc<Shared>,
     platform: Platform,
-    rx: Vec<Receiver<Bytes>>,
-    tx: Vec<Sender<Bytes>>,
+    rx: Vec<Receiver<PacketFrame>>,
+    tx: Vec<Sender<PacketFrame>>,
     inflight: Vec<Option<InFlight>>,
     /// Packets held back by the reorder injector, per rail.
-    held: Vec<Option<Bytes>>,
+    held: Vec<Option<PacketFrame>>,
     /// Fabric construction time: the engine clock and outage windows are
     /// measured from here.
     start: Instant,
@@ -358,7 +366,7 @@ impl Worker {
         let mut progressed = false;
         let now = Instant::now();
         let now_ns = now.saturating_duration_since(self.start).as_nanos() as u64;
-        let mut to_deliver: Vec<(usize, Bytes)> = Vec::new();
+        let mut to_deliver: Vec<(usize, PacketFrame)> = Vec::new();
         let mut eng = self.shared.engine.lock();
 
         // 0. Run the engine's timers: adaptive retransmission, rail
@@ -368,11 +376,12 @@ impl Worker {
             progressed = true;
         }
 
-        // 1. Deliver arrivals.
+        // 1. Deliver arrivals. The frame's parts are still the sender's
+        // buffers — the engine reads them without another flatten.
         for rail in 0..self.rx.len() {
-            while let Ok(wire) = self.rx[rail].try_recv() {
+            while let Ok(frame) = self.rx[rail].try_recv() {
                 progressed = true;
-                if eng.on_packet(RailId(rail), &wire).is_err() {
+                if eng.on_frame(RailId(rail), &frame).is_err() {
                     self.shared.rx_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -386,7 +395,7 @@ impl Worker {
                 progressed = true;
                 eng.on_tx_done(RailId(rail), f.token)
                     .expect("token issued by this worker");
-                to_deliver.push((rail, f.wire));
+                to_deliver.push((rail, f.frame));
             }
         }
 
@@ -400,17 +409,17 @@ impl Worker {
                 .expect("engine invariant violated")
             {
                 progressed = true;
-                let dur = self.shaped_duration(rail, d.wire.len());
+                let dur = self.shaped_duration(rail, d.frame.wire_len());
                 self.inflight[rail] = Some(InFlight {
                     ready_at: now + dur,
                     token: d.token,
-                    wire: d.wire,
+                    frame: d.frame,
                 });
             }
         }
         drop(eng);
-        for (rail, wire) in to_deliver {
-            self.deliver(rail, wire);
+        for (rail, frame) in to_deliver {
+            self.deliver(rail, frame);
         }
         progressed
     }
@@ -424,9 +433,9 @@ impl Worker {
         Duration::from_secs_f64((bytes as f64 / bw + lat) * self.time_scale)
     }
 
-    fn deliver(&mut self, rail: usize, wire: Bytes) {
+    fn deliver(&mut self, rail: usize, frame: PacketFrame) {
         let Some(spec) = self.faults.clone() else {
-            self.push(rail, wire);
+            self.push(rail, frame);
             return;
         };
         // Scheduled outage: the rail eats everything, including probes.
@@ -443,37 +452,50 @@ impl Worker {
             self.shared.tx_dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let wire = if self.rng.chance(spec.corrupt_prob) {
-            let mut raw = wire.to_vec();
-            let idx = self.rng.range_usize(0, raw.len());
-            raw[idx] ^= 1 << self.rng.range_u64(0, 8);
-            Bytes::from(raw)
+        let frame = if self.rng.chance(spec.corrupt_prob) {
+            self.corrupt(frame)
         } else {
-            wire
+            frame
         };
         let dup = self.rng.chance(spec.dup_prob);
         if self.held[rail].is_none() && self.rng.chance(spec.reorder_prob) {
             // Hold this packet back; it goes out right after the next one
-            // on this rail (pairwise reorder).
-            self.held[rail] = Some(wire.clone());
+            // on this rail (pairwise reorder). Clones are refcount bumps.
+            self.held[rail] = Some(frame.clone());
             if dup {
-                self.push(rail, wire);
+                self.push(rail, frame);
             }
             return;
         }
-        self.push(rail, wire.clone());
+        self.push(rail, frame.clone());
         if dup {
-            self.push(rail, wire);
+            self.push(rail, frame);
         }
         if let Some(h) = self.held[rail].take() {
             self.push(rail, h);
         }
     }
 
+    /// Flip one bit somewhere in the wire image. Copy-on-write of the one
+    /// part holding the chosen byte — never the whole wire image. The part
+    /// cannot be mutated in place: it is refcount-shared with the sender's
+    /// retransmission state, and a real wire would not reach back into the
+    /// sender's memory either.
+    fn corrupt(&mut self, mut frame: PacketFrame) -> PacketFrame {
+        let idx = self.rng.range_usize(0, frame.wire_len());
+        let (part_idx, off) = frame.locate(idx).expect("index within wire image");
+        let part = frame.part(part_idx).expect("located part exists");
+        let mut raw = BytesMut::with_capacity(part.len());
+        raw.extend_from_slice(part);
+        raw[off] ^= 1 << self.rng.range_u64(0, 8);
+        frame.replace_part(part_idx, raw.freeze());
+        frame
+    }
+
     /// Hand one wire packet to the peer and wake its worker.
-    fn push(&self, rail: usize, wire: Bytes) {
+    fn push(&self, rail: usize, frame: PacketFrame) {
         // Peer gone: drop silently (shutdown path).
-        let _ = self.tx[rail].send(wire);
+        let _ = self.tx[rail].send(frame);
         self.peer.kick();
     }
 }

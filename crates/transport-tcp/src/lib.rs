@@ -17,23 +17,31 @@
 //! Multiple TCP connections between the same two hosts are the classic
 //! poor man's multi-rail: the strategies still apply (striping a large
 //! message over N sockets, aggregating small ones onto the first).
+//!
+//! The datapath is scatter-gather end to end: transmissions go out with
+//! `write_vectored` straight from the engine's [`PacketFrame`] parts (no
+//! flattening), and arrivals are carved out of a `BytesMut` receive ring
+//! with `split_to`, handing each frame to [`nmad_core::Engine::on_frame`]
+//! as one refcounted slice.
 
 #![warn(missing_docs)]
+// Copy-regression gate: see DESIGN.md "Datapath and copy discipline".
+#![deny(clippy::unnecessary_to_owned, clippy::redundant_clone)]
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use nmad_core::engine::Engine;
 use nmad_core::request::{RecvId, SendId};
 use nmad_core::EngineConfig;
 use nmad_model::{Platform, RailId};
 use nmad_wire::reassembly::MessageAssembly;
-use nmad_wire::ConnId;
+use nmad_wire::{ConnId, PacketFrame};
 use parking_lot::{Condvar, Mutex};
 
 /// Frame length prefix size.
@@ -201,14 +209,20 @@ impl Drop for Endpoint {
     }
 }
 
-/// Per-rail socket state: partial reads and pending writes.
+/// Per-rail socket state: partial reads and pending vectored writes.
 struct RailIo {
     stream: TcpStream,
-    /// Bytes read but not yet framed.
-    rx_buf: Vec<u8>,
-    /// Bytes queued for the wire (length-prefixed frames), not yet written.
-    tx_buf: Vec<u8>,
-    /// Tx token to report once `tx_buf` fully drains.
+    /// Receive ring: bytes read but not yet framed. Complete frames are
+    /// `split_to` off the front and frozen into refcounted [`PacketFrame`]s
+    /// — the payload is never copied again after leaving the socket.
+    rx_buf: BytesMut,
+    /// Frame pending injection, written gather-style part by part.
+    tx_frame: Option<PacketFrame>,
+    /// Little-endian length prefix for `tx_frame`.
+    tx_prefix: [u8; LEN_PREFIX],
+    /// Bytes of `prefix + frame` already accepted by the socket.
+    tx_off: usize,
+    /// Tx token to report once the pending frame fully drains.
     pending_token: Option<nmad_core::driver::TxToken>,
 }
 
@@ -218,60 +232,98 @@ impl RailIo {
         stream.set_nodelay(true)?;
         Ok(RailIo {
             stream,
-            rx_buf: Vec::new(),
-            tx_buf: Vec::new(),
+            rx_buf: BytesMut::new(),
+            tx_frame: None,
+            tx_prefix: [0; LEN_PREFIX],
+            tx_off: 0,
             pending_token: None,
         })
     }
 
     /// Pull whatever the socket has; return complete frames.
-    fn drain_rx(&mut self) -> std::io::Result<Vec<Vec<u8>>> {
-        let mut chunk = [0u8; 64 * 1024];
+    fn drain_rx(&mut self) -> std::io::Result<Vec<PacketFrame>> {
+        const READ_CHUNK: usize = 64 * 1024;
         loop {
-            match self.stream.read(&mut chunk) {
-                Ok(0) => break, // peer closed; frames already buffered still count
-                Ok(n) => self.rx_buf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
+            // Read straight into the ring's tail — no bounce buffer.
+            let old = self.rx_buf.len();
+            self.rx_buf.resize(old + READ_CHUNK, 0);
+            match self.stream.read(&mut self.rx_buf[old..]) {
+                Ok(0) => {
+                    self.rx_buf.truncate(old);
+                    break; // peer closed; frames already buffered still count
+                }
+                Ok(n) => self.rx_buf.truncate(old + n),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.rx_buf.truncate(old);
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {
+                    self.rx_buf.truncate(old);
+                    continue;
+                }
+                Err(e) => {
+                    self.rx_buf.truncate(old);
+                    return Err(e);
+                }
             }
         }
         let mut frames = Vec::new();
-        let mut off = 0usize;
-        while self.rx_buf.len() - off >= LEN_PREFIX {
-            let len = u32::from_le_bytes(self.rx_buf[off..off + LEN_PREFIX].try_into().unwrap())
-                as usize;
+        while self.rx_buf.len() >= LEN_PREFIX {
+            let len =
+                u32::from_le_bytes(self.rx_buf[..LEN_PREFIX].try_into().unwrap()) as usize;
             if len > MAX_FRAME {
                 return Err(std::io::Error::new(
                     ErrorKind::InvalidData,
                     format!("frame length {len} exceeds bound"),
                 ));
             }
-            if self.rx_buf.len() - off - LEN_PREFIX < len {
+            if self.rx_buf.len() - LEN_PREFIX < len {
                 break;
             }
-            frames.push(self.rx_buf[off + LEN_PREFIX..off + LEN_PREFIX + len].to_vec());
-            off += LEN_PREFIX + len;
-        }
-        if off > 0 {
-            self.rx_buf.drain(..off);
+            let _prefix = self.rx_buf.split_to(LEN_PREFIX);
+            let wire = self.rx_buf.split_to(len).freeze();
+            frames.push(PacketFrame::from_wire(wire));
         }
         Ok(frames)
     }
 
-    /// Queue a frame for transmission.
-    fn enqueue(&mut self, wire: &[u8], token: nmad_core::driver::TxToken) {
+    /// Queue a frame for transmission. The parts are shared with the
+    /// engine's in-flight state (refcounted), not copied into a staging
+    /// buffer.
+    fn enqueue(&mut self, frame: PacketFrame, token: nmad_core::driver::TxToken) {
         debug_assert!(self.pending_token.is_none(), "one injection at a time");
-        self.tx_buf
-            .extend_from_slice(&(wire.len() as u32).to_le_bytes());
-        self.tx_buf.extend_from_slice(wire);
+        self.tx_prefix = (frame.wire_len() as u32).to_le_bytes();
+        self.tx_off = 0;
+        self.tx_frame = Some(frame);
         self.pending_token = Some(token);
     }
 
-    /// Push pending bytes; return the token once everything drained.
+    /// Push the pending frame with gather writes; return the token once
+    /// everything drained. `tx_off` tracks partial progress across the
+    /// prefix and the frame parts between calls.
     fn flush(&mut self) -> std::io::Result<Option<nmad_core::driver::TxToken>> {
-        while !self.tx_buf.is_empty() {
-            match self.stream.write(&self.tx_buf) {
+        loop {
+            let Some(frame) = &self.tx_frame else {
+                return Ok(self.pending_token.take());
+            };
+            let total = LEN_PREFIX + frame.wire_len();
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(1 + frame.num_parts());
+            let mut skip = self.tx_off;
+            if skip < LEN_PREFIX {
+                slices.push(IoSlice::new(&self.tx_prefix[skip..]));
+                skip = 0;
+            } else {
+                skip -= LEN_PREFIX;
+            }
+            for part in frame.parts() {
+                if skip >= part.len() {
+                    skip -= part.len();
+                    continue;
+                }
+                slices.push(IoSlice::new(&part[skip..]));
+                skip = 0;
+            }
+            match self.stream.write_vectored(&slices) {
                 Ok(0) => {
                     return Err(std::io::Error::new(
                         ErrorKind::WriteZero,
@@ -279,14 +331,17 @@ impl RailIo {
                     ))
                 }
                 Ok(n) => {
-                    self.tx_buf.drain(..n);
+                    self.tx_off += n;
+                    if self.tx_off >= total {
+                        self.tx_frame = None;
+                        self.tx_off = 0;
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
         }
-        Ok(self.pending_token.take())
     }
 
     fn idle(&self) -> bool {
@@ -339,7 +394,7 @@ impl Worker {
             // 1. Arrivals.
             for frame in self.rails[rail].drain_rx()? {
                 progressed = true;
-                if eng.on_packet(RailId(rail), &frame).is_err() {
+                if eng.on_frame(RailId(rail), &frame).is_err() {
                     self.shared.rx_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -356,7 +411,7 @@ impl Worker {
                     .expect("engine invariant violated")
                 {
                     progressed = true;
-                    self.rails[rail].enqueue(&d.wire, d.token);
+                    self.rails[rail].enqueue(d.frame, d.token);
                     // Try to push it out immediately.
                     if let Some(token) = self.rails[rail].flush()? {
                         eng.on_tx_done(RailId(rail), token)

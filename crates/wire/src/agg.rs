@@ -16,10 +16,11 @@
 //!   data:       len bytes
 //! ```
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::codec::{Reader, Writer};
 use crate::error::WireError;
+use crate::frame::PartList;
 use crate::header::Packet;
 use crate::MsgId;
 
@@ -110,6 +111,89 @@ impl AggregateBuilder {
         }
         Packet::Aggregate(w.finish())
     }
+
+    /// Finish into scatter-gather body parts instead of a flat container.
+    ///
+    /// Entries whose payload is below `stage_threshold` (the PIO regime —
+    /// the copy the paper calls "very low" cost, §3.1) are staged into
+    /// `slab` together with every entry header; entries at or above it
+    /// ride as refcounted zero-copy slices between staged runs. The wire
+    /// image is identical to [`AggregateBuilder::finish`] — only the copy
+    /// pattern differs.
+    ///
+    /// `slab` should come from a buffer pool (it is cleared first). The
+    /// returned [`AggregateParts`] reports how many payload bytes were
+    /// staged so the engine can charge exactly that memcpy cost.
+    ///
+    /// Panics if empty, like [`AggregateBuilder::finish`].
+    pub fn finish_parts(self, stage_threshold: usize, mut slab: BytesMut) -> AggregateParts {
+        assert!(!self.entries.is_empty(), "empty aggregate container");
+        assert!(
+            self.entries.len() <= u16::MAX as usize,
+            "too many entries in one aggregate"
+        );
+        let container_len = self.container_len();
+        slab.clear();
+        let mut parts = PartList::new();
+        let mut staged_bytes = 0usize;
+        let mut zero_copy_bytes = 0usize;
+        // Offsets into the (single) slab allocation where each staged run
+        // ends; the runs become zero-copy slices of the frozen slab.
+        let mut run_start = 0usize;
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut pending: Vec<Bytes> = Vec::new();
+        slab.put_u16_le(self.entries.len() as u16);
+        for e in &self.entries {
+            slab.put_u32_le(e.conn_id);
+            slab.put_u64_le(e.msg_id);
+            slab.put_u16_le(e.seg_index);
+            slab.put_u16_le(e.total_segs);
+            slab.put_u32_le(e.data.len() as u32);
+            if e.data.len() < stage_threshold {
+                slab.put_slice(&e.data);
+                staged_bytes += e.data.len();
+            } else {
+                // Cut the staged run here; the payload becomes its own
+                // part and the next run continues in the same slab.
+                runs.push((run_start, slab.len()));
+                run_start = slab.len();
+                pending.push(e.data.clone());
+                zero_copy_bytes += e.data.len();
+            }
+        }
+        runs.push((run_start, slab.len()));
+        let slab = slab.freeze();
+        let mut pending = pending.into_iter();
+        for (i, &(s, e)) in runs.iter().enumerate() {
+            if e > s {
+                parts.push(slab.slice(s..e));
+            }
+            if i + 1 < runs.len() {
+                parts.push(pending.next().expect("one payload per cut"));
+            }
+        }
+        debug_assert_eq!(parts.total_len(), container_len);
+        AggregateParts {
+            parts,
+            staged_bytes,
+            zero_copy_bytes,
+            container_len,
+        }
+    }
+}
+
+/// Result of [`AggregateBuilder::finish_parts`].
+#[derive(Debug)]
+pub struct AggregateParts {
+    /// Body parts in wire order (staged runs interleaved with zero-copy
+    /// payload slices).
+    pub parts: PartList,
+    /// Payload bytes copied into the staging slab (sub-threshold entries).
+    pub staged_bytes: usize,
+    /// Payload bytes riding as refcounted slices (no copy).
+    pub zero_copy_bytes: usize,
+    /// Total container size on the wire.
+    pub container_len: usize,
 }
 
 /// Parse an aggregate container body back into its entries.
@@ -247,6 +331,67 @@ mod tests {
             parse_aggregate(&extended),
             Err(WireError::TrailingBytes(1))
         ));
+    }
+
+    #[test]
+    fn finish_parts_matches_flat_wire_image() {
+        let big = vec![0xBB; 512];
+        let mut flat = AggregateBuilder::new();
+        let mut sg = AggregateBuilder::new();
+        for b in [&mut flat, &mut sg] {
+            b.push(entry(1, 0, 2, b"small one"));
+            b.push(entry(2, 0, 1, &big));
+            b.push(entry(1, 1, 2, b"small two"));
+            b.push(entry(3, 0, 1, &big));
+        }
+        let Packet::Aggregate(body) = flat.finish() else {
+            panic!()
+        };
+        // Threshold 256: the two big entries ride zero-copy.
+        let parts = sg.finish_parts(256, BytesMut::new());
+        assert_eq!(parts.staged_bytes, 9 + 9);
+        assert_eq!(parts.zero_copy_bytes, 1024);
+        assert_eq!(parts.container_len, body.len());
+        let mut joined = Vec::new();
+        for p in parts.parts.iter() {
+            joined.extend_from_slice(p);
+        }
+        assert_eq!(joined, body.to_vec(), "wire images must be identical");
+        // Interleaving: run / big / run / big (no trailing run — the last
+        // entry is zero-copy... actually last entry is big, so runs end
+        // with an empty tail that is skipped).
+        assert!(parts.parts.len() >= 4);
+    }
+
+    #[test]
+    fn finish_parts_all_small_is_one_staged_run() {
+        let mut b = AggregateBuilder::new();
+        b.push(entry(1, 0, 1, b"aa"));
+        b.push(entry(2, 0, 1, b"bb"));
+        let parts = b.finish_parts(4096, BytesMut::new());
+        assert_eq!(parts.parts.len(), 1, "everything staged in one slab run");
+        assert_eq!(parts.staged_bytes, 4);
+        assert_eq!(parts.zero_copy_bytes, 0);
+    }
+
+    #[test]
+    fn finish_parts_zero_copy_slices_share_storage() {
+        let big = Bytes::from(vec![0xCD; 300]);
+        let mut b = AggregateBuilder::new();
+        b.push(AggregateEntry {
+            conn_id: 0,
+            msg_id: 1,
+            seg_index: 0,
+            total_segs: 1,
+            data: big.clone(),
+        });
+        let parts = b.finish_parts(128, BytesMut::new());
+        let payload = parts
+            .parts
+            .iter()
+            .find(|p| p.len() == 300)
+            .expect("payload part");
+        assert_eq!(payload.as_slice().as_ptr(), big.as_slice().as_ptr());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub enum PacketKind {
 }
 
 impl PacketKind {
-    fn from_u8(v: u8) -> Result<Self, WireError> {
+    pub(crate) fn from_u8(v: u8) -> Result<Self, WireError> {
         Ok(match v {
             1 => PacketKind::Eager,
             2 => PacketKind::Aggregate,

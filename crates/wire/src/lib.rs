@@ -11,6 +11,9 @@
 //!   (eager, aggregate, rendezvous request/ack, chunk, ack, sampling probes);
 //! * [`codec`] — a small safe reader/writer over byte buffers;
 //! * [`checksum`] — CRC-32 (IEEE) for payload integrity;
+//! * [`frame`] — scatter-gather packet frames: the zero-copy iovec
+//!   representation of a packet (small owned head + refcounted payload
+//!   slices) used on every hot path;
 //! * [`agg`] — building and parsing aggregation containers;
 //! * [`split`] — chunk planning for multi-rail splitting (iso and ratio
 //!   driven), with covering/non-overlap invariants;
@@ -22,16 +25,21 @@
 //! transport.
 
 #![warn(missing_docs)]
+// Copy-regression gate: the wire crate is the hot path, so accidental
+// owned conversions and clones fail the build outright.
+#![deny(clippy::unnecessary_to_owned, clippy::redundant_clone)]
 
 pub mod agg;
 pub mod checksum;
 pub mod codec;
 pub mod error;
+pub mod frame;
 pub mod header;
 pub mod reassembly;
 pub mod split;
 
-pub use agg::{AggregateBuilder, AggregateEntry};
+pub use agg::{AggregateBuilder, AggregateEntry, AggregateParts};
+pub use frame::{FrameBody, PacketFrame, PartList, SgReader};
 pub use error::WireError;
 pub use header::{
     AckPacket, ChunkPacket, EagerPacket, Envelope, Packet, PacketKind, RdvAck, RdvRequest,

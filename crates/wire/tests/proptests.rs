@@ -1,14 +1,16 @@
 //! Property-based tests for the wire format invariants.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
 
 use nmad_wire::agg::{parse_aggregate, AggregateBuilder, AggregateEntry};
+use nmad_wire::frame::encode_parts_frame;
 use nmad_wire::header::{
-    AckPacket, ChunkPacket, EagerPacket, Packet, RdvAck, RdvRequest, SamplePacket,
+    AckPacket, ChunkPacket, EagerPacket, Packet, PacketKind, RdvAck, RdvRequest, SamplePacket,
 };
 use nmad_wire::reassembly::Reassembler;
 use nmad_wire::split::SplitPlan;
+use nmad_wire::FrameBody;
 
 fn arb_bytes(max: usize) -> impl Strategy<Value = Bytes> {
     prop::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
@@ -172,6 +174,125 @@ proptest! {
         let done = done.expect("must complete on last chunk");
         prop_assert_eq!(done.into_contiguous(), payload);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The vectored encoder and the legacy flat encoder produce
+    /// byte-identical wire images for any packet. This is the contract
+    /// that lets the two coexist: a frame's parts concatenated are
+    /// exactly what `encode` would have flattened.
+    #[test]
+    fn vectored_encoder_matches_flat(pkt in arb_packet(), conn in any::<u32>(), seq in any::<u32>(), crc in any::<bool>()) {
+        let flat = pkt.encode(conn, seq, crc);
+        let frame = pkt.encode_frame(conn, seq, crc);
+        prop_assert_eq!(frame.wire_len(), flat.len());
+        let image = frame.to_bytes();
+        prop_assert_eq!(image.as_ref(), flat.as_slice());
+    }
+
+    /// Decoding a scatter-gather frame yields the same packet as the flat
+    /// decoder, without flattening first.
+    #[test]
+    fn frame_decode_matches_flat_decode(pkt in arb_packet(), conn in any::<u32>(), seq in any::<u32>(), crc in any::<bool>()) {
+        let frame = pkt.encode_frame(conn, seq, crc);
+        let (env, body, _straddle) = frame.decode().unwrap();
+        prop_assert_eq!(env.conn_id, conn);
+        prop_assert_eq!(env.seq, seq);
+        prop_assert_eq!(env.crc_checked, crc);
+        let FrameBody::Packet(decoded) = body else {
+            return Err("non-aggregate packet decoded as aggregate".into());
+        };
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    /// The scatter-gather aggregate container is byte-identical to the
+    /// legacy copy-everything container for any entry mix and any staging
+    /// threshold (the threshold only moves bytes between "staged" and
+    /// "zero-copy", never changes the wire image).
+    #[test]
+    fn aggregate_parts_match_flat_container(
+        entries in prop::collection::vec(
+            (any::<u64>(), any::<u16>(), 1..32u16, arb_bytes(128)), 1..20),
+        threshold in 0usize..256,
+    ) {
+        let mut flat_b = AggregateBuilder::new();
+        let mut parts_b = AggregateBuilder::new();
+        for (msg_id, seg_raw, total_segs, data) in entries {
+            let e = AggregateEntry {
+                conn_id: (msg_id >> 32) as u32,
+                msg_id,
+                seg_index: seg_raw % total_segs,
+                total_segs,
+                data,
+            };
+            flat_b.push(e.clone());
+            parts_b.push(e);
+        }
+        let flat_pkt = flat_b.finish();
+        let flat = flat_pkt.encode(7, 9, true);
+        let agg = parts_b.finish_parts(threshold, BytesMut::new());
+        prop_assert_eq!(
+            agg.staged_bytes + agg.zero_copy_bytes + nmad_wire::agg::CONTAINER_OVERHEAD
+                + nmad_wire::agg::ENTRY_OVERHEAD * agg_entry_count(&flat),
+            agg.container_len
+        );
+        let frame = encode_parts_frame(PacketKind::Aggregate, 7, 9, true, agg.parts, BytesMut::new());
+        let image = frame.to_bytes();
+        prop_assert_eq!(image.as_ref(), flat.as_slice());
+    }
+
+    /// Chunks sliced zero-copy out of a message (`Bytes::slice`), carried
+    /// through frame encode/decode, reassemble to the exact original.
+    #[test]
+    fn zero_copy_chunks_reassemble(
+        payload in prop::collection::vec(any::<u8>(), 1..8192),
+        cuts in prop::collection::vec(any::<usize>(), 0..6),
+        seed in any::<u64>(),
+    ) {
+        let original = Bytes::from(payload);
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c % original.len()).collect();
+        offsets.push(0);
+        offsets.push(original.len());
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut pieces: Vec<(u64, Bytes)> = offsets.windows(2)
+            .map(|w| (w[0] as u64, original.slice(w[0]..w[1])))
+            .collect();
+        let mut rng = nmad_sim::Xoshiro256StarStar::new(seed);
+        rng.shuffle(&mut pieces);
+
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for (i, (off, data)) in pieces.iter().enumerate() {
+            let pkt = Packet::Chunk(ChunkPacket {
+                msg_id: 42,
+                seg_index: 0,
+                total_segs: 1,
+                offset: *off,
+                total_len: original.len() as u64,
+                chunk_index: i as u16,
+                data: data.clone(),
+            });
+            let frame = pkt.encode_frame(3, i as u32, true);
+            let (_, body, _) = frame.decode().unwrap();
+            let FrameBody::Packet(Packet::Chunk(c)) = body else {
+                return Err("chunk decoded as something else".into());
+            };
+            let res = r.insert_chunk(c.msg_id, c.seg_index, c.total_segs, c.offset,
+                c.total_len, c.data.as_ref()).unwrap();
+            if let Some(d) = res { done = Some(d); }
+        }
+        let done = done.expect("must complete once all chunks arrive");
+        prop_assert_eq!(done.into_contiguous(), original.as_ref());
+    }
+}
+
+/// Entry count of a flat-encoded aggregate packet (for the length identity).
+fn agg_entry_count(wire: &[u8]) -> usize {
+    // Envelope is 24 bytes; the container starts with a u16 entry count.
+    u16::from_le_bytes(wire[24..26].try_into().unwrap()) as usize
 }
 
 proptest! {

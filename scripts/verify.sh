@@ -25,6 +25,12 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Copy-budget gate: the ablate_zero_copy smoke sweep exits nonzero if the
+# large-message split path stages any bytes or the datapath stops beating
+# the legacy copy-everything model by >= 2x (see DESIGN.md).
+echo "==> datapath copy budget (ablate_zero_copy smoke sweep)"
+NMAD_DATAPATH_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_zero_copy
+
 echo "==> cargo fmt --check"
 cargo fmt --check 2>/dev/null || echo "    (rustfmt unavailable or diffs; non-fatal)"
 

@@ -74,6 +74,30 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// True when this handle is the only reference to the backing
+    /// allocation (so [`Vec<u8>::from`] can reclaim it without copying).
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    /// Recover the backing `Vec` without copying when this is the only
+    /// handle to it (buffer-pool reclaim); falls back to a copy when the
+    /// allocation is shared or the view is a proper sub-slice.
+    fn from(b: Bytes) -> Vec<u8> {
+        match Arc::try_unwrap(b.data) {
+            Ok(mut v) => {
+                v.truncate(b.end);
+                if b.start > 0 {
+                    v.drain(..b.start);
+                }
+                v
+            }
+            Err(data) => data[b.start..b.end].to_vec(),
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -232,6 +256,58 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, s: &[u8]) {
         self.buf.extend_from_slice(s);
     }
+
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Remove all bytes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Shorten the buffer to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Resize to `len` bytes, filling new space with `value`.
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.buf.resize(len, value);
+    }
+
+    /// Split off and return the first `at` bytes, leaving the remainder
+    /// in `self`. Mirrors `bytes::BytesMut::split_to`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_to out of bounds");
+        let rest = self.buf.split_off(at);
+        BytesMut {
+            buf: std::mem::replace(&mut self.buf, rest),
+        }
+    }
+
+    /// Capacity of the backing allocation.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// The bytes as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(m: BytesMut) -> Vec<u8> {
+        m.buf
+    }
 }
 
 impl Deref for BytesMut {
@@ -241,9 +317,21 @@ impl Deref for BytesMut {
     }
 }
 
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 
@@ -302,5 +390,45 @@ mod tests {
         m.put_u16_le(0x0102);
         m.put_u8(0xFF);
         assert_eq!(&m.freeze()[..], &[0x02, 0x01, 0xFF]);
+    }
+
+    #[test]
+    fn split_to_takes_front() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let front = m.split_to(2);
+        assert_eq!(&front[..], &[1, 2]);
+        assert_eq!(&m[..], &[3, 4, 5]);
+        let all = m.split_to(3);
+        assert_eq!(&all[..], &[3, 4, 5]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn vec_from_unique_bytes_reclaims_without_copy() {
+        let v = vec![7u8; 32];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert!(b.is_unique());
+        let back: Vec<u8> = b.into();
+        assert_eq!(back.len(), 32);
+        assert_eq!(back.as_ptr(), ptr, "unique handle must reuse allocation");
+    }
+
+    #[test]
+    fn vec_from_shared_bytes_copies() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let b2 = b.clone();
+        assert!(!b.is_unique());
+        let v: Vec<u8> = b.into();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(&b2[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn vec_from_sliced_bytes_honors_view() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]).slice(1..4);
+        let v: Vec<u8> = b.into();
+        assert_eq!(v, vec![2, 3, 4]);
     }
 }
