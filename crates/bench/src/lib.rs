@@ -20,6 +20,7 @@
 
 pub mod datapath;
 pub mod figures;
+pub mod obs_bench;
 pub mod report;
 pub mod workload;
 

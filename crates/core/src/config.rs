@@ -34,6 +34,11 @@ pub struct EngineConfig {
     /// active in acked mode and when the runtime drives
     /// [`crate::Engine::progress`]).
     pub health: HealthConfig,
+    /// Flight-recorder capacity in events. 0 (the default) disables
+    /// recording entirely; nonzero preallocates a ring of that many
+    /// fixed-size records at engine construction (see
+    /// [`crate::obs::FlightRecorder`]).
+    pub record_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +51,7 @@ impl Default for EngineConfig {
             crc: false,
             acked: false,
             health: HealthConfig::default(),
+            record_capacity: 0,
         }
     }
 }

@@ -32,7 +32,8 @@ use nmad_wire::{ConnId, FrameBody, MsgId, PacketFrame};
 use crate::config::EngineConfig;
 use crate::driver::{TxDecision, TxItem, TxToken};
 use crate::error::EngineError;
-use crate::health::{HealthTracker, RailState, Transition};
+use crate::health::{HealthTracker, RailState, RailTelemetry, Transition};
+use crate::obs::{Event, EventKind, FlightRecorder};
 use crate::pool::BufferPool;
 use crate::request::{Backlog, RecvId, SegKey, SegPhase, SendId};
 use crate::sampling::{default_ladder, PerfTable};
@@ -167,6 +168,9 @@ pub struct Engine {
     /// Health probes in flight: probe id -> rail under test, sent at.
     probe_sent: HashMap<u64, (usize, u64)>,
     next_probe_id: u64,
+    /// Packet-lifecycle flight recorder (disabled unless
+    /// [`EngineConfig::record_capacity`] is nonzero).
+    obs: FlightRecorder,
 }
 
 /// Bookkeeping held between `next_tx` and `on_tx_done`: what the decision
@@ -175,6 +179,9 @@ pub struct Engine {
 struct InFlightTx {
     items: Vec<TxItem>,
     head: Option<Bytes>,
+    /// Wire bytes of the posted frame (for the in-flight gauge and the
+    /// `TxDone` event).
+    wire_len: usize,
 }
 
 impl Engine {
@@ -198,6 +205,7 @@ impl Engine {
         Engine {
             strategy: Some(config.strategy.build()),
             health: HealthTracker::new(config.health, n),
+            obs: FlightRecorder::with_capacity(config.record_capacity),
             config,
             tables,
             backlog: Backlog::new(),
@@ -225,6 +233,30 @@ impl Engine {
             next_probe_id: 0,
             rails,
         }
+    }
+
+    /// Read access to the flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.obs
+    }
+
+    /// Mutable access to the flight recorder (e.g. to clear it between
+    /// workload phases).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.obs
+    }
+
+    /// Advance the engine's observation clock without running any timer
+    /// work. Runtimes that rarely (or never) call [`Engine::progress`] —
+    /// the simulator only ticks it when a fault plan is armed — use this
+    /// so event timestamps and RTT samples still track their clock.
+    pub fn observe_clock(&mut self, now_ns: u64) {
+        self.now_ns = self.now_ns.max(now_ns);
+    }
+
+    /// Health telemetry snapshot for `rail` as of the engine clock.
+    pub fn rail_telemetry(&self, rail: usize) -> RailTelemetry {
+        self.health.telemetry(RailId(rail), self.now_ns)
     }
 
     /// Open a logical channel. Both endpoints must open connections in the
@@ -302,13 +334,28 @@ impl Engine {
         let send_id = SendId(self.next_send_id);
         self.next_send_id += 1;
         let total_segs = segments.len() as u16;
+        let total_bytes: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        self.obs.record(
+            Event::new(self.now_ns, EventKind::Submit)
+                .seq(msg_id)
+                .size(total_bytes)
+                .aux(total_segs as u64),
+        );
         for (i, seg) in segments.iter().enumerate() {
             let key = SegKey {
                 conn,
                 msg_id,
                 seg_index: i as u16,
             };
-            if seg.len() >= self.config.rdv_threshold {
+            self.stats.obs.seg_size.record(seg.len() as u64);
+            let rdv = seg.len() >= self.config.rdv_threshold;
+            self.obs.record(
+                Event::new(self.now_ns, EventKind::BacklogPush)
+                    .seq(msg_id)
+                    .size(seg.len() as u64)
+                    .aux(rdv as u64),
+            );
+            if rdv {
                 // Rendezvous track: announce and wait for the grant.
                 self.backlog
                     .push(key, total_segs, seg.len() as u64, SegPhase::RdvRequested);
@@ -328,6 +375,7 @@ impl Engine {
                     .push(key, total_segs, seg.len() as u64, SegPhase::EagerReady);
             }
         }
+        self.stats.obs.backlog_depth.record(self.backlog.len() as u64);
         self.send_data.insert((conn, msg_id), segments);
         self.send_index.insert((conn, msg_id), send_id);
         self.send_key.insert(send_id, (conn, msg_id));
@@ -341,6 +389,7 @@ impl Engine {
         );
         if self.config.acked {
             let rto = self.health.rto_hint_ns();
+            self.stats.obs.rto_ns.record(rto);
             self.attempts.insert(
                 send_id,
                 Attempt {
@@ -492,6 +541,8 @@ impl Engine {
                 rail_ok: &rail_ok,
                 tables: &self.tables,
                 config: &self.config,
+                obs: &mut self.obs,
+                now_ns: self.now_ns,
             };
             strategy.next_tx(rail, &mut ctx)
         };
@@ -526,6 +577,12 @@ impl Engine {
                     _ => unreachable!("built above"),
                 };
                 self.stats.datapath.tx_zero_copy_bytes += payload as u64;
+                self.obs.record(
+                    Event::new(self.now_ns, EventKind::DecideEager)
+                        .rail(rail.0)
+                        .seq(key.msg_id)
+                        .size(payload as u64),
+                );
                 Ok(self.finish_decision(rail, key.conn, pkt, items, 0, payload))
             }
             TxOp::Aggregate(keys) => {
@@ -564,6 +621,12 @@ impl Engine {
                 self.stats.datapath.tx_zero_copy_bytes += agg.zero_copy_bytes as u64;
                 self.sync_pool_counters();
                 self.charge_items(&items);
+                self.obs.record(
+                    Event::new(self.now_ns, EventKind::DecideAggregate)
+                        .rail(rail.0)
+                        .size(payload as u64)
+                        .aux(items.len() as u64),
+                );
                 Ok(self.finish_agg_decision(rail, first_conn, agg, items, payload))
             }
             TxOp::Chunk { key, max_len } => {
@@ -572,14 +635,14 @@ impl Engine {
                     .backlog
                     .take_chunk(key, max_len)
                     .ok_or(EngineError::InvalidStrategyOp("chunk not takeable"))?;
-                self.emit_chunk(rail, tc)
+                self.emit_chunk(rail, tc, false)
             }
             TxOp::PlannedChunk => {
                 let tc = self
                     .backlog
                     .take_planned(rail.0)
                     .ok_or(EngineError::InvalidStrategyOp("no planned chunk for rail"))?;
-                self.emit_chunk(rail, tc)
+                self.emit_chunk(rail, tc, true)
             }
         }
     }
@@ -588,6 +651,7 @@ impl Engine {
         &mut self,
         rail: RailId,
         tc: crate::request::TakenChunk,
+        planned: bool,
     ) -> Result<TxDecision, EngineError> {
         let key = tc.key;
         let data = self
@@ -612,6 +676,17 @@ impl Engine {
         });
         self.stats.chunks_sent += 1;
         self.stats.datapath.tx_zero_copy_bytes += tc.len;
+        // Planned chunks got their DecideSplit event (with the split
+        // ratio) when the strategy computed the plan; a bounded chunk
+        // outside any plan is a decision of its own.
+        if !planned {
+            self.obs.record(
+                Event::new(self.now_ns, EventKind::DecideChunk)
+                    .rail(rail.0)
+                    .seq(key.msg_id)
+                    .size(tc.len),
+            );
+        }
         let items = vec![TxItem::Chunk {
             key,
             offset: tc.offset,
@@ -766,10 +841,21 @@ impl Engine {
 
         let token = TxToken(self.next_token);
         self.next_token += 1;
+        self.obs.record(
+            Event::new(self.now_ns, EventKind::TxPost)
+                .rail(rail.0)
+                .seq(token.0)
+                .size(wire_len as u64)
+                .aux(control as u64),
+        );
+        let ro = &mut self.stats.obs.rails[rail.0];
+        ro.in_flight_bytes += wire_len as u64;
+        ro.note_busy(self.now_ns);
         // Keep a reference to the pooled head so on_tx_done can reclaim
         // the allocation once the runtime drops its copy of the frame.
         let head = frame.head().cloned();
-        self.in_flight.insert(token.0, InFlightTx { items, head });
+        self.in_flight
+            .insert(token.0, InFlightTx { items, head, wire_len });
         self.rail_busy[rail.0] = true;
         TxDecision {
             token,
@@ -783,11 +869,24 @@ impl Engine {
     /// Report that the injection for `token` finished on `rail`. Returns
     /// sends that reached local completion.
     pub fn on_tx_done(&mut self, rail: RailId, token: TxToken) -> Result<Vec<SendId>, EngineError> {
-        let InFlightTx { items, head } = self
+        let InFlightTx {
+            items,
+            head,
+            wire_len,
+        } = self
             .in_flight
             .remove(&token.0)
             .ok_or(EngineError::BadToken(token.0))?;
         self.rail_busy[rail.0] = false;
+        self.obs.record(
+            Event::new(self.now_ns, EventKind::TxDone)
+                .rail(rail.0)
+                .seq(token.0)
+                .size(wire_len as u64),
+        );
+        let ro = &mut self.stats.obs.rails[rail.0];
+        ro.in_flight_bytes = ro.in_flight_bytes.saturating_sub(wire_len as u64);
+        ro.note_idle(self.now_ns);
         if let Some(h) = head {
             // Succeeds when the runtime has dropped its frame (threaded
             // transports at completion); the in-process fabric's receiver
@@ -862,6 +961,11 @@ impl Engine {
     ) -> Result<OnPacketOutcome, EngineError> {
         let (env, body, straddle_copied) = frame.decode()?;
         self.stats.rails[rail.0].rx_packets += 1;
+        self.obs.record(
+            Event::new(self.now_ns, EventKind::Rx)
+                .rail(rail.0)
+                .size(frame.wire_len() as u64),
+        );
         let data_len: usize = match &body {
             FrameBody::Packet(p) => match p {
                 Packet::Eager(e) => e.data.len(),
@@ -998,6 +1102,12 @@ impl Engine {
                 if let Some(&send_id) = self.send_index.get(&(env.conn_id, p.msg_id)) {
                     if let Some(att) = self.attempts.remove(&send_id) {
                         let rtt = self.now_ns.saturating_sub(att.started_ns);
+                        self.obs.record(
+                            Event::new(self.now_ns, EventKind::AckReceived)
+                                .rail(rail.0)
+                                .seq(p.msg_id)
+                                .aux(rtt),
+                        );
                         for (r, used) in att.rails_used.iter().enumerate() {
                             if !used {
                                 continue;
@@ -1014,9 +1124,16 @@ impl Engine {
                             }
                             self.health.note_ok(RailId(r), self.now_ns);
                             let t = if att.retransmitted {
-                                self.health.on_success(RailId(r))
+                                self.health.on_success(RailId(r), self.now_ns)
                             } else {
-                                self.health.on_rtt_sample(RailId(r), rtt)
+                                self.stats.obs.rails[r].latency_ns.record(rtt);
+                                self.obs.record(
+                                    Event::new(self.now_ns, EventKind::RttSample)
+                                        .rail(r)
+                                        .seq(p.msg_id)
+                                        .aux(rtt),
+                                );
+                                self.health.on_rtt_sample(RailId(r), rtt, self.now_ns)
                             };
                             self.note_transition(t);
                         }
@@ -1061,7 +1178,14 @@ impl Engine {
                     if let Some((r, sent_ns)) = self.probe_sent.remove(&p.probe_id) {
                         let rtt = self.now_ns.saturating_sub(sent_ns);
                         self.health.note_ok(RailId(r), self.now_ns);
-                        let t = self.health.on_probe_ok(RailId(r), rtt);
+                        self.stats.obs.rails[r].latency_ns.record(rtt);
+                        self.obs.record(
+                            Event::new(self.now_ns, EventKind::ProbeOk)
+                                .rail(r)
+                                .seq(p.probe_id & !PROBE_BIT)
+                                .aux(rtt),
+                        );
+                        let t = self.health.on_probe_ok(RailId(r), rtt, self.now_ns);
                         self.note_transition(t);
                     }
                 } else {
@@ -1156,6 +1280,11 @@ impl Engine {
             }
         }
         self.stats.retransmits += 1;
+        self.obs.record(
+            Event::new(self.now_ns, EventKind::Retransmit)
+                .seq(msg_id)
+                .aux(self.attempts.get(&id).map_or(0, |a| a.rto_ns)),
+        );
         // Restart the attempt: Karn's rule forbids RTT samples from now on,
         // and the timer re-arms from scratch.
         if let Some(att) = self.attempts.get_mut(&id) {
@@ -1241,8 +1370,15 @@ impl Engine {
                     .filter(|&r| !self.health.ok_since(RailId(r), started))
                     .collect();
                 att.rto_ns = (att.rto_ns * 2).min(self.config.health.max_rto_ns);
+                self.stats.obs.rto_ns.record(att.rto_ns);
+                let msg_id = self.send_key.get(&id).map_or(0, |&(_, m)| m);
                 for r in blamed {
                     self.stats.rails[r].timeouts += 1;
+                    self.obs.record(
+                        Event::new(now, EventKind::TimeoutBlame)
+                            .rail(r)
+                            .seq(msg_id),
+                    );
                     if !blamed_this_pass[r] {
                         blamed_this_pass[r] = true;
                         let t = self.health.on_timeout(RailId(r), now);
@@ -1275,11 +1411,18 @@ impl Engine {
                     ));
                     self.probe_sent.insert(probe_id, (r, now));
                     self.stats.rails[r].probes_sent += 1;
+                    self.obs.record(
+                        Event::new(now, EventKind::ProbeSent)
+                            .rail(r)
+                            .seq(probe_id & !PROBE_BIT),
+                    );
                     let t = self.health.on_probe_sent(RailId(r), now);
                     self.note_transition(t);
                     out.control_enqueued = true;
                 } else if self.health.probe_expired(RailId(r), now) {
                     self.stats.rails[r].timeouts += 1;
+                    self.obs
+                        .record(Event::new(now, EventKind::ProbeTimeout).rail(r));
                     let t = self.health.on_probe_timeout(RailId(r), now);
                     self.note_transition(t);
                 }
@@ -1303,12 +1446,22 @@ impl Engine {
     fn note_transition(&mut self, t: Option<Transition>) {
         let Some(t) = t else { return };
         self.stats.rails[t.rail.0].state_transitions += 1;
+        self.obs.record(
+            Event::new(self.now_ns, EventKind::HealthTransition)
+                .rail(t.rail.0)
+                .aux(t.to.index() as u64),
+        );
         if t.to == RailState::Down {
             let survivors: Vec<usize> = (0..self.rails.len())
                 .filter(|&r| self.health.usable(RailId(r)))
                 .collect();
             if !survivors.is_empty() {
                 self.backlog.reassign_rail(t.rail.0, &survivors);
+                self.obs.record(
+                    Event::new(self.now_ns, EventKind::Failover)
+                        .rail(t.rail.0)
+                        .aux(survivors.len() as u64),
+                );
             }
         }
     }
@@ -1431,6 +1584,11 @@ impl Engine {
                 Some(rail),
             ));
             self.stats.acks_sent += 1;
+            self.obs.record(
+                Event::new(self.now_ns, EventKind::AckSent)
+                    .rail(rail.0)
+                    .seq(assembly.msg_id),
+            );
             out.control_enqueued = true;
             if let Some(rx) = self.conn_rx.get_mut(&conn) {
                 rx.delivered.insert(assembly.msg_id);

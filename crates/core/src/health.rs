@@ -41,6 +41,29 @@ pub enum RailState {
     Probing,
 }
 
+impl RailState {
+    /// Dense index (0 Up, 1 Suspect, 2 Down, 3 Probing), used for dwell
+    /// arrays and event encoding.
+    pub fn index(self) -> usize {
+        match self {
+            RailState::Up => 0,
+            RailState::Suspect => 1,
+            RailState::Down => 2,
+            RailState::Probing => 3,
+        }
+    }
+
+    /// Short display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            RailState::Up => "Up",
+            RailState::Suspect => "Suspect",
+            RailState::Down => "Down",
+            RailState::Probing => "Probing",
+        }
+    }
+}
+
 /// Thresholds and timers for [`HealthTracker`]. All times are in
 /// nanoseconds of the runtime's clock (wall clock for the threaded
 /// transports, virtual time for the simulator).
@@ -118,6 +141,8 @@ pub struct RailHealth {
     last_ok_ns: Option<u64>,
     /// Every state this rail has been in, in order (starts at `Up`).
     history: Vec<RailState>,
+    /// When each history entry was entered (parallel to `history`).
+    history_ns: Vec<u64>,
 }
 
 impl RailHealth {
@@ -132,6 +157,7 @@ impl RailHealth {
             probe_outstanding: false,
             last_ok_ns: None,
             history: vec![RailState::Up],
+            history_ns: vec![0],
         }
     }
 
@@ -145,17 +171,43 @@ impl RailHealth {
         self.srtt_ns
     }
 
+    /// RTT variance estimate (Jacobson), zero until the first sample.
+    pub fn rttvar_ns(&self) -> u64 {
+        self.rttvar_ns
+    }
+
     /// Full state history, oldest first (starts with [`RailState::Up`]).
     pub fn history(&self) -> &[RailState] {
         &self.history
     }
 
-    fn transition(&mut self, to: RailState) -> bool {
+    /// State history with entry timestamps, oldest first.
+    pub fn history_stamped(&self) -> impl Iterator<Item = (u64, RailState)> + '_ {
+        self.history_ns.iter().copied().zip(self.history.iter().copied())
+    }
+
+    /// Total time spent in each state up to `now_ns`, indexed by
+    /// [`RailState::index`].
+    pub fn dwell_ns(&self, now_ns: u64) -> [u64; 4] {
+        let mut dwell = [0u64; 4];
+        for (i, (&t, &s)) in self.history_ns.iter().zip(self.history.iter()).enumerate() {
+            let end = self
+                .history_ns
+                .get(i + 1)
+                .copied()
+                .unwrap_or_else(|| now_ns.max(t));
+            dwell[s.index()] += end.saturating_sub(t);
+        }
+        dwell
+    }
+
+    fn transition(&mut self, to: RailState, now_ns: u64) -> bool {
         if self.state == to {
             return false;
         }
         self.state = to;
         self.history.push(to);
+        self.history_ns.push(now_ns);
         true
     }
 }
@@ -167,6 +219,24 @@ pub struct Transition {
     pub rail: RailId,
     /// Its new state.
     pub to: RailState,
+}
+
+/// A point-in-time snapshot of one rail's health estimators, for CLI
+/// display (`nmad faults`) and the observability exporters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RailTelemetry {
+    /// Current reachability state.
+    pub state: RailState,
+    /// Smoothed RTT estimate, if any sample arrived.
+    pub srtt_ns: Option<u64>,
+    /// RTT variance estimate.
+    pub rttvar_ns: u64,
+    /// Current adaptive retransmission timeout.
+    pub rto_ns: u64,
+    /// Time spent in each state so far, indexed by [`RailState::index`].
+    pub dwell_ns: [u64; 4],
+    /// State changes observed (history length minus the initial `Up`).
+    pub transitions: usize,
 }
 
 /// Tracks the health of every rail of an engine.
@@ -249,9 +319,22 @@ impl HealthTracker {
             .unwrap_or(self.cfg.initial_rto_ns)
     }
 
+    /// Snapshot of `rail`'s estimators and dwell times as of `now_ns`.
+    pub fn telemetry(&self, rail: RailId, now_ns: u64) -> RailTelemetry {
+        let r = &self.rails[rail.0];
+        RailTelemetry {
+            state: r.state,
+            srtt_ns: r.srtt_ns,
+            rttvar_ns: r.rttvar_ns,
+            rto_ns: self.rto_ns(rail),
+            dwell_ns: r.dwell_ns(now_ns),
+            transitions: r.history.len() - 1,
+        }
+    }
+
     /// Feed one round-trip sample (Jacobson/Karn: callers must not sample
     /// retransmitted attempts). Also counts as a success.
-    pub fn on_rtt_sample(&mut self, rail: RailId, rtt_ns: u64) -> Option<Transition> {
+    pub fn on_rtt_sample(&mut self, rail: RailId, rtt_ns: u64, now_ns: u64) -> Option<Transition> {
         let r = &mut self.rails[rail.0];
         match r.srtt_ns {
             None => {
@@ -265,12 +348,12 @@ impl HealthTracker {
                 r.srtt_ns = Some((7 * srtt + rtt_ns) / 8);
             }
         }
-        self.on_success(rail)
+        self.on_success(rail, now_ns)
     }
 
     /// A transmission involving `rail` was acknowledged (no RTT sample
     /// available, e.g. a retransmitted attempt under Karn's rule).
-    pub fn on_success(&mut self, rail: RailId) -> Option<Transition> {
+    pub fn on_success(&mut self, rail: RailId, now_ns: u64) -> Option<Transition> {
         let r = &mut self.rails[rail.0];
         r.consecutive_timeouts = 0;
         r.probe_outstanding = false;
@@ -278,7 +361,7 @@ impl HealthTracker {
             RailState::Up => None,
             // Any ack on the rail proves liveness; recover immediately.
             RailState::Suspect | RailState::Down | RailState::Probing => {
-                r.transition(RailState::Up);
+                r.transition(RailState::Up, now_ns);
                 Some(Transition {
                     rail,
                     to: RailState::Up,
@@ -306,7 +389,7 @@ impl HealthTracker {
             r.next_probe_ns = now_ns.saturating_add(cfg.probe_interval_ns);
             r.probe_outstanding = false;
         }
-        r.transition(to)
+        r.transition(to, now_ns)
             .then_some(Transition { rail, to })
     }
 
@@ -330,7 +413,7 @@ impl HealthTracker {
         let r = &mut self.rails[rail.0];
         r.probe_sent_ns = now_ns;
         r.probe_outstanding = true;
-        if r.state == RailState::Down && r.transition(RailState::Probing) {
+        if r.state == RailState::Down && r.transition(RailState::Probing, now_ns) {
             return Some(Transition {
                 rail,
                 to: RailState::Probing,
@@ -356,7 +439,7 @@ impl HealthTracker {
         match r.state {
             RailState::Probing => {
                 r.next_probe_ns = now_ns.saturating_add(interval);
-                r.transition(RailState::Down);
+                r.transition(RailState::Down, now_ns);
                 Some(Transition {
                     rail,
                     to: RailState::Down,
@@ -368,8 +451,8 @@ impl HealthTracker {
     }
 
     /// A probe pong came back on `rail`: the rail is alive.
-    pub fn on_probe_ok(&mut self, rail: RailId, rtt_ns: u64) -> Option<Transition> {
-        self.on_rtt_sample(rail, rtt_ns)
+    pub fn on_probe_ok(&mut self, rail: RailId, rtt_ns: u64, now_ns: u64) -> Option<Transition> {
+        self.on_rtt_sample(rail, rtt_ns, now_ns)
     }
 
     /// The next instant at which this rail needs attention (a probe to
@@ -412,11 +495,11 @@ mod tests {
     fn rto_starts_at_initial_and_tracks_samples() {
         let mut h = HealthTracker::new(cfg(), 2);
         assert_eq!(h.rto_ns(RailId(0)), 100);
-        h.on_rtt_sample(RailId(0), 80);
+        h.on_rtt_sample(RailId(0), 80, 0);
         // First sample: srtt = 80, rttvar = 40 -> rto = 80 + 160 = 240.
         assert_eq!(h.rto_ns(RailId(0)), 240);
         for _ in 0..50 {
-            h.on_rtt_sample(RailId(0), 80);
+            h.on_rtt_sample(RailId(0), 80, 0);
         }
         // Stable samples shrink the variance towards the clamp floor.
         assert!(h.rto_ns(RailId(0)) < 240);
@@ -455,7 +538,7 @@ mod tests {
         let r = RailId(0);
         h.on_timeout(r, 0);
         assert_eq!(h.rail(r).state(), RailState::Suspect);
-        let t = h.on_success(r).expect("recovery transition");
+        let t = h.on_success(r, 0).expect("recovery transition");
         assert_eq!(t.to, RailState::Up);
         // Counter reset: one timeout only re-suspects, doesn't go down.
         h.on_timeout(r, 0);
@@ -483,7 +566,7 @@ mod tests {
         assert!(h.probe_due(r, 1202));
         // Answered this time: Up again.
         h.on_probe_sent(r, 1200);
-        h.on_probe_ok(r, 50);
+        h.on_probe_ok(r, 50, 1250);
         assert_eq!(h.rail(r).state(), RailState::Up);
         assert_eq!(
             h.rail(r).history(),
@@ -513,6 +596,29 @@ mod tests {
         h.on_probe_sent(r, 200);
         h.on_probe_timeout(r, 400); // 3: Down
         assert_eq!(h.rail(r).state(), RailState::Down);
+    }
+
+    #[test]
+    fn dwell_times_follow_the_timestamped_history() {
+        let mut h = HealthTracker::new(cfg(), 1);
+        let r = RailId(0);
+        h.on_timeout(r, 100); // Up [0,100), Suspect from 100
+        h.on_timeout(r, 150);
+        h.on_timeout(r, 300); // Down from 300
+        h.on_probe_sent(r, 800); // Probing from 800
+        h.on_probe_ok(r, 50, 850); // Up again from 850
+        let t = h.telemetry(r, 1000);
+        assert_eq!(t.state, RailState::Up);
+        assert_eq!(t.dwell_ns[RailState::Up.index()], 100 + (1000 - 850));
+        assert_eq!(t.dwell_ns[RailState::Suspect.index()], 200);
+        assert_eq!(t.dwell_ns[RailState::Down.index()], 500);
+        assert_eq!(t.dwell_ns[RailState::Probing.index()], 50);
+        assert_eq!(t.transitions, 4);
+        assert_eq!(t.srtt_ns, Some(50));
+        assert_eq!(t.rttvar_ns, 25);
+        let stamped: Vec<(u64, RailState)> = h.rail(r).history_stamped().collect();
+        assert_eq!(stamped[0], (0, RailState::Up));
+        assert_eq!(stamped[4], (850, RailState::Up));
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod health;
+pub mod obs;
 pub mod pool;
 pub mod request;
 pub mod sampling;
@@ -89,9 +90,10 @@ pub use config::EngineConfig;
 pub use driver::{TxDecision, TxToken};
 pub use engine::{Engine, OnPacketOutcome, ProgressOutcome};
 pub use error::EngineError;
-pub use health::{HealthConfig, HealthTracker, RailState};
+pub use health::{HealthConfig, HealthTracker, RailState, RailTelemetry};
+pub use obs::{Event, EventKind, FlightRecorder, Log2Histogram};
 pub use pool::BufferPool;
 pub use request::{Backlog, RecvId, SendId};
 pub use sampling::PerfTable;
-pub use stats::{DataPathStats, EngineStats};
+pub use stats::{DataPathStats, EngineStats, ObsStats, RailObs};
 pub use strategy::{Strategy, StrategyKind};

@@ -1,0 +1,25 @@
+//! Observability: flight recorder, log2 histograms, trace exporters.
+//!
+//! The paper's argument is about *when* the scheduler acts — segments sit
+//! in a backlog until a NIC goes idle, then get aggregated, reordered, or
+//! split (§2–§3.4) — so aggregate counters alone cannot explain a
+//! bandwidth number. This module adds a packet-lifecycle event stream
+//! (submit → backlog → strategy decision → tx post → tx done → rx →
+//! ack/retransmit/failover) with the same discipline as the datapath:
+//! zero dependencies, zero hot-path allocations (preallocated ring,
+//! fixed-size [`Event`] records, no `String` anywhere near `record`),
+//! and a measured overhead budget (`ablate_obs` gates the recorder at
+//! ≤ 5% throughput cost on the bandwidth ladder).
+//!
+//! Exporters live on the cold path only: JSONL for ad-hoc grepping,
+//! Chrome `trace_event` JSON for `chrome://tracing`/Perfetto, and a
+//! human summary. See DESIGN.md "Observability".
+#![deny(clippy::unnecessary_to_owned, clippy::redundant_clone)]
+
+mod export;
+mod hist;
+mod recorder;
+
+pub use export::{summary, to_chrome_trace, to_jsonl};
+pub use hist::Log2Histogram;
+pub use recorder::{Event, EventKind, FlightRecorder, NO_RAIL};

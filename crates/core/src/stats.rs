@@ -4,6 +4,8 @@
 //! strategy got lucky"; these counters record what the engine actually did
 //! so tests and EXPERIMENTS.md can assert on mechanism, not just effect.
 
+use crate::obs::Log2Histogram;
+
 /// Per-rail transmit counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RailStats {
@@ -74,6 +76,74 @@ impl DataPathStats {
     }
 }
 
+/// Per-rail observability gauges and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct RailObs {
+    /// Measured RTT samples on this rail (ack round trips and probe
+    /// pongs), nanoseconds.
+    pub latency_ns: Log2Histogram,
+    /// Wire bytes posted but not yet completed (gauge).
+    pub in_flight_bytes: u64,
+    /// Accumulated time the rail spent busy (a frame posted and not yet
+    /// completed), nanoseconds.
+    pub busy_ns: u64,
+    /// When the rail last went busy, if it currently is.
+    pub busy_since_ns: Option<u64>,
+}
+
+impl RailObs {
+    /// Mark the rail busy as of `now_ns` (no-op if already busy).
+    pub fn note_busy(&mut self, now_ns: u64) {
+        if self.busy_since_ns.is_none() {
+            self.busy_since_ns = Some(now_ns);
+        }
+    }
+
+    /// Mark the rail idle as of `now_ns`, banking the busy interval.
+    pub fn note_idle(&mut self, now_ns: u64) {
+        if let Some(since) = self.busy_since_ns.take() {
+            self.busy_ns += now_ns.saturating_sub(since);
+        }
+    }
+
+    /// Fraction of `[0, now_ns]` the rail spent busy, in `[0, 1]`.
+    pub fn utilization(&self, now_ns: u64) -> f64 {
+        if now_ns == 0 {
+            return 0.0;
+        }
+        let busy = self.busy_ns
+            + self
+                .busy_since_ns
+                .map_or(0, |since| now_ns.saturating_sub(since));
+        (busy as f64 / now_ns as f64).min(1.0)
+    }
+}
+
+/// Histograms and gauges maintained alongside the counters. Recording
+/// into these is allocation-free (fixed bucket arrays), so they are
+/// always on — unlike the flight recorder, which must be enabled.
+#[derive(Clone, Debug, Default)]
+pub struct ObsStats {
+    /// Per-rail gauges and latency histograms.
+    pub rails: Vec<RailObs>,
+    /// Submitted segment sizes, bytes.
+    pub seg_size: Log2Histogram,
+    /// Backlog depth sampled at each submit, segments.
+    pub backlog_depth: Log2Histogram,
+    /// Retransmission timeouts armed (initial and backed-off), ns.
+    pub rto_ns: Log2Histogram,
+}
+
+impl ObsStats {
+    /// Obs stats for an engine with `n_rails` rails.
+    pub fn new(n_rails: usize) -> Self {
+        ObsStats {
+            rails: vec![RailObs::default(); n_rails],
+            ..Default::default()
+        }
+    }
+}
+
 /// Engine-wide counters.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
@@ -107,6 +177,8 @@ pub struct EngineStats {
     pub duplicates_dropped: u64,
     /// Copy/allocation accounting for the scatter-gather datapath.
     pub datapath: DataPathStats,
+    /// Histograms and per-rail gauges (always on, allocation-free).
+    pub obs: ObsStats,
 }
 
 impl EngineStats {
@@ -114,6 +186,7 @@ impl EngineStats {
     pub fn new(n_rails: usize) -> Self {
         EngineStats {
             rails: vec![RailStats::default(); n_rails],
+            obs: ObsStats::new(n_rails),
             ..Default::default()
         }
     }

@@ -18,6 +18,7 @@ use nmad_wire::split::SplitPlan;
 
 use super::aggregate_eager::AggregateEager;
 use super::{Strategy, StrategyCtx, TxOp};
+use crate::obs::{Event, EventKind};
 use crate::request::PlannedChunk;
 use crate::sampling::split_weights;
 
@@ -112,6 +113,25 @@ impl Strategy for AdaptiveSplit {
                         })
                         .collect();
                     let mine = chunks.iter().any(|c| c.rail == rail.0);
+                    if ctx.obs.is_enabled() {
+                        // One event per planned chunk, ratio in permille of
+                        // the bytes being split (aux), at plan time — the
+                        // engine only sees chunks one at a time later.
+                        for c in &chunks {
+                            let permille = c
+                                .len
+                                .saturating_mul(1000)
+                                .checked_div(remaining)
+                                .unwrap_or(0);
+                            ctx.obs.record(
+                                Event::new(ctx.now_ns, EventKind::DecideSplit)
+                                    .rail(c.rail)
+                                    .seq(key.msg_id)
+                                    .size(c.len)
+                                    .aux(permille),
+                            );
+                        }
+                    }
                     let ok = ctx.backlog.set_plan(key, chunks);
                     debug_assert!(ok, "plan must cover the remainder");
                     if mine {
@@ -149,6 +169,7 @@ impl Strategy for AdaptiveSplit {
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
+    use crate::obs::FlightRecorder;
     use crate::request::{Backlog, SegKey, SegPhase};
     use crate::sampling::{default_ladder, PerfTable};
     use nmad_model::platform;
@@ -166,6 +187,7 @@ mod tests {
         tables: Vec<PerfTable>,
         config: EngineConfig,
         backlog: Backlog,
+        obs: FlightRecorder,
     }
 
     impl Fixture {
@@ -180,6 +202,7 @@ mod tests {
                 tables,
                 config: EngineConfig::default(),
                 backlog: Backlog::new(),
+                obs: FlightRecorder::disabled(),
             }
         }
 
@@ -191,6 +214,8 @@ mod tests {
                 rail_ok: &[true, true],
                 tables: &self.tables,
                 config: &self.config,
+                obs: &mut self.obs,
+                now_ns: 0,
             }
         }
 
@@ -317,6 +342,7 @@ mod tests {
         backlog.grant(key(1, 0));
         let mut s = AdaptiveSplit::new(SplitMode::Sampled);
         let busy = [false, false, false];
+        let mut obs = FlightRecorder::disabled();
         let mut ctx = StrategyCtx {
             backlog: &mut backlog,
             rails: &rails,
@@ -324,6 +350,8 @@ mod tests {
             rail_ok: &[true, true],
             tables: &tables,
             config: &config,
+            obs: &mut obs,
+            now_ns: 0,
         };
         assert_eq!(s.next_tx(RailId(0), &mut ctx), Some(TxOp::PlannedChunk));
         let l0 = backlog.take_planned(0).unwrap().len;

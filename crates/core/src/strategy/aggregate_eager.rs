@@ -75,6 +75,7 @@ impl Strategy for AggregateEager {
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
+    use crate::obs::FlightRecorder;
     use crate::request::{Backlog, SegKey, SegPhase};
     use crate::sampling::{default_ladder, PerfTable};
     use nmad_model::platform;
@@ -92,6 +93,7 @@ mod tests {
         tables: Vec<PerfTable>,
         config: EngineConfig,
         backlog: Backlog,
+        obs: FlightRecorder,
     }
 
     impl Fixture {
@@ -107,6 +109,7 @@ mod tests {
                 tables,
                 config: EngineConfig::default(),
                 backlog: Backlog::new(),
+                obs: FlightRecorder::disabled(),
             }
         }
 
@@ -118,6 +121,8 @@ mod tests {
                 rail_ok: &[true, true],
                 tables: &self.tables,
                 config: &self.config,
+                obs: &mut self.obs,
+                now_ns: 0,
             }
         }
     }

@@ -61,6 +61,7 @@ impl Strategy for Greedy {
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
+    use crate::obs::FlightRecorder;
     use crate::request::{Backlog, SegKey, SegPhase};
     use crate::sampling::{default_ladder, PerfTable};
     use nmad_model::platform;
@@ -78,6 +79,7 @@ mod tests {
         tables: Vec<PerfTable>,
         config: EngineConfig,
         backlog: Backlog,
+        obs: FlightRecorder,
     }
 
     impl Fixture {
@@ -92,6 +94,7 @@ mod tests {
                 tables,
                 config: EngineConfig::default(),
                 backlog: Backlog::new(),
+                obs: FlightRecorder::disabled(),
             }
         }
 
@@ -103,6 +106,8 @@ mod tests {
                 rail_ok: &[true, true],
                 tables: &self.tables,
                 config: &self.config,
+                obs: &mut self.obs,
+                now_ns: 0,
             }
         }
     }

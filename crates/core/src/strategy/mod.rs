@@ -24,6 +24,7 @@ pub mod static_round_robin;
 use nmad_model::{NicModel, RailId};
 
 use crate::config::EngineConfig;
+use crate::obs::FlightRecorder;
 use crate::request::{Backlog, SegKey};
 use crate::sampling::PerfTable;
 
@@ -64,6 +65,14 @@ pub struct StrategyCtx<'a> {
     pub tables: &'a [PerfTable],
     /// Engine configuration (thresholds).
     pub config: &'a EngineConfig,
+    /// Flight recorder: strategies record their decision events here
+    /// (notably [`crate::obs::EventKind::DecideSplit`] at plan time, which
+    /// carries the chunk ratio the engine cannot reconstruct later).
+    /// Disabled recorders drop records in a branch, so this costs nothing
+    /// when tracing is off.
+    pub obs: &'a mut FlightRecorder,
+    /// Engine clock at the moment of the decision (timestamp for events).
+    pub now_ns: u64,
 }
 
 impl StrategyCtx<'_> {

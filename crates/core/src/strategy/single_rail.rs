@@ -71,6 +71,7 @@ impl Strategy for SingleRail {
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
+    use crate::obs::FlightRecorder;
     use crate::request::{Backlog, SegKey, SegPhase};
     use crate::sampling::{default_ladder, PerfTable};
     use nmad_model::platform;
@@ -98,6 +99,7 @@ mod tests {
         let mut backlog = Backlog::new();
         backlog.push(key(1, 0), 1, 100, SegPhase::EagerReady);
         let mut s = SingleRail::new(RailId(0), false);
+        let mut obs = FlightRecorder::disabled();
         let mut ctx = StrategyCtx {
             backlog: &mut backlog,
             rails: &rails,
@@ -105,6 +107,8 @@ mod tests {
             rail_ok: &[true, true],
             tables: &tables,
             config: &config,
+            obs: &mut obs,
+            now_ns: 0,
         };
         assert_eq!(s.next_tx(RailId(1), &mut ctx), None);
         assert!(s.next_tx(RailId(0), &mut ctx).is_some());
@@ -117,6 +121,7 @@ mod tests {
         backlog.push(key(1, 0), 2, 100, SegPhase::EagerReady);
         backlog.push(key(1, 1), 2, 100, SegPhase::EagerReady);
         let mut s = SingleRail::new(RailId(0), false);
+        let mut obs = FlightRecorder::disabled();
         let mut ctx = StrategyCtx {
             backlog: &mut backlog,
             rails: &rails,
@@ -124,6 +129,8 @@ mod tests {
             rail_ok: &[true, true],
             tables: &tables,
             config: &config,
+            obs: &mut obs,
+            now_ns: 0,
         };
         assert_eq!(s.next_tx(RailId(0), &mut ctx), Some(TxOp::Eager(key(1, 0))));
     }
@@ -135,6 +142,7 @@ mod tests {
         backlog.push(key(1, 0), 2, 100, SegPhase::EagerReady);
         backlog.push(key(1, 1), 2, 100, SegPhase::EagerReady);
         let mut s = SingleRail::new(RailId(0), true);
+        let mut obs = FlightRecorder::disabled();
         let mut ctx = StrategyCtx {
             backlog: &mut backlog,
             rails: &rails,
@@ -142,6 +150,8 @@ mod tests {
             rail_ok: &[true, true],
             tables: &tables,
             config: &config,
+            obs: &mut obs,
+            now_ns: 0,
         };
         assert_eq!(
             s.next_tx(RailId(0), &mut ctx),
@@ -155,6 +165,7 @@ mod tests {
         let mut backlog = Backlog::new();
         backlog.push(key(1, 0), 1, 100, SegPhase::EagerReady);
         let mut s = SingleRail::new(RailId(0), true);
+        let mut obs = FlightRecorder::disabled();
         let mut ctx = StrategyCtx {
             backlog: &mut backlog,
             rails: &rails,
@@ -162,6 +173,8 @@ mod tests {
             rail_ok: &[true, true],
             tables: &tables,
             config: &config,
+            obs: &mut obs,
+            now_ns: 0,
         };
         assert_eq!(s.next_tx(RailId(0), &mut ctx), Some(TxOp::Eager(key(1, 0))));
     }
@@ -174,6 +187,7 @@ mod tests {
         backlog.push(key(1, 0), 1, cap - 100, SegPhase::EagerReady);
         backlog.push(key(2, 0), 1, 500, SegPhase::EagerReady); // would exceed cap
         let mut s = SingleRail::new(RailId(0), true);
+        let mut obs = FlightRecorder::disabled();
         let mut ctx = StrategyCtx {
             backlog: &mut backlog,
             rails: &rails,
@@ -181,6 +195,8 @@ mod tests {
             rail_ok: &[true, true],
             tables: &tables,
             config: &config,
+            obs: &mut obs,
+            now_ns: 0,
         };
         // Only the first fits: a lone segment ships as plain eager.
         assert_eq!(s.next_tx(RailId(0), &mut ctx), Some(TxOp::Eager(key(1, 0))));
@@ -194,6 +210,7 @@ mod tests {
         backlog.grant(key(1, 0));
         backlog.push(key(2, 0), 1, 100, SegPhase::EagerReady);
         let mut s = SingleRail::new(RailId(0), true);
+        let mut obs = FlightRecorder::disabled();
         let mut ctx = StrategyCtx {
             backlog: &mut backlog,
             rails: &rails,
@@ -201,6 +218,8 @@ mod tests {
             rail_ok: &[true, true],
             tables: &tables,
             config: &config,
+            obs: &mut obs,
+            now_ns: 0,
         };
         match s.next_tx(RailId(0), &mut ctx) {
             Some(TxOp::Chunk { key: k, .. }) => assert_eq!(k, key(1, 0)),
@@ -213,6 +232,7 @@ mod tests {
         let (rails, tables, config) = ctx_parts();
         let mut backlog = Backlog::new();
         let mut s = SingleRail::new(RailId(0), true);
+        let mut obs = FlightRecorder::disabled();
         let mut ctx = StrategyCtx {
             backlog: &mut backlog,
             rails: &rails,
@@ -220,6 +240,8 @@ mod tests {
             rail_ok: &[true, true],
             tables: &tables,
             config: &config,
+            obs: &mut obs,
+            now_ns: 0,
         };
         assert_eq!(s.next_tx(RailId(0), &mut ctx), None);
     }

@@ -113,6 +113,7 @@ impl Strategy for StaticRoundRobin {
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
+    use crate::obs::FlightRecorder;
     use crate::request::{Backlog, SegPhase};
     use crate::sampling::{default_ladder, PerfTable};
     use nmad_model::platform;
@@ -130,6 +131,7 @@ mod tests {
         tables: Vec<PerfTable>,
         config: EngineConfig,
         backlog: Backlog,
+        obs: FlightRecorder,
     }
 
     impl Fixture {
@@ -144,6 +146,7 @@ mod tests {
                 tables,
                 config: EngineConfig::default(),
                 backlog: Backlog::new(),
+                obs: FlightRecorder::disabled(),
             }
         }
 
@@ -155,6 +158,8 @@ mod tests {
                 rail_ok: &[true, true],
                 tables: &self.tables,
                 config: &self.config,
+                obs: &mut self.obs,
+                now_ns: 0,
             }
         }
     }

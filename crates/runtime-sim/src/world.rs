@@ -21,10 +21,10 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use nmad_core::engine::Engine;
+use nmad_core::obs::{summary, Event, EventKind, FlightRecorder};
 use nmad_core::request::{RecvId, SendId};
 use nmad_core::EngineConfig;
 use nmad_model::{HostModel, NicModel, Platform, RailId, TxMode};
-use nmad_sim::trace::{Category, Tracer};
 use nmad_sim::{EventQueue, FlowId, FluidChannel, MultiResource, SimDuration, SimTime};
 use nmad_wire::reassembly::MessageAssembly;
 use nmad_wire::{ConnId, PacketFrame};
@@ -231,8 +231,13 @@ pub struct SimWorld<A: AppLogic, B: AppLogic> {
     nodes: Vec<Node>,
     app0: Option<A>,
     app1: Option<B>,
-    /// Trace buffer (disabled by default).
-    pub trace: Tracer,
+    /// Hardware-model flight recorder (disabled by default; see
+    /// [`SimWorld::enable_recording`]). Sim-only activity — PIO
+    /// completions, DMA/bus starts, launches, fault-plan losses,
+    /// app-level completions — lands here with `actor` = node index;
+    /// engine-level lifecycle events land in each node engine's own
+    /// recorder. Consumers merge the three streams by timestamp.
+    pub recorder: FlightRecorder,
     /// Optional activity timeline (see [`crate::timeline`]).
     pub timeline: Option<Timeline>,
     faults: Option<FaultPlan>,
@@ -253,7 +258,7 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
             ],
             app0: Some(app0),
             app1: Some(app1),
-            trace: Tracer::disabled(),
+            recorder: FlightRecorder::disabled(),
             timeline: None,
             faults: None,
             packets_lost: 0,
@@ -264,6 +269,50 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
     /// Install a link fault plan (see [`FaultPlan`]).
     pub fn enable_faults(&mut self, plan: FaultPlan) {
         self.faults = Some(plan);
+    }
+
+    /// Start flight-recording: the world keeps `capacity` hardware-model
+    /// events per stream, and both node engines get rings of the same
+    /// capacity for their lifecycle events. While recording is on, the
+    /// dispatcher also forwards virtual time to the engines via
+    /// [`Engine::observe_clock`] so engine event timestamps are exact
+    /// (without recording, the engine clock only advances on fault-plan
+    /// ticks — preserved so timer behaviour is bit-identical to
+    /// non-recording runs).
+    pub fn enable_recording(&mut self, capacity: usize) {
+        self.recorder = FlightRecorder::with_capacity(capacity);
+        for n in &mut self.nodes {
+            *n.engine.recorder_mut() = FlightRecorder::with_capacity(capacity);
+        }
+    }
+
+    /// All recorded events (hardware-model stream plus both engines),
+    /// merged by timestamp. The world stream already carries node indices
+    /// in `actor`; engine events are re-stamped with their node index.
+    pub fn merged_events(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = self.recorder.iter().copied().collect();
+        for (i, n) in self.nodes.iter().enumerate() {
+            all.extend(n.engine.recorder().iter().map(|e| {
+                let mut e = *e;
+                e.actor = i as u16;
+                e
+            }));
+        }
+        all.sort_by_key(|e| e.ts_ns);
+        all
+    }
+
+    fn now_ns(now: SimTime) -> u64 {
+        // SimTime counts picoseconds; the recorder timestamps in ns.
+        now.0 / 1_000
+    }
+
+    /// Record a hardware-model event (no-op while recording is off).
+    fn sim_event(&mut self, now: SimTime, kind: EventKind, node: usize) -> Option<Event> {
+        if !self.recorder.is_enabled() {
+            return None;
+        }
+        Some(Event::new(Self::now_ns(now), kind).actor(node as u16))
     }
 
     /// Start recording an activity timeline (CPU, rails, bus).
@@ -324,8 +373,8 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
             self.events += 1;
             if self.events > max_events {
                 panic!(
-                    "simulation exceeded {max_events} events at {now}; trace:\n{}",
-                    self.trace.render()
+                    "simulation exceeded {max_events} events at {now}; recorded:\n{}",
+                    summary(&self.merged_events())
                 );
             }
             self.dispatch(now, ev);
@@ -333,6 +382,15 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        if self.recorder.is_enabled() {
+            // Exact timestamps for engine-side events. Only done while
+            // recording so non-recording runs keep the tick-quantized
+            // engine clock (identical timer behaviour).
+            let ns = Self::now_ns(now);
+            for n in &mut self.nodes {
+                n.engine.observe_clock(ns);
+            }
+        }
         match ev {
             Ev::Kick(i) => {
                 if !self.nodes[i].engine.has_tx_work() {
@@ -368,9 +426,9 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                     .engine
                     .on_tx_done(RailId(rail), token)
                     .expect("tx token must be valid");
-                self.trace.record_with(now, Category::Nic, || {
-                    format!("n{node} rail{rail} pio done")
-                });
+                if let Some(e) = self.sim_event(now, EventKind::SimNic, node) {
+                    self.recorder.record(e.rail(rail));
+                }
                 for s in completed {
                     self.fire_send_complete(node, now, s);
                 }
@@ -394,9 +452,9 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                         started: now,
                     },
                 );
-                self.trace.record_with(now, Category::Bus, || {
-                    format!("n{node} rail{rail} dma start {len}B")
-                });
+                if let Some(e) = self.sim_event(now, EventKind::SimBus, node) {
+                    self.recorder.record(e.rail(rail).size(len));
+                }
                 self.schedule_bus_check(node, now);
             }
             Ev::BusCheck { node, epoch } => {
@@ -451,12 +509,10 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                 if let Some(p) = &self.faults {
                     if p.rail == rail && p.covers(now) {
                         self.packets_lost += 1;
-                        self.trace.record_with(now, Category::Nic, || {
-                            format!(
-                                "n{node} rail{rail} lost {}B (link down)",
-                                frame.wire_len()
-                            )
-                        });
+                        if let Some(e) = self.sim_event(now, EventKind::SimNic, node) {
+                            self.recorder
+                                .record(e.rail(rail).size(frame.wire_len() as u64).aux(1));
+                        }
                         return;
                     }
                 }
@@ -477,6 +533,9 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                         .engine
                         .try_recv(recv)
                         .expect("completed recv has a result");
+                    if let Some(e) = self.sim_event(now, EventKind::SimApp, node) {
+                        self.recorder.record(e.seq(recv.0).aux(1));
+                    }
                     self.run_app_hook(node, now, AppHook::Recv(recv, msg));
                 }
                 for (probe, len) in outcome.sample_pongs {
@@ -567,12 +626,10 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                 );
             }
         }
-        self.trace.record_with(now, Category::Strategy, || {
-            format!(
-                "n{node} rail{rail} launch {:?} {}B copied={}",
-                d.mode, wire_len, d.copied_bytes
-            )
-        });
+        if let Some(e) = self.sim_event(now, EventKind::SimCpu, node) {
+            self.recorder
+                .record(e.rail(rail).size(wire_len as u64).aux(d.copied_bytes as u64));
+        }
     }
 
     fn schedule_bus_check(&mut self, node: usize, now: SimTime) {
@@ -583,6 +640,9 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
     }
 
     fn fire_send_complete(&mut self, node: usize, now: SimTime, send: SendId) {
+        if let Some(e) = self.sim_event(now, EventKind::SimApp, node) {
+            self.recorder.record(e.seq(send.0));
+        }
         self.run_app_hook(node, now, AppHook::Send(send));
     }
 

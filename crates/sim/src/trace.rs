@@ -1,9 +1,18 @@
-//! Bounded, zero-dependency run tracing.
+//! Bounded, zero-dependency run tracing (deprecated).
 //!
 //! Simulation bugs are interleaving bugs; a chronological trace of what the
 //! engine and the hardware models did is the fastest way to see them. The
 //! tracer is a bounded ring buffer of `(time, category, message)` records —
 //! cheap enough to leave compiled in, and disabled by default.
+//!
+//! Superseded by the engine flight recorder (`nmad_core::obs`): its typed,
+//! fixed-size records replace this ring's allocated strings, and the old
+//! categories map onto the event enum — `App`/`Strategy`/`Nic`/`Bus`/`Cpu`
+//! become `SimApp`, the `Decide*` kinds, `SimNic`, `SimBus` and `SimCpu`.
+//! Kept one release for out-of-tree consumers; `SimWorld` no longer feeds
+//! it.
+
+#![allow(deprecated)]
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -39,6 +48,11 @@ pub struct Record {
 }
 
 /// A bounded ring buffer of trace records.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the typed flight recorder (`nmad_core::obs::FlightRecorder`); \
+            categories App/Strategy/Nic/Bus/Cpu map onto its event kinds"
+)]
 #[derive(Debug)]
 pub struct Tracer {
     records: VecDeque<Record>,

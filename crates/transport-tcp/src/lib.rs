@@ -198,6 +198,19 @@ impl Endpoint {
     pub fn io_errors(&self) -> u64 {
         self.shared.io_errors.load(Ordering::Relaxed)
     }
+
+    /// Timer and dwell-time telemetry of one rail (SRTT/RTTVAR/RTO and
+    /// per-state dwell times, as of the engine clock).
+    pub fn rail_telemetry(&self, rail: usize) -> nmad_core::RailTelemetry {
+        self.shared.engine.lock().rail_telemetry(rail)
+    }
+
+    /// Snapshot of the engine's flight-recorder ring, oldest first.
+    /// Empty unless the endpoint was built with a nonzero
+    /// `EngineConfig::record_capacity`.
+    pub fn events(&self) -> Vec<nmad_core::Event> {
+        self.shared.engine.lock().recorder().events()
+    }
 }
 
 impl Drop for Endpoint {

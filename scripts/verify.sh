@@ -31,6 +31,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> datapath copy budget (ablate_zero_copy smoke sweep)"
 NMAD_DATAPATH_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_zero_copy
 
+# Recorder-overhead gate: the ablate_obs smoke sweep exits nonzero if
+# recording costs > 5% aggregate wall-clock or takes any hot-path
+# allocation (see DESIGN.md §8).
+echo "==> flight-recorder overhead (ablate_obs smoke sweep)"
+NMAD_OBS_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_obs
+
+# Trace round-trip: `nmad trace` must emit a Chrome trace that its own
+# validator accepts (parses, phase fields present, B/E balanced).
+echo "==> nmad trace emit + validate"
+trace_tmp="$(mktemp /tmp/nmad_trace.XXXXXX.json)"
+trap 'rm -f "$trace_tmp"' EXIT
+cargo run -q -p nmad-cli -- trace --size 1048576 --out "$trace_tmp"
+cargo run -q -p nmad-cli -- trace --validate "$trace_tmp"
+
 echo "==> cargo fmt --check"
 cargo fmt --check 2>/dev/null || echo "    (rustfmt unavailable or diffs; non-fatal)"
 
