@@ -1,0 +1,44 @@
+//! Online-recalibration gate: runs the mid-run bandwidth-degradation
+//! pipeline with frozen seed tables and with the online calibrator and
+//! fails unless calibrating strictly wins and the split converges within
+//! the rebuild budget. Run with
+//! `cargo bench -p nmad-bench --bench ablate_calibration`.
+//! Set `NMAD_CALIBRATION_SMOKE=1` for the small CI sweep.
+
+use std::path::Path;
+
+fn main() {
+    let smoke = std::env::var("NMAD_CALIBRATION_SMOKE").is_ok_and(|v| v != "0");
+    eprintln!(
+        "running ablate_calibration ({} sweep, deterministic drift sim)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = nmad_bench::calibration::run(smoke);
+    println!("{}", nmad_bench::calibration::render(&report));
+
+    let dir = nmad_bench::report::figures_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+    }
+    let path: std::path::PathBuf = Path::new(&dir).join("BENCH_calibration.json");
+    let bytes = serde_json::to_vec_pretty(&report).expect("serializable");
+    match std::fs::write(&path, bytes) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    let violations = nmad_bench::calibration::check(&report);
+    if !violations.is_empty() {
+        eprintln!("calibration gate violated:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "calibration OK: {:+.2}% vs frozen, converged at rebuild {} (budget {})",
+        report.improvement_pct(),
+        report.converged_rebuild,
+        report.budget_rebuilds
+    );
+}

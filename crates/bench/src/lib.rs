@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod datapath;
 pub mod figures;
 pub mod obs_bench;

@@ -67,6 +67,10 @@ fn usage() -> &'static str {
        metrics [--strategy S] [--size BYTES] [--messages N]\n\
                                         per-rail latency/size/backlog histograms\n\
                                         and gauges from an acked pipeline run\n\
+       calibrate [--messages N] [--size BYTES] [--factor F] [--onset-us US]\n\
+                                        online recalibration under mid-run\n\
+                                        bandwidth drift: live tables, per-size\n\
+                                        corrections and the split-ratio history\n\
      strategies: single-myri single-quadrics greedy aggregate adaptive iso static"
 }
 
@@ -99,6 +103,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("faults") => cmd_faults(&args),
         Some("trace") => cmd_trace(&args),
         Some("metrics") => cmd_metrics(&args),
+        Some("calibrate") => cmd_calibrate(&args),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
     }
@@ -767,6 +772,146 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    use nmad_runtime_sim::{AppLogic, BandwidthDrift, FaultPlan, NodeApi, SimWorld};
+    use nmad_sim::{SimDuration, SimTime};
+
+    let messages: usize = args.num("messages", 24)?;
+    let size = args.size("size", 1 << 20)?;
+    let factor: f64 = args.num("factor", 0.5)?;
+    let onset_us: u64 = args.num("onset-us", 2_000)?;
+    if !(factor > 0.0 && factor.is_finite()) {
+        return Err(format!("--factor {factor} must be positive"));
+    }
+
+    /// Serial chain: the next message goes out when the previous one's
+    /// injection completes, so the split ratio shows up in completion time.
+    struct ChainSender {
+        messages: usize,
+        size: usize,
+        submitted: usize,
+    }
+    impl ChainSender {
+        fn submit_next(&mut self, api: &mut NodeApi<'_>) {
+            if self.submitted < self.messages {
+                let tag = self.submitted as u8;
+                api.submit_send(0, vec![Bytes::from(vec![tag; self.size])]);
+                self.submitted += 1;
+            }
+        }
+    }
+    impl AppLogic for ChainSender {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            self.submit_next(api);
+        }
+        fn on_send_complete(&mut self, _send: nmad_core::SendId, api: &mut NodeApi<'_>) {
+            self.submit_next(api);
+        }
+    }
+    struct ChainReceiver {
+        messages: usize,
+        delivered: usize,
+    }
+    impl AppLogic for ChainReceiver {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            for _ in 0..self.messages {
+                api.post_recv(0);
+            }
+        }
+        fn on_recv_complete(
+            &mut self,
+            _recv: nmad_core::RecvId,
+            _msg: nmad_wire::reassembly::MessageAssembly,
+            _api: &mut NodeApi<'_>,
+        ) {
+            self.delivered += 1;
+        }
+    }
+
+    let plat = platform::paper_platform();
+    let mut config = EngineConfig::with_strategy(StrategyKind::AdaptiveSplit);
+    config.calibration.enabled = true;
+    config.calibration.rebuild_every = 8;
+    config.calibration.min_samples = 8;
+    let reference = config.calibration.reference_size;
+    let mut w = SimWorld::new(
+        &plat,
+        config,
+        ChainSender {
+            messages,
+            size,
+            submitted: 0,
+        },
+        ChainReceiver {
+            messages,
+            delivered: 0,
+        },
+    );
+    w.open_conn();
+    w.enable_recording(8192);
+    w.enable_faults(FaultPlan::drift_only(
+        BandwidthDrift {
+            rail: 0,
+            from: SimTime::from_us(onset_us),
+            to: SimTime::from_us(10_000_000),
+            factor,
+        },
+        SimDuration::from_us(50),
+        SimTime::from_us(400_000),
+    ));
+    w.run(500_000_000);
+    if w.app1().delivered != messages {
+        return Err(format!(
+            "pipeline stalled: {}/{} messages delivered",
+            w.app1().delivered,
+            messages
+        ));
+    }
+
+    let engine = &w.node(0).engine;
+    let cal = engine
+        .calibrator()
+        .ok_or_else(|| "calibration disabled".to_string())?;
+    println!(
+        "{} x {} B serial chain, rail 0 at {:.0}% bandwidth from {} µs ({:.2} ms simulated)",
+        messages,
+        size,
+        factor * 100.0,
+        onset_us,
+        (w.now().0 / 1_000) as f64 / 1e6
+    );
+    println!(
+        "samples {}  rebuilds {}  (cadence {}, alpha {})\n",
+        cal.samples(),
+        cal.rebuilds(),
+        cal.config().rebuild_every,
+        cal.config().alpha
+    );
+
+    println!("split-ratio history ({} B reference, permille):", reference);
+    for s in cal.history() {
+        println!(
+            "  rebuild {:>3}  samples {:>5}  {:?}",
+            s.rebuild, s.samples, s.permille
+        );
+    }
+
+    println!("\nlive tables (one-way µs; correction vs seed):");
+    let tables = engine.tables();
+    for (r, t) in tables.iter().enumerate() {
+        println!("  rail {r}:");
+        for &s in cal.ladder() {
+            println!(
+                "    {:>9} B  {:>10.1} µs  x{:.3}",
+                s,
+                t.time_for(s),
+                cal.correction_at(r, s)
+            );
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -899,6 +1044,22 @@ mod tests {
             "128K".into(),
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn calibrate_command_runs() {
+        run(&[
+            "calibrate".to_string(),
+            "--messages".into(),
+            "12".into(),
+        ])
+        .unwrap();
+        assert!(run(&[
+            "calibrate".to_string(),
+            "--factor".into(),
+            "-1".into(),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::health::HealthConfig;
+use crate::sampling::CalibrationConfig;
 use crate::strategy::StrategyKind;
 
 /// Tunable knobs of the engine, with defaults matching the paper's setup.
@@ -39,6 +40,11 @@ pub struct EngineConfig {
     /// fixed-size records at engine construction (see
     /// [`crate::obs::FlightRecorder`]).
     pub record_capacity: usize,
+    /// Online recalibration of the split tables from observed transfer
+    /// times (see [`crate::OnlineCalibrator`]). Disabled by default: the
+    /// engine then splits on its init-time tables forever, exactly as
+    /// before.
+    pub calibration: CalibrationConfig,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +58,7 @@ impl Default for EngineConfig {
             acked: false,
             health: HealthConfig::default(),
             record_capacity: 0,
+            calibration: CalibrationConfig::default(),
         }
     }
 }
@@ -75,6 +82,7 @@ impl EngineConfig {
             self.rdv_threshold
         );
         self.health.validate();
+        self.calibration.validate();
     }
 }
 

@@ -36,7 +36,7 @@ use crate::health::{HealthTracker, RailState, RailTelemetry, Transition};
 use crate::obs::{Event, EventKind, FlightRecorder};
 use crate::pool::BufferPool;
 use crate::request::{Backlog, RecvId, SegKey, SegPhase, SendId};
-use crate::sampling::{default_ladder, PerfTable};
+use crate::sampling::{default_ladder, split_ratio_permille, OnlineCalibrator, PerfTable};
 use crate::stats::EngineStats;
 use crate::strategy::{Strategy, StrategyCtx, TxOp};
 
@@ -171,6 +171,9 @@ pub struct Engine {
     /// Packet-lifecycle flight recorder (disabled unless
     /// [`EngineConfig::record_capacity`] is nonzero).
     obs: FlightRecorder,
+    /// Online recalibration of `tables` from observed transfer times
+    /// (present iff [`crate::CalibrationConfig::enabled`]).
+    calibrator: Option<OnlineCalibrator>,
 }
 
 /// Bookkeeping held between `next_tx` and `on_tx_done`: what the decision
@@ -182,6 +185,11 @@ struct InFlightTx {
     /// Wire bytes of the posted frame (for the in-flight gauge and the
     /// `TxDone` event).
     wire_len: usize,
+    /// Engine clock at `next_tx`; `on_tx_done - posted_ns` is the
+    /// injection time the online calibrator ingests.
+    posted_ns: u64,
+    /// Control-only frame (excluded from calibration: latency-bound).
+    control: bool,
 }
 
 impl Engine {
@@ -202,10 +210,16 @@ impl Engine {
             tables
         };
         let n = rails.len();
+        // The calibrator's seed (and prior) is whatever tables the engine
+        // starts from: analytic or real init-time sampling.
+        let calibrator = config.calibration.enabled.then(|| {
+            OnlineCalibrator::new(tables.clone(), default_ladder(), config.calibration.clone())
+        });
         Engine {
             strategy: Some(config.strategy.build()),
             health: HealthTracker::new(config.health, n),
             obs: FlightRecorder::with_capacity(config.record_capacity),
+            calibrator,
             config,
             tables,
             backlog: Backlog::new(),
@@ -270,9 +284,29 @@ impl Engine {
     }
 
     /// Replace the per-rail performance tables (after init-time sampling).
+    /// When online calibration is enabled, the new tables also become the
+    /// calibrator's seed curves (corrections and history reset: the prior
+    /// they corrected no longer exists).
     pub fn set_tables(&mut self, tables: Vec<PerfTable>) {
         assert_eq!(tables.len(), self.rails.len(), "one table per rail");
+        if self.calibrator.is_some() {
+            self.calibrator = Some(OnlineCalibrator::new(
+                tables.clone(),
+                default_ladder(),
+                self.config.calibration.clone(),
+            ));
+        }
         self.tables = tables;
+    }
+
+    /// The live per-rail performance tables the split strategy consults.
+    pub fn tables(&self) -> &[PerfTable] {
+        &self.tables
+    }
+
+    /// The online calibrator, when [`crate::CalibrationConfig::enabled`].
+    pub fn calibrator(&self) -> Option<&OnlineCalibrator> {
+        self.calibrator.as_ref()
     }
 
     /// Engine configuration.
@@ -854,8 +888,16 @@ impl Engine {
         // Keep a reference to the pooled head so on_tx_done can reclaim
         // the allocation once the runtime drops its copy of the frame.
         let head = frame.head().cloned();
-        self.in_flight
-            .insert(token.0, InFlightTx { items, head, wire_len });
+        self.in_flight.insert(
+            token.0,
+            InFlightTx {
+                items,
+                head,
+                wire_len,
+                posted_ns: self.now_ns,
+                control,
+            },
+        );
         self.rail_busy[rail.0] = true;
         TxDecision {
             token,
@@ -873,6 +915,8 @@ impl Engine {
             items,
             head,
             wire_len,
+            posted_ns,
+            control,
         } = self
             .in_flight
             .remove(&token.0)
@@ -893,6 +937,20 @@ impl Engine {
             // may still hold a reference — a counted miss, not an error.
             self.pool.reclaim(h);
             self.sync_pool_counters();
+        }
+        // Online calibration: a completed data injection is a live
+        // transfer-time sample for this rail (control frames are excluded —
+        // latency-bound, not representative of the split's regime). The
+        // sample is down-weighted while the rail is under suspicion.
+        if !control && self.calibrator.is_some() {
+            let elapsed_ns = self.now_ns.saturating_sub(posted_ns);
+            if elapsed_ns > 0 {
+                let weight = self.health.calibration_weight(rail);
+                if let Some(cal) = self.calibrator.as_mut() {
+                    cal.observe(rail.0, wire_len as u64, elapsed_ns as f64 / 1_000.0, weight);
+                }
+                self.maybe_recalibrate();
+            }
         }
         let mut completed = Vec::new();
         for item in items {
@@ -1136,6 +1194,33 @@ impl Engine {
                                 self.health.on_rtt_sample(RailId(r), rtt, self.now_ns)
                             };
                             self.note_transition(t);
+                        }
+                        // A single-rail attempt doubles as a calibration
+                        // sample: rtt/2 approximates the one-way time of
+                        // the whole message on that rail. Multi-rail
+                        // attempts are skipped — a per-message ack cannot
+                        // apportion the time between rails.
+                        if !att.retransmitted && self.calibrator.is_some() {
+                            let used: Vec<usize> = att
+                                .rails_used
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(r, &u)| u.then_some(r))
+                                .collect();
+                            if let [r] = used[..] {
+                                let bytes: u64 = self
+                                    .send_data
+                                    .get(&(env.conn_id, p.msg_id))
+                                    .map(|segs| segs.iter().map(|b| b.len() as u64).sum())
+                                    .unwrap_or(0);
+                                if bytes > 0 {
+                                    let w = self.health.calibration_weight(RailId(r));
+                                    if let Some(cal) = self.calibrator.as_mut() {
+                                        cal.observe(r, bytes, rtt as f64 / 2_000.0, w);
+                                    }
+                                    self.maybe_recalibrate();
+                                }
+                            }
                         }
                     }
                 }
@@ -1441,6 +1526,39 @@ impl Engine {
         attempts.chain(probes).min()
     }
 
+    /// Rebuild the live split tables when the calibrator's cadence is due.
+    /// Records one `Calibrate` event per rail carrying the rail's
+    /// reference-size split share before (`size`) and after (`aux`) the
+    /// rebuild, in permille. The next `next_tx` strategy call sees the new
+    /// tables — `StrategyCtx` borrows them per decision.
+    fn maybe_recalibrate(&mut self) {
+        if !self.calibrator.as_ref().is_some_and(OnlineCalibrator::due) {
+            return;
+        }
+        let reference = self.config.calibration.reference_size;
+        let old = {
+            let refs: Vec<&PerfTable> = self.tables.iter().collect();
+            split_ratio_permille(&refs, reference)
+        };
+        let cal = self.calibrator.as_mut().expect("due implies present");
+        let tables = cal.rebuild();
+        let ordinal = cal.rebuilds();
+        let new = {
+            let refs: Vec<&PerfTable> = tables.iter().collect();
+            split_ratio_permille(&refs, reference)
+        };
+        for r in 0..tables.len() {
+            self.obs.record(
+                Event::new(self.now_ns, EventKind::Calibrate)
+                    .rail(r)
+                    .seq(ordinal)
+                    .size(u64::from(old[r]))
+                    .aux(u64::from(new[r])),
+            );
+        }
+        self.tables = tables;
+    }
+
     /// Record a health transition in the stats and, when a rail went
     /// down, move its pending planned chunks to the surviving rails.
     fn note_transition(&mut self, t: Option<Transition>) {
@@ -1452,6 +1570,13 @@ impl Engine {
                 .aux(t.to.index() as u64),
         );
         if t.to == RailState::Down {
+            if let Some(cal) = self.calibrator.as_mut() {
+                // Decay the failed rail's table toward "slow": on
+                // reinstatement it re-earns its byte share through fresh
+                // samples instead of instantly reclaiming its pre-failure
+                // split.
+                cal.penalize(t.rail.0);
+            }
             let survivors: Vec<usize> = (0..self.rails.len())
                 .filter(|&r| self.health.usable(RailId(r)))
                 .collect();

@@ -282,6 +282,19 @@ impl HealthTracker {
         (0..self.rails.len()).all(|r| !self.usable(RailId(r)))
     }
 
+    /// EWMA weight the online calibrator applies to a transfer-time sample
+    /// from `rail`. A rail under suspicion (or still proving itself after
+    /// an outage) yields quarter-weight samples — its timings are tainted
+    /// by whatever got it suspected — and a `Down` rail yields none, so a
+    /// dying rail cannot poison the split tables on its way out.
+    pub fn calibration_weight(&self, rail: RailId) -> f64 {
+        match self.rails[rail.0].state {
+            RailState::Up => 1.0,
+            RailState::Suspect | RailState::Probing => 0.25,
+            RailState::Down => 0.0,
+        }
+    }
+
     /// Record positive evidence (an ack or pong touching `rail`) at
     /// `now_ns`. Used to exonerate rails from collective blame: a rail
     /// that demonstrably delivered since an attempt started is almost
@@ -619,6 +632,22 @@ mod tests {
         let stamped: Vec<(u64, RailState)> = h.rail(r).history_stamped().collect();
         assert_eq!(stamped[0], (0, RailState::Up));
         assert_eq!(stamped[4], (850, RailState::Up));
+    }
+
+    #[test]
+    fn calibration_weight_tracks_state() {
+        let mut h = HealthTracker::new(cfg(), 1);
+        let r = RailId(0);
+        assert_eq!(h.calibration_weight(r), 1.0);
+        h.on_timeout(r, 100); // Suspect
+        assert_eq!(h.calibration_weight(r), 0.25);
+        h.on_timeout(r, 150);
+        h.on_timeout(r, 300); // Down
+        assert_eq!(h.calibration_weight(r), 0.0);
+        h.on_probe_sent(r, 800); // Probing
+        assert_eq!(h.calibration_weight(r), 0.25);
+        h.on_probe_ok(r, 50, 850); // Up again
+        assert_eq!(h.calibration_weight(r), 1.0);
     }
 
     #[test]

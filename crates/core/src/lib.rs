@@ -19,9 +19,11 @@
 //!   `next_tx` / `on_tx_done` / `on_packet`.
 //!
 //! Supporting modules: [`sampling`] implements the initialization-time
-//! network sampling that feeds the adaptive splitting ratios (§3.4);
-//! [`stats`] counts what the strategies actually did so tests can assert
-//! on behaviour, not just timing.
+//! network sampling that feeds the adaptive splitting ratios (§3.4) plus
+//! the [`sampling::OnlineCalibrator`] that keeps those ratios tracking
+//! observed transfer times at runtime; [`stats`] counts what the
+//! strategies actually did so tests can assert on behaviour, not just
+//! timing.
 //!
 //! # A complete round trip
 //!
@@ -94,6 +96,8 @@ pub use health::{HealthConfig, HealthTracker, RailState, RailTelemetry};
 pub use obs::{Event, EventKind, FlightRecorder, Log2Histogram};
 pub use pool::BufferPool;
 pub use request::{Backlog, RecvId, SendId};
-pub use sampling::PerfTable;
+pub use sampling::{
+    split_ratio_permille, CalibrationConfig, CalibrationSnapshot, OnlineCalibrator, PerfTable,
+};
 pub use stats::{DataPathStats, EngineStats, ObsStats, RailObs};
 pub use strategy::{Strategy, StrategyKind};

@@ -64,6 +64,10 @@ pub enum EventKind {
     /// A Down transition reassigned this rail's planned chunks
     /// (`aux` = surviving rail count).
     Failover,
+    /// The online calibrator rebuilt the split tables; one event per rail
+    /// (`seq` = rebuild ordinal, `size` = this rail's reference-size split
+    /// share *before* the rebuild in permille, `aux` = the share after).
+    Calibrate,
     /// Simulator: CPU busy injecting or receiving (`size` = wire bytes,
     /// `aux` = bytes copied at injection).
     SimCpu,
@@ -100,6 +104,7 @@ impl EventKind {
             EventKind::ProbeTimeout => "probe_timeout",
             EventKind::HealthTransition => "health_transition",
             EventKind::Failover => "failover",
+            EventKind::Calibrate => "calibrate",
             EventKind::SimCpu => "sim_cpu",
             EventKind::SimNic => "sim_nic",
             EventKind::SimBus => "sim_bus",
@@ -114,7 +119,8 @@ impl EventKind {
             EventKind::DecideEager
             | EventKind::DecideAggregate
             | EventKind::DecideSplit
-            | EventKind::DecideChunk => "decision",
+            | EventKind::DecideChunk
+            | EventKind::Calibrate => "decision",
             EventKind::TxPost | EventKind::TxDone => "tx",
             EventKind::Rx => "rx",
             EventKind::AckSent

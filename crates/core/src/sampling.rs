@@ -1,4 +1,4 @@
-//! Initialization-time network sampling (paper §3.4).
+//! Network sampling and online recalibration (paper §3.4).
 //!
 //! "According to samplings performed on the different available NICs (this
 //! step is done at the NewMadeleine initialization time), an adaptive
@@ -8,6 +8,15 @@
 //! that every rail's chunk takes (approximately) the same time — the
 //! paper's "fragments for which transfer times are equivalent on their
 //! respective networks".
+//!
+//! The paper's authors flag init-time sampling as fragile under changing
+//! conditions. The [`OnlineCalibrator`] closes that loop: it ingests
+//! per-chunk `(rail, size, observed time)` samples from the engine's
+//! completion path, maintains per-rail per-size-bucket EWMA corrections
+//! over the seeded ladder, and periodically rebuilds monotone
+//! [`PerfTable`]s that the adaptive split consults live.
+
+#![deny(clippy::unnecessary_to_owned, clippy::redundant_clone)]
 
 use nmad_model::NicModel;
 
@@ -39,8 +48,18 @@ impl PerfTable {
     /// by size; duplicate sizes keep the *last* measurement.
     pub fn new(mut points: Vec<(u64, f64)>) -> Self {
         assert!(!points.is_empty(), "a PerfTable needs at least one sample");
+        // Stable sort keeps equal-size samples in input order, so the last
+        // element of each run is the freshest measurement; `dedup_by` keeps
+        // the *first* of a run, hence the overwrite-in-place pass.
         points.sort_by_key(|p| p.0);
-        points.dedup_by_key(|p| p.0);
+        let mut deduped: Vec<(u64, f64)> = Vec::with_capacity(points.len());
+        for p in points {
+            match deduped.last_mut() {
+                Some(last) if last.0 == p.0 => *last = p,
+                _ => deduped.push(p),
+            }
+        }
+        let points = deduped;
         assert!(
             points.iter().all(|p| p.1.is_finite() && p.1 > 0.0),
             "sample times must be positive and finite"
@@ -104,10 +123,21 @@ impl PerfTable {
         if time_us <= self.times_us[0] {
             return 0.0;
         }
-        if time_us >= self.times_us[n - 1] {
+        // First index with times[up] >= time_us (times ascend non-strictly).
+        // An exact hit lands on the *leftmost* point of a clamp-flattened
+        // plateau: the clamp means sizes further right were never actually
+        // measured faster, so crediting them to a stalled rail would hand
+        // it bytes it cannot move.
+        let up = self.times_us.partition_point(|&t| t < time_us);
+        if up < n && self.times_us[up] <= time_us {
+            return self.sizes[up] as f64;
+        }
+        if up == n {
             if n == 1 {
                 return self.sizes[0] as f64;
             }
+            // Strictly past the last sample: extrapolate with the last
+            // slope; a flat tail caps capacity at the largest size measured.
             let ds = (self.sizes[n - 1] - self.sizes[n - 2]) as f64;
             let dt = self.times_us[n - 1] - self.times_us[n - 2];
             if dt <= 0.0 {
@@ -115,12 +145,9 @@ impl PerfTable {
             }
             return self.sizes[n - 1] as f64 + ds / dt * (time_us - self.times_us[n - 1]);
         }
-        let idx = self.times_us.partition_point(|&t| t <= time_us) - 1;
-        let (s0, s1) = (self.sizes[idx] as f64, self.sizes[idx + 1] as f64);
-        let (t0, t1) = (self.times_us[idx], self.times_us[idx + 1]);
-        if t1 <= t0 {
-            return s1;
-        }
+        // Strict bracket: times[up-1] < time_us < times[up].
+        let (s0, s1) = (self.sizes[up - 1] as f64, self.sizes[up] as f64);
+        let (t0, t1) = (self.times_us[up - 1], self.times_us[up]);
         s0 + (s1 - s0) * ((time_us - t0) / (t1 - t0))
     }
 
@@ -154,9 +181,396 @@ pub fn split_weights(tables: &[&PerfTable], total: u64) -> Vec<f64> {
             lo = mid;
         }
     }
-    let weights: Vec<f64> = tables.iter().map(|t| t.size_for(hi)).collect();
-    debug_assert!(weights.iter().sum::<f64>() > 0.0);
+    let mut weights: Vec<f64> = tables.iter().map(|t| t.size_for(hi)).collect();
+    // Renormalize to exactly `total`: at the bisection's final `hi` the
+    // capacities can over- or undershoot (flat table tails make size_for
+    // jump), and the caller divides these into byte counts — shares that
+    // don't sum to the message size would silently drop or invent bytes.
+    let sum: f64 = weights.iter().sum();
+    if sum > 0.0 {
+        let scale = total as f64 / sum;
+        for w in &mut weights {
+            *w *= scale;
+        }
+    } else {
+        // Degenerate tables (all-flat plateaus) can yield zero capacity at
+        // every probed time; fall back to an even split rather than NaN.
+        let even = total as f64 / weights.len() as f64;
+        weights.fill(even);
+    }
+    debug_assert!(
+        weights.iter().all(|w| *w >= 0.0),
+        "split weights must be non-negative: {weights:?}"
+    );
+    debug_assert!(
+        (weights.iter().sum::<f64>() - total as f64).abs() <= 1e-6 * total as f64,
+        "split weights must sum to total {total}: {weights:?}"
+    );
     weights
+}
+
+/// Per-rail share of splitting `reference` bytes, in permille (sums to
+/// 1000). This is the one-number-per-rail summary the calibrator snapshots
+/// after every rebuild and the `calibrate` obs event carries.
+pub fn split_ratio_permille(tables: &[&PerfTable], reference: u64) -> Vec<u16> {
+    let w = split_weights(tables, reference.max(1));
+    let sum: f64 = w.iter().sum();
+    let mut out: Vec<u16> = w
+        .iter()
+        .map(|x| ((x / sum) * 1000.0).round() as u16)
+        .collect();
+    // Push any rounding residue onto the largest share so Σ == 1000.
+    let total: i32 = out.iter().map(|&p| i32::from(p)).sum();
+    if let Some(max) = out.iter_mut().max() {
+        *max = (i32::from(*max) + (1000 - total)).clamp(0, 1000) as u16;
+    }
+    out
+}
+
+/// Knobs of the [`OnlineCalibrator`]. Lives here (not in `config.rs`) so
+/// the calibrator is usable standalone; [`crate::EngineConfig`] embeds it.
+#[derive(Clone, Debug)]
+pub struct CalibrationConfig {
+    /// Master switch. Off by default: the engine then behaves exactly as
+    /// before (frozen init-time tables).
+    pub enabled: bool,
+    /// EWMA smoothing factor applied to per-bucket corrections, in (0, 1].
+    /// Effective step is `alpha * sample_weight`, so down-weighted samples
+    /// (rails under suspicion) move the estimate proportionally less.
+    pub alpha: f64,
+    /// Recalibration cadence: rebuild the live tables after this many
+    /// accepted samples.
+    pub rebuild_every: u32,
+    /// Total accepted samples required before the first rebuild — keeps a
+    /// couple of noisy early chunks from immediately skewing the split.
+    pub min_samples: u32,
+    /// Clamp on the per-bucket correction ratio (and its inverse): a
+    /// single wild measurement can claim at most this slowdown/speedup.
+    pub max_correction: f64,
+    /// Correction floor applied to every bucket of a rail when it fails
+    /// over (transitions to `Down`): its table immediately reads
+    /// `failover_penalty`× slower, and the rail re-earns traffic gradually
+    /// as fresh samples pull the EWMA back down.
+    pub failover_penalty: f64,
+    /// Message size whose split ratio the history snapshots (diagnostics
+    /// and the `calibrate` obs event).
+    pub reference_size: u64,
+    /// Per-rebuild multiplicative decay applied to bucket sample weights,
+    /// in (0, 1]. A bucket that stops receiving samples decays below the
+    /// staleness floor after a few rebuilds and is treated as unsampled
+    /// again, so fresher neighbouring buckets interpolate over it. Without
+    /// this, one pre-drift measurement in a large-size bucket would pin
+    /// the split ratio forever once the traffic mix shifts to smaller
+    /// chunks. `1.0` disables staleness (buckets stay authoritative).
+    pub stale_decay: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            enabled: false,
+            alpha: 0.25,
+            rebuild_every: 16,
+            min_samples: 8,
+            max_correction: 16.0,
+            failover_penalty: 4.0,
+            reference_size: 1 << 20,
+            stale_decay: 0.5,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) {
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "calibration alpha {} must be in (0, 1]",
+            self.alpha
+        );
+        assert!(self.rebuild_every >= 1, "rebuild_every must be >= 1");
+        assert!(
+            self.max_correction >= 1.0,
+            "max_correction {} must be >= 1",
+            self.max_correction
+        );
+        assert!(
+            self.failover_penalty >= 1.0 && self.failover_penalty <= self.max_correction,
+            "failover_penalty {} must be in [1, max_correction {}]",
+            self.failover_penalty,
+            self.max_correction
+        );
+        assert!(self.reference_size > 0, "reference_size must be positive");
+        assert!(
+            self.stale_decay > 0.0 && self.stale_decay <= 1.0,
+            "stale_decay {} must be in (0, 1]",
+            self.stale_decay
+        );
+    }
+}
+
+/// One history entry: the split ratio right after a rebuild.
+#[derive(Clone, Debug)]
+pub struct CalibrationSnapshot {
+    /// Rebuild ordinal (1-based).
+    pub rebuild: u64,
+    /// Accepted samples ingested up to this rebuild.
+    pub samples: u64,
+    /// Per-rail permille share of a [`CalibrationConfig::reference_size`]
+    /// split under the freshly rebuilt tables.
+    pub permille: Vec<u16>,
+}
+
+/// Per-(rail, ladder-bucket) EWMA state.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    /// EWMA of `observed / predicted` time. 1.0 = the seed table is right.
+    corr: f64,
+    /// Accumulated sample weight, decayed by
+    /// [`CalibrationConfig::stale_decay`] on every rebuild; below
+    /// [`MIN_BUCKET_WEIGHT`] the bucket counts as unmeasured again.
+    weight: f64,
+}
+
+/// Staleness floor: buckets whose decayed weight falls below this are
+/// treated as unsampled by [`OnlineCalibrator::rebuild`] and re-derived
+/// from their fresher neighbours. With the default `stale_decay` of 0.5 a
+/// single full-weight sample stays authoritative for two rebuilds.
+const MIN_BUCKET_WEIGHT: f64 = 0.2;
+
+/// Closes the sampling loop: turns live per-chunk transfer times back into
+/// the [`PerfTable`]s the adaptive split consults (see module docs).
+///
+/// The calibrator never mutates its seed tables. Each accepted sample
+/// updates an EWMA *correction ratio* (`observed / seed-predicted`) in the
+/// ladder bucket nearest the chunk size; [`Self::rebuild`] multiplies the
+/// seed curve by the corrections (unsampled buckets interpolate between
+/// their sampled neighbours in log-size space, boundary buckets carry
+/// flat) and re-runs the monotonicity clamp. Keeping the analytic seed as
+/// the prior means a half-empty sample set degrades to "what init-time
+/// sampling believed", not to garbage.
+#[derive(Clone, Debug)]
+pub struct OnlineCalibrator {
+    cfg: CalibrationConfig,
+    ladder: Vec<u64>,
+    base: Vec<PerfTable>,
+    buckets: Vec<Vec<Bucket>>,
+    since_rebuild: u32,
+    samples: u64,
+    rebuilds: u64,
+    history: Vec<CalibrationSnapshot>,
+}
+
+impl OnlineCalibrator {
+    /// Build over seed tables (one per rail) and a sampling ladder.
+    pub fn new(base: Vec<PerfTable>, ladder: Vec<u64>, cfg: CalibrationConfig) -> Self {
+        cfg.validate();
+        assert!(!base.is_empty(), "calibrator needs at least one rail table");
+        assert!(!ladder.is_empty(), "calibrator needs a non-empty ladder");
+        let mut ladder = ladder;
+        ladder.sort_unstable();
+        ladder.dedup();
+        let buckets = vec![
+            vec![
+                Bucket {
+                    corr: 1.0,
+                    weight: 0.0
+                };
+                ladder.len()
+            ];
+            base.len()
+        ];
+        OnlineCalibrator {
+            cfg,
+            ladder,
+            base,
+            buckets,
+            since_rebuild: 0,
+            samples: 0,
+            rebuilds: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The ladder bucket nearest `size` in log space.
+    fn bucket_for(&self, size: u64) -> usize {
+        let idx = self.ladder.partition_point(|&s| s < size);
+        if idx == 0 {
+            return 0;
+        }
+        if idx == self.ladder.len() {
+            return self.ladder.len() - 1;
+        }
+        // Compare geometric distance: size/lo vs hi/size.
+        let (lo, hi) = (self.ladder[idx - 1] as f64, self.ladder[idx] as f64);
+        let s = size as f64;
+        if s / lo <= hi / s {
+            idx - 1
+        } else {
+            idx
+        }
+    }
+
+    /// Ingest one completed-chunk measurement. `weight` in (0, 1] scales
+    /// the EWMA step (health down-weighting); non-positive weights and
+    /// non-finite times are rejected so a sick rail cannot poison state.
+    pub fn observe(&mut self, rail: usize, size: u64, observed_us: f64, weight: f64) {
+        if rail >= self.base.len()
+            || size == 0
+            || !observed_us.is_finite()
+            || observed_us <= 0.0
+            || !weight.is_finite()
+            || weight <= 0.0
+        {
+            return;
+        }
+        let predicted = self.base[rail].time_for(size);
+        if !predicted.is_finite() || predicted <= 0.0 {
+            return;
+        }
+        let ratio = (observed_us / predicted)
+            .clamp(1.0 / self.cfg.max_correction, self.cfg.max_correction);
+        let bucket = self.bucket_for(size);
+        let b = &mut self.buckets[rail][bucket];
+        let step = (self.cfg.alpha * weight.min(1.0)).clamp(0.0, 1.0);
+        b.corr += step * (ratio - b.corr);
+        b.weight += weight.min(1.0);
+        self.samples += 1;
+        self.since_rebuild = self.since_rebuild.saturating_add(1);
+    }
+
+    /// Whether enough samples accrued for the next [`Self::rebuild`].
+    pub fn due(&self) -> bool {
+        self.samples >= u64::from(self.cfg.min_samples)
+            && self.since_rebuild >= self.cfg.rebuild_every
+    }
+
+    /// Failover decay: raise every bucket of `rail` to at least the
+    /// configured penalty so the rebuilt table reads "slow" and the rail
+    /// re-earns its byte share through fresh measurements.
+    pub fn penalize(&mut self, rail: usize) {
+        if rail >= self.buckets.len() {
+            return;
+        }
+        for b in &mut self.buckets[rail] {
+            b.corr = b.corr.max(self.cfg.failover_penalty);
+            // Make the penalty land even in never-sampled buckets (zero
+            // weight would otherwise be interpolated away on rebuild).
+            b.weight = b.weight.max(1.0);
+        }
+    }
+
+    /// Effective correction per ladder bucket: sampled buckets use their
+    /// EWMA, gaps interpolate linearly in ladder-index (≈ log-size) space,
+    /// and buckets outside the sampled range carry the boundary value flat
+    /// (a rail measured 2× slow at 1 MiB is presumed 2× slow at 4 MiB —
+    /// the bandwidth regime is what drifts).
+    fn effective_corr(&self, rail: usize) -> Vec<f64> {
+        let bs = &self.buckets[rail];
+        let sampled: Vec<usize> = (0..bs.len())
+            .filter(|&i| bs[i].weight >= MIN_BUCKET_WEIGHT)
+            .collect();
+        if sampled.is_empty() {
+            return vec![1.0; bs.len()];
+        }
+        let mut out = Vec::with_capacity(bs.len());
+        let mut next = 0usize; // index into `sampled`, first entry >= i
+        for i in 0..bs.len() {
+            while next < sampled.len() && sampled[next] < i {
+                next += 1;
+            }
+            if next < sampled.len() && sampled[next] == i {
+                out.push(bs[i].corr);
+                continue;
+            }
+            let right = sampled.get(next).copied();
+            let left = next.checked_sub(1).map(|j| sampled[j]);
+            out.push(match (left, right) {
+                (Some(l), Some(r)) => {
+                    let f = (i - l) as f64 / (r - l) as f64;
+                    bs[l].corr + (bs[r].corr - bs[l].corr) * f
+                }
+                (Some(l), None) => bs[l].corr,
+                (None, Some(r)) => bs[r].corr,
+                (None, None) => 1.0,
+            });
+        }
+        out
+    }
+
+    /// Rebuild live tables from the seed curves and current corrections,
+    /// snapshot the resulting reference-size split ratio into the history,
+    /// and reset the cadence counter. Returns one monotone table per rail.
+    pub fn rebuild(&mut self) -> Vec<PerfTable> {
+        let tables: Vec<PerfTable> = (0..self.base.len())
+            .map(|rail| {
+                let corr = self.effective_corr(rail);
+                let points: Vec<(u64, f64)> = self
+                    .ladder
+                    .iter()
+                    .zip(&corr)
+                    .map(|(&s, &c)| (s, self.base[rail].time_for(s) * c))
+                    .collect();
+                PerfTable::new(points)
+            })
+            .collect();
+        self.rebuilds += 1;
+        self.since_rebuild = 0;
+        // Age every bucket: a bucket the traffic mix no longer exercises
+        // decays below the staleness floor within a few rebuilds and stops
+        // pinning its size regime (fresher neighbours take over via
+        // interpolation). Buckets that keep receiving samples keep their
+        // authority — `observe` replenishes the weight.
+        for rail in &mut self.buckets {
+            for b in rail.iter_mut() {
+                b.weight *= self.cfg.stale_decay;
+                if b.weight < MIN_BUCKET_WEIGHT {
+                    b.weight = 0.0;
+                }
+            }
+        }
+        let refs: Vec<&PerfTable> = tables.iter().collect();
+        self.history.push(CalibrationSnapshot {
+            rebuild: self.rebuilds,
+            samples: self.samples,
+            permille: split_ratio_permille(&refs, self.cfg.reference_size),
+        });
+        tables
+    }
+
+    /// Split-ratio snapshots, one per rebuild (oldest first).
+    pub fn history(&self) -> &[CalibrationSnapshot] {
+        &self.history
+    }
+
+    /// Rebuilds performed so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Accepted samples ingested so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Effective correction ratio the next rebuild would apply to `rail`
+    /// at `size` (diagnostics: `nmad calibrate` prints these).
+    pub fn correction_at(&self, rail: usize, size: u64) -> f64 {
+        if rail >= self.buckets.len() {
+            return 1.0;
+        }
+        self.effective_corr(rail)[self.bucket_for(size)]
+    }
+
+    /// The calibrator's configuration.
+    pub fn config(&self) -> &CalibrationConfig {
+        &self.cfg
+    }
+
+    /// The sampling ladder the corrections are bucketed over.
+    pub fn ladder(&self) -> &[u64] {
+        &self.ladder
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +696,199 @@ mod tests {
         assert!((sum - total as f64).abs() / (total as f64) < 0.01);
         // Ordering by asymptotic bandwidth: myri > quad > sci.
         assert!(w[0] > w[1] && w[1] > w[2], "weights {w:?}");
+    }
+
+    #[test]
+    fn dedup_keeps_last_measurement() {
+        // Regression: dedup_by_key kept the *first* sample of a size run,
+        // contradicting the doc (and starving the calibrator of fresh data).
+        let t = PerfTable::new(vec![(100, 10.0), (100, 20.0), (200, 30.0)]);
+        assert_eq!(t.time_for(100), 20.0, "freshest sample must win");
+        let t = PerfTable::new(vec![(100, 20.0), (100, 10.0)]);
+        assert_eq!(t.time_for(100), 10.0);
+    }
+
+    #[test]
+    fn size_for_returns_leftmost_plateau_size() {
+        // Monotonicity clamp flattens 300/400 up to 10.0; the inverse must
+        // not credit the stalled region (sizes 300/400) as movable in 10us.
+        let t = PerfTable::new(vec![
+            (100, 5.0),
+            (200, 10.0),
+            (300, 9.0),
+            (400, 9.5),
+            (500, 20.0),
+        ]);
+        assert_eq!(t.size_for(10.0), 200.0, "leftmost plateau size");
+        // Strictly above the plateau interpolation resumes from its right
+        // edge toward the next measured point.
+        assert!((t.size_for(15.0) - 450.0).abs() < 1e-9);
+        // A plateau at the table's end: an exact hit still answers with
+        // the plateau's left edge, not the flat-tail capacity cap.
+        let t = PerfTable::new(vec![(100, 5.0), (200, 10.0), (300, 10.0)]);
+        assert_eq!(t.size_for(10.0), 200.0);
+        assert_eq!(t.size_for(12.0), 300.0, "past a flat tail: capped");
+    }
+
+    #[test]
+    fn split_weights_renormalize_with_flat_tails() {
+        // Flat tails make Σ size_i(t*) miss `total` at the bisection's
+        // final bracket; the weights must still sum to the message size.
+        let a = PerfTable::new(vec![(100, 10.0), (200, 20.0), (300, 20.0), (400, 20.0)]);
+        let b = PerfTable::new(vec![(100, 10.0), (400, 40.0)]);
+        let total = 600u64;
+        let w = split_weights(&[&a, &b], total);
+        assert!(w.iter().all(|&x| x >= 0.0), "weights {w:?}");
+        let sum: f64 = w.iter().sum();
+        assert!(
+            (sum - total as f64).abs() <= 1e-6 * total as f64,
+            "sum {sum} != total {total}"
+        );
+    }
+
+    #[test]
+    fn split_weights_all_flat_tables_fall_back_to_even() {
+        let a = PerfTable::new(vec![(100, 10.0), (200, 10.0)]);
+        let b = PerfTable::new(vec![(100, 10.0), (200, 10.0)]);
+        let w = split_weights(&[&a, &b], 1000);
+        assert_eq!(w, vec![500.0, 500.0]);
+    }
+
+    #[test]
+    fn ratio_permille_sums_to_1000() {
+        let myri = myri_table();
+        let quad = quad_table();
+        let p = split_ratio_permille(&[&myri, &quad], 1 << 20);
+        assert_eq!(p.iter().map(|&x| u32::from(x)).sum::<u32>(), 1000);
+        assert!(p[0] > p[1], "myri carries the larger share");
+    }
+
+    fn test_calibrator() -> OnlineCalibrator {
+        let ladder = default_ladder();
+        let base = vec![
+            PerfTable::from_analytic(&platform::myri_10g(), &ladder),
+            PerfTable::from_analytic(&platform::quadrics_qm500(), &ladder),
+        ];
+        let cfg = CalibrationConfig {
+            enabled: true,
+            min_samples: 4,
+            rebuild_every: 4,
+            ..Default::default()
+        };
+        OnlineCalibrator::new(base, ladder, cfg)
+    }
+
+    #[test]
+    fn calibrator_shifts_share_away_from_degraded_rail() {
+        let mut c = test_calibrator();
+        let before = {
+            let t = c.rebuild();
+            let refs: Vec<&PerfTable> = t.iter().collect();
+            split_ratio_permille(&refs, 1 << 20)
+        };
+        // Rail 0 reports 2x the predicted time at 1 MiB, repeatedly.
+        let pred = c.base[0].time_for(1 << 20);
+        for _ in 0..32 {
+            c.observe(0, 1 << 20, pred * 2.0, 1.0);
+        }
+        assert!(c.due());
+        let t = c.rebuild();
+        let refs: Vec<&PerfTable> = t.iter().collect();
+        let after = split_ratio_permille(&refs, 1 << 20);
+        assert!(
+            after[0] < before[0],
+            "degraded rail share must drop: {before:?} -> {after:?}"
+        );
+        assert_eq!(c.history().len(), 2);
+    }
+
+    #[test]
+    fn calibrator_down_weights_suspect_samples() {
+        let mut a = test_calibrator();
+        let mut b = test_calibrator();
+        let pred = a.base[0].time_for(1 << 20);
+        for _ in 0..8 {
+            a.observe(0, 1 << 20, pred * 4.0, 1.0);
+            b.observe(0, 1 << 20, pred * 4.0, 0.25);
+        }
+        let full = a.correction_at(0, 1 << 20);
+        let light = b.correction_at(0, 1 << 20);
+        assert!(
+            light < full,
+            "down-weighted samples must move the EWMA less: {light} vs {full}"
+        );
+    }
+
+    #[test]
+    fn calibrator_penalize_reads_slow_until_reearned() {
+        let mut c = test_calibrator();
+        c.penalize(0);
+        let corr = c.correction_at(0, 1 << 20);
+        assert!((corr - c.config().failover_penalty).abs() < 1e-9);
+        let t = c.rebuild();
+        // Penalized rail's table is slower than its seed across the ladder.
+        assert!(t[0].time_for(1 << 20) > c.base[0].time_for(1 << 20) * 2.0);
+        // Fresh on-prediction samples pull the correction back down.
+        let pred = c.base[0].time_for(1 << 20);
+        for _ in 0..64 {
+            c.observe(0, 1 << 20, pred, 1.0);
+        }
+        assert!(c.correction_at(0, 1 << 20) < corr * 0.5);
+    }
+
+    #[test]
+    fn calibrator_interpolates_unsampled_buckets() {
+        let mut c = test_calibrator();
+        let p64k = c.base[0].time_for(64 << 10);
+        let p1m = c.base[0].time_for(1 << 20);
+        for _ in 0..32 {
+            c.observe(0, 64 << 10, p64k * 2.0, 1.0);
+            c.observe(0, 1 << 20, p1m * 2.0, 1.0);
+        }
+        // 256 KiB sits between the two sampled buckets: its correction
+        // must interpolate to ~2x, not stay at the neutral 1.0.
+        let mid = c.correction_at(0, 256 << 10);
+        assert!(mid > 1.5, "interpolated correction {mid}");
+        // Beyond the sampled range the boundary carries flat.
+        let high = c.correction_at(0, 8 << 20);
+        assert!(high > 1.5, "carried correction {high}");
+        // The other rail is untouched.
+        assert!((c.correction_at(1, 1 << 20) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrator_stale_bucket_decays_to_fresher_neighbour() {
+        let mut c = test_calibrator();
+        // One early on-prediction sample at 1 MiB, then the traffic mix
+        // shifts: only 64 KiB chunks, all reading 2x slow.
+        let p1m = c.base[0].time_for(1 << 20);
+        c.observe(0, 1 << 20, p1m, 1.0);
+        let p64k = c.base[0].time_for(64 << 10);
+        for _ in 0..4 {
+            for _ in 0..16 {
+                c.observe(0, 64 << 10, p64k * 2.0, 1.0);
+            }
+            let _ = c.rebuild();
+        }
+        // The lone stale 1 MiB sample must not pin the large-size regime:
+        // after a few rebuilds the 64 KiB correction carries up.
+        let high = c.correction_at(0, 1 << 20);
+        assert!(
+            high > 1.5,
+            "stale bucket must yield to fresher neighbour: corr {high}"
+        );
+    }
+
+    #[test]
+    fn calibrator_rejects_garbage_samples() {
+        let mut c = test_calibrator();
+        c.observe(0, 1 << 20, f64::NAN, 1.0);
+        c.observe(0, 1 << 20, -5.0, 1.0);
+        c.observe(0, 1 << 20, 10.0, 0.0);
+        c.observe(9, 1 << 20, 10.0, 1.0);
+        c.observe(0, 0, 10.0, 1.0);
+        assert_eq!(c.samples(), 0);
+        assert!((c.correction_at(0, 1 << 20) - 1.0).abs() < 1e-9);
     }
 
     #[test]

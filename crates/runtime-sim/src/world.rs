@@ -61,6 +61,10 @@ impl AppLogic for IdleApp {
 /// window, then recovers. Enabling a plan also turns on periodic engine
 /// progress ticks, which drive the health tracker's timer wheel —
 /// without a plan the simulation behaves exactly as before.
+///
+/// A plan can carry a [`BandwidthDrift`] rider: instead of (or in
+/// addition to) an outage, one rail's link bandwidth is scaled during a
+/// window — the deterministic test harness for online recalibration.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultPlan {
     /// Rail whose link fails.
@@ -73,11 +77,55 @@ pub struct FaultPlan {
     pub tick: SimDuration,
     /// Stop ticking at this virtual time (bounds the event queue).
     pub until: SimTime,
+    /// Optional bandwidth drift applied on top of (or instead of) the
+    /// outage window.
+    pub drift: Option<BandwidthDrift>,
+}
+
+/// Mid-run bandwidth drift: within `[from, to)`, `rail`'s effective link
+/// bandwidth is multiplied by `factor` (`0.5` = a 2× degradation; values
+/// above 1 model a recovering or upgraded link). The scale applies to DMA
+/// drains started inside the window — the regime the split tables govern;
+/// PIO injections (small control traffic) are unaffected.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthDrift {
+    /// Rail whose link drifts.
+    pub rail: usize,
+    /// Drift begins (inclusive).
+    pub from: SimTime,
+    /// Drift ends (exclusive).
+    pub to: SimTime,
+    /// Bandwidth multiplier inside the window; must be positive.
+    pub factor: f64,
 }
 
 impl FaultPlan {
+    /// A plan with no outage window — only the drift rider (plus the
+    /// periodic engine progress ticks every plan provides).
+    pub fn drift_only(drift: BandwidthDrift, tick: SimDuration, until: SimTime) -> Self {
+        FaultPlan {
+            rail: drift.rail,
+            down_at: SimTime::ZERO,
+            up_at: SimTime::ZERO,
+            tick,
+            until,
+            drift: Some(drift),
+        }
+    }
+
     fn covers(&self, t: SimTime) -> bool {
         t >= self.down_at && t < self.up_at
+    }
+
+    /// Bandwidth multiplier for `rail` at virtual time `t`.
+    fn bandwidth_factor(&self, rail: usize, t: SimTime) -> f64 {
+        match self.drift {
+            Some(d) if d.rail == rail && t >= d.from && t < d.to => {
+                assert!(d.factor > 0.0, "drift factor must be positive");
+                d.factor
+            }
+            _ => 1.0,
+        }
     }
 }
 
@@ -440,7 +488,14 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                 token,
                 frame,
             } => {
-                let cap = self.nodes[node].rails[rail].link_bandwidth;
+                let mut cap = self.nodes[node].rails[rail].link_bandwidth;
+                if let Some(p) = &self.faults {
+                    // Bandwidth drift: a flow started inside the window
+                    // drains at the scaled rate for its whole lifetime
+                    // (fluid approximation — chunk drains are short
+                    // relative to the drift window).
+                    cap *= p.bandwidth_factor(rail, now);
+                }
                 let len = frame.wire_len() as u64;
                 let flow = self.nodes[node].bus.add_flow(now, len, cap);
                 self.nodes[node].dma.insert(
@@ -1009,6 +1064,7 @@ mod tests {
             up_at: SimTime::from_us(25_000),
             tick: SimDuration::from_us(50),
             until: SimTime::from_us(35_000),
+            drift: None,
         });
         w.run(5_000_000);
 
@@ -1050,6 +1106,116 @@ mod tests {
             "rail 0 history must contain the full recovery cycle: {hist:?}"
         );
         assert!(s0.rails[0].probes_sent > 0, "reinstatement comes from probes");
+    }
+
+    #[test]
+    fn calibration_tracks_bandwidth_drift_and_is_deterministic() {
+        // Rail 0 (Myri) loses half its bandwidth 2 ms into a 24 x 1 MiB
+        // pipeline. With online calibration enabled, the sender's
+        // completion-path samples must rebuild the split tables and move
+        // the byte share away from the degraded rail; under a fixed sim
+        // seed the whole trajectory (history and final tables) must be
+        // bit-identical across runs.
+        const N: usize = 24;
+        const SIZE: usize = 1 << 20;
+
+        struct DriftSender;
+        impl AppLogic for DriftSender {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                for i in 0..N {
+                    api.submit_send(0, vec![Bytes::from(vec![i as u8; SIZE])]);
+                }
+            }
+        }
+        struct DriftReceiver {
+            delivered: usize,
+        }
+        impl AppLogic for DriftReceiver {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                for _ in 0..N {
+                    api.post_recv(0);
+                }
+            }
+            fn on_recv_complete(
+                &mut self,
+                _r: RecvId,
+                _m: MessageAssembly,
+                _api: &mut NodeApi<'_>,
+            ) {
+                self.delivered += 1;
+            }
+        }
+
+        let run = || {
+            let p = platform::paper_platform();
+            let mut cfg = EngineConfig::with_strategy(StrategyKind::AdaptiveSplit);
+            cfg.calibration.enabled = true;
+            cfg.calibration.rebuild_every = 8;
+            cfg.calibration.min_samples = 8;
+            let mut w = SimWorld::new(&p, cfg, DriftSender, DriftReceiver { delivered: 0 });
+            w.open_conn();
+            // Recording forwards virtual time into the engines, giving the
+            // calibrator exact (not tick-quantized) injection timings.
+            w.enable_recording(8192);
+            w.enable_faults(FaultPlan::drift_only(
+                BandwidthDrift {
+                    rail: 0,
+                    from: SimTime::from_us(2_000),
+                    to: SimTime::from_us(1_000_000),
+                    factor: 0.5,
+                },
+                SimDuration::from_us(50),
+                SimTime::from_us(40_000),
+            ));
+            w.run(5_000_000);
+            assert_eq!(w.app1().delivered, N, "pipeline must complete");
+            w
+        };
+
+        let w = run();
+        let cal = w.node(0).engine.calibrator().expect("calibration enabled");
+        let hist = cal.history();
+        assert!(!hist.is_empty(), "the pipeline must trigger rebuilds");
+        let last = hist.last().unwrap();
+        // Seed tables give Myri ~57-60% of a 1 MiB split; at half
+        // bandwidth its equal-time share drops near ~43%. The calibrated
+        // ratio must have left the seed band and moved the right way.
+        assert!(
+            last.permille[0] < 500,
+            "degraded rail share must fall below half: {:?}",
+            hist.iter().map(|s| s.permille.clone()).collect::<Vec<_>>()
+        );
+        assert!(
+            last.permille[0] > 250,
+            "share must stay in a sane band: {:?}",
+            last.permille
+        );
+        // The rebuilds are visible as obs events (old -> new permille).
+        let calib_events: Vec<Event> = w
+            .merged_events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Calibrate)
+            .collect();
+        assert!(!calib_events.is_empty(), "calibrate events recorded");
+
+        // Determinism: identical runs converge to identical tables.
+        let w2 = run();
+        let cal2 = w2.node(0).engine.calibrator().expect("calibration enabled");
+        assert_eq!(cal.history().len(), cal2.history().len());
+        for (a, b) in cal.history().iter().zip(cal2.history()) {
+            assert_eq!(a.permille, b.permille);
+            assert_eq!(a.samples, b.samples);
+        }
+        for (ta, tb) in w.node(0).engine.tables().iter().zip(w2.node(0).engine.tables()) {
+            assert_eq!(ta.sizes(), tb.sizes());
+            for &s in ta.sizes() {
+                assert_eq!(
+                    ta.time_for(s).to_bits(),
+                    tb.time_for(s).to_bits(),
+                    "tables must be bit-identical at size {s}"
+                );
+            }
+        }
     }
 
     #[test]

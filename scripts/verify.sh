@@ -37,6 +37,22 @@ NMAD_DATAPATH_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_zero_copy
 echo "==> flight-recorder overhead (ablate_obs smoke sweep)"
 NMAD_OBS_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_obs
 
+# Calibration gate: the ablate_calibration smoke sweep replays the
+# mid-run bandwidth-degradation scenario and exits nonzero if online
+# calibration ever loses to frozen tables or convergence blows the
+# rebuild budget (see DESIGN.md §9).
+echo "==> online recalibration under drift (ablate_calibration smoke sweep)"
+NMAD_CALIBRATION_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_calibration
+
+# Calibrate round-trip: the CLI must run the drift scenario and report a
+# converged split history (the degraded rail's share leaves the seed band).
+echo "==> nmad calibrate round-trip"
+cal_out="$(cargo run -q -p nmad-cli -- calibrate --messages 12)"
+echo "$cal_out" | grep -q "split-ratio history" \
+    || { echo "nmad calibrate printed no history"; exit 1; }
+echo "$cal_out" | grep -q "live tables" \
+    || { echo "nmad calibrate printed no tables"; exit 1; }
+
 # Trace round-trip: `nmad trace` must emit a Chrome trace that its own
 # validator accepts (parses, phase fields present, B/E balanced).
 echo "==> nmad trace emit + validate"
