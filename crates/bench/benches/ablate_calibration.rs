@@ -5,8 +5,6 @@
 //! `cargo bench -p nmad-bench --bench ablate_calibration`.
 //! Set `NMAD_CALIBRATION_SMOKE=1` for the small CI sweep.
 
-use std::path::Path;
-
 fn main() {
     let smoke = std::env::var("NMAD_CALIBRATION_SMOKE").is_ok_and(|v| v != "0");
     eprintln!(
@@ -16,16 +14,8 @@ fn main() {
     let report = nmad_bench::calibration::run(smoke);
     println!("{}", nmad_bench::calibration::render(&report));
 
-    let dir = nmad_bench::report::figures_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("could not create {}: {e}", dir.display());
-    }
-    let path: std::path::PathBuf = Path::new(&dir).join("BENCH_calibration.json");
     let bytes = serde_json::to_vec_pretty(&report).expect("serializable");
-    match std::fs::write(&path, bytes) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
-    }
+    nmad_bench::report::write_gate_json("calibration", &bytes);
 
     let violations = nmad_bench::calibration::check(&report);
     if !violations.is_empty() {

@@ -8,8 +8,16 @@ use nmad_bench::workload::{burst_comparison, render_burst_table, BurstPattern, B
 fn main() {
     println!("=== ablate_jit — just-in-time vs static rail binding ===");
     for (pattern, messages, label) in [
-        (BurstPattern::UniformLarge, 3usize, "3 x 2MiB, slow rail listed first"),
-        (BurstPattern::AlternatingLargeSmall, 24, "alternating 2MiB/4KiB"),
+        (
+            BurstPattern::UniformLarge,
+            3usize,
+            "3 x 2MiB, slow rail listed first",
+        ),
+        (
+            BurstPattern::AlternatingLargeSmall,
+            24,
+            "alternating 2MiB/4KiB",
+        ),
         (BurstPattern::Mixed, 24, "random mix"),
     ] {
         println!("--- {label} ---");

@@ -4,8 +4,6 @@
 //! `cargo bench -p nmad-bench --bench ablate_obs`.
 //! Set `NMAD_OBS_SMOKE=1` for the small CI sweep.
 
-use std::path::Path;
-
 fn main() {
     let smoke = std::env::var("NMAD_OBS_SMOKE").is_ok_and(|v| v != "0");
     eprintln!(
@@ -33,16 +31,8 @@ fn main() {
     }
     println!("{}", nmad_bench::obs_bench::render(&report));
 
-    let dir = nmad_bench::report::figures_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("could not create {}: {e}", dir.display());
-    }
-    let path: std::path::PathBuf = Path::new(&dir).join("BENCH_obs.json");
     let bytes = serde_json::to_vec_pretty(&report).expect("serializable");
-    match std::fs::write(&path, bytes) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
-    }
+    nmad_bench::report::write_gate_json("obs", &bytes);
 
     let violations = nmad_bench::obs_bench::check(&report);
     if !violations.is_empty() {

@@ -1,0 +1,49 @@
+//! Lock-contention gate: drives the same wire-paced workload through the
+//! single-lock discipline and the sharded parallel pipeline and fails if
+//! the multi-rail speedup falls under the gate. Run with
+//! `cargo bench -p nmad-bench --bench ablate_parallel`.
+//! Set `NMAD_PARALLEL_SMOKE=1` for the small CI sweep.
+
+fn main() {
+    let smoke = std::env::var("NMAD_PARALLEL_SMOKE").is_ok_and(|v| v != "0");
+    eprintln!(
+        "running ablate_parallel ({} sweep, wire-paced wall-clock)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut report = nmad_bench::parallel::run(smoke);
+    // Wall-clock benches flake under transient background load: if ONLY
+    // the speedup gate trips (completion and rail coverage are
+    // deterministic), measure once more and keep the faster run. A real
+    // contention regression fails both attempts.
+    let timing_only = |r: &nmad_bench::parallel::ParallelReport| {
+        let v = nmad_bench::parallel::check(r);
+        !v.is_empty() && v.iter().all(|s| s.contains("speedup"))
+    };
+    if timing_only(&report) {
+        eprintln!(
+            "speedup gate tripped ({:.2}x); retrying once to rule out background load",
+            report.multi_rail_speedup
+        );
+        let second = nmad_bench::parallel::run(smoke);
+        if second.multi_rail_speedup > report.multi_rail_speedup {
+            report = second;
+        }
+    }
+    println!("{}", nmad_bench::parallel::render(&report));
+
+    let bytes = serde_json::to_vec_pretty(&report).expect("serializable");
+    nmad_bench::report::write_gate_json("parallel", &bytes);
+
+    let violations = nmad_bench::parallel::check(&report);
+    if !violations.is_empty() {
+        eprintln!("lock-contention gate violated:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "lock-contention gate OK: {:.2}x multi-rail speedup (gate {:.1}x)",
+        report.multi_rail_speedup, report.speedup_gate
+    );
+}

@@ -3,8 +3,6 @@
 //! `cargo bench -p nmad-bench --bench ablate_zero_copy`.
 //! Set `NMAD_DATAPATH_SMOKE=1` for the small CI sweep.
 
-use std::path::Path;
-
 fn main() {
     let smoke = std::env::var("NMAD_DATAPATH_SMOKE").is_ok_and(|v| v != "0");
     eprintln!(
@@ -14,16 +12,8 @@ fn main() {
     let report = nmad_bench::datapath::run(smoke);
     println!("{}", nmad_bench::datapath::render(&report));
 
-    let dir = nmad_bench::report::figures_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("could not create {}: {e}", dir.display());
-    }
-    let path: std::path::PathBuf = Path::new(&dir).join("BENCH_datapath.json");
     let bytes = serde_json::to_vec_pretty(&report).expect("serializable");
-    match std::fs::write(&path, bytes) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
-    }
+    nmad_bench::report::write_gate_json("datapath", &bytes);
 
     let violations = nmad_bench::datapath::check(&report);
     if !violations.is_empty() {

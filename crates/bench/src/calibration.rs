@@ -237,7 +237,10 @@ pub fn run(smoke: bool) -> CalibrationReport {
         .iter()
         .find(|p| p.permille.first().copied().unwrap_or(1000) < 500)
         .map_or(0, |p| p.rebuild);
-    let final_permille = history.last().map(|p| p.permille.clone()).unwrap_or_default();
+    let final_permille = history
+        .last()
+        .map(|p| p.permille.clone())
+        .unwrap_or_default();
 
     CalibrationReport {
         messages,

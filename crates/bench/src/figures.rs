@@ -113,7 +113,10 @@ fn fig_greedy(id: &str, segs: usize, caption: &str) -> FigureResult {
         let mut out = Vec::new();
         let (p, c) = single_agg(platform::myri_10g());
         out.push(Sweep::run(
-            format!("{seg_word} aggregated segments over Myri-10G", seg_word = segword(segs)),
+            format!(
+                "{seg_word} aggregated segments over Myri-10G",
+                seg_word = segword(segs)
+            ),
             &p,
             &c,
             sizes,
@@ -282,7 +285,10 @@ pub fn ablate_poll() -> FigureResult {
             "1 rail (Quadrics only)".into(),
             platform::single_rail_platform(platform::quadrics_qm500()),
         ),
-        ("2 rails (paper platform)".into(), platform::paper_platform()),
+        (
+            "2 rails (paper platform)".into(),
+            platform::paper_platform(),
+        ),
         ("3 rails (+SCI)".into(), platform::three_rail_platform()),
     ];
     let latency = platforms
@@ -378,8 +384,9 @@ pub fn ablate_cores() -> FigureResult {
     ));
     FigureResult {
         id: "ablate_cores".into(),
-        caption: "Future work (paper §4): parallel PIO on a multi-core engine moves the crossover down"
-            .into(),
+        caption:
+            "Future work (paper §4): parallel PIO on a multi-core engine moves the crossover down"
+                .into(),
         latency,
         bandwidth: Vec::new(),
     }
@@ -475,8 +482,14 @@ mod tests {
             let tq = quad.at(s).unwrap().one_way_us;
             let tm = multi.at(s).unwrap().one_way_us;
             let tmyri = myri.at(s).unwrap().one_way_us;
-            assert!(tq < tm, "size {s}: multi ({tm}) must pay poll vs quad ({tq})");
-            assert!(tm < tmyri, "size {s}: multi ({tm}) must beat Myri ({tmyri})");
+            assert!(
+                tq < tm,
+                "size {s}: multi ({tm}) must pay poll vs quad ({tq})"
+            );
+            assert!(
+                tm < tmyri,
+                "size {s}: multi ({tm}) must beat Myri ({tmyri})"
+            );
             assert!(
                 tm - tq < 0.8,
                 "size {s}: poll gap {:.3} us should be sub-microsecond",
@@ -510,7 +523,10 @@ mod tests {
         // (slightly harmful, because isolation-sampled ratios over-feed
         // Myri which then runs bus-throttled) — but multi-rail still beats
         // any single rail by a wide margin.
-        assert!(three > myri * 1.3, "3 rails ({three}) must crush single ({myri})");
+        assert!(
+            three > myri * 1.3,
+            "3 rails ({three}) must crush single ({myri})"
+        );
         assert!(
             three >= two * 0.85 && three <= two * 1.02,
             "3 rails ({three}) should be near but not above 2 rails ({two}) under one bus"

@@ -22,6 +22,7 @@ pub mod calibration;
 pub mod datapath;
 pub mod figures;
 pub mod obs_bench;
+pub mod parallel;
 pub mod report;
 pub mod workload;
 

@@ -40,7 +40,11 @@ pub fn render_panel(title: &str, series: &[Sweep], bandwidth: bool) -> String {
         for s in series {
             let q = &s.points[i];
             debug_assert_eq!(q.size, p.size);
-            let v = if bandwidth { q.bandwidth_mbs } else { q.one_way_us };
+            let v = if bandwidth {
+                q.bandwidth_mbs
+            } else {
+                q.one_way_us
+            };
             let _ = write!(out, " {v:>width$.2}");
         }
         let _ = writeln!(out);
@@ -78,8 +82,27 @@ pub fn render_table(fig: &FigureResult) -> String {
 pub fn figures_dir() -> PathBuf {
     // target/ lives at the workspace root; CARGO_MANIFEST_DIR is
     // crates/bench.
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/figures")
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/figures")
+}
+
+/// The workspace root — where the `ablate_*` gates write their
+/// `BENCH_*.json` snapshots so regression baselines live in version
+/// control next to the code they measure (unlike the figure dumps,
+/// which are scratch output under `target/`).
+pub fn repo_root_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// Write a gate report as pretty JSON to `BENCH_<name>.json` at the
+/// repo root; failures are reported to stderr, not fatal (the gate's
+/// exit code comes from its violations, not from filesystem luck).
+pub fn write_gate_json(name: &str, json: &[u8]) {
+    let path = repo_root_dir().join(format!("BENCH_{name}.json"));
+    match fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 /// Write the figure as JSON under `target/figures/<id>.json`; returns the
@@ -108,7 +131,11 @@ pub fn render_csv(series: &[Sweep], bandwidth: bool) -> String {
         let _ = write!(out, "{}", p.size);
         for s in series {
             let q = &s.points[i];
-            let v = if bandwidth { q.bandwidth_mbs } else { q.one_way_us };
+            let v = if bandwidth {
+                q.bandwidth_mbs
+            } else {
+                q.one_way_us
+            };
             let _ = write!(out, ",{v:.4}");
         }
         let _ = writeln!(out);

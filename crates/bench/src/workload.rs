@@ -75,8 +75,7 @@ impl BurstSpec {
                         let u = rng.next_f64();
                         if u < self.small_fraction {
                             rng.range_usize(16, 1024)
-                        } else if u
-                            < self.small_fraction + (1.0 - self.small_fraction) * 2.0 / 3.0
+                        } else if u < self.small_fraction + (1.0 - self.small_fraction) * 2.0 / 3.0
                         {
                             rng.range_usize(4 << 10, 32 << 10)
                         } else {
@@ -254,11 +253,7 @@ pub fn render_burst_table(spec: &BurstSpec, rows: &[BurstResult]) -> String {
 /// cannot run — requests pile up in the backlog, and when the scheduler
 /// finally runs, an aggregating strategy ships the whole window in one
 /// packet. Returns `(makespan_us, physical_packets, aggregates)`.
-pub fn run_compute_window(
-    kind: StrategyKind,
-    messages: usize,
-    compute_us: u64,
-) -> (f64, u64, u64) {
+pub fn run_compute_window(kind: StrategyKind, messages: usize, compute_us: u64) -> (f64, u64, u64) {
     use nmad_sim::SimDuration;
 
     struct ComputeSender {
@@ -333,8 +328,7 @@ mod tests {
         // With 3 us of computation between 8 tiny submits, the aggregating
         // strategy ships far fewer physical packets than one-per-message
         // and finishes sooner than the non-aggregating baseline.
-        let (t_agg, pkts_agg, aggs) =
-            run_compute_window(StrategyKind::AggregateEager, 8, 3);
+        let (t_agg, pkts_agg, aggs) = run_compute_window(StrategyKind::AggregateEager, 8, 3);
         let (t_plain, pkts_plain, _) = run_compute_window(StrategyKind::Greedy, 8, 3);
         assert!(aggs >= 1, "window must aggregate");
         assert!(

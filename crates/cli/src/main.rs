@@ -64,9 +64,12 @@ fn usage() -> &'static str {
                                         bandwidth ladder) and export the packet\n\
                                         lifecycle; chrome output loads in\n\
                                         chrome://tracing / Perfetto\n\
-       metrics [--strategy S] [--size BYTES] [--messages N]\n\
+       metrics [--strategy S] [--size BYTES] [--messages N] [--parallel]\n\
                                         per-rail latency/size/backlog histograms\n\
-                                        and gauges from an acked pipeline run\n\
+                                        and gauges from an acked pipeline run;\n\
+                                        --parallel drives the sharded pipeline and\n\
+                                        adds lock-hold/outbox-depth/batch histograms\n\
+                                        and per-rail worker utilization\n\
        calibrate [--messages N] [--size BYTES] [--factor F] [--onset-us US]\n\
                                         online recalibration under mid-run\n\
                                         bandwidth drift: live tables, per-size\n\
@@ -172,11 +175,7 @@ fn cmd_pingpong(args: &Args) -> Result<(), String> {
         }
         run_pingpong(&spec)
     };
-    println!(
-        "strategy {} / {} segment(s)",
-        kind.label(),
-        segments
-    );
+    println!("strategy {} / {} segment(s)", kind.label(), segments);
     println!("{:>10} {:>14} {:>14}", "size", "one-way (us)", "MB/s");
     if args.flag("size").is_some() {
         let size = args.size("size", 0)?;
@@ -320,12 +319,7 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
         .map(|i| Bytes::from(vec![i as u8; seg]))
         .collect();
     let plat = load_platform_flag(args)?;
-    let mut w = SimWorld::new(
-        &plat,
-        EngineConfig::with_strategy(kind),
-        Tx(payloads),
-        Rx,
-    );
+    let mut w = SimWorld::new(&plat, EngineConfig::with_strategy(kind), Tx(payloads), Rx);
     w.open_conn();
     w.enable_timeline();
     w.run(5_000_000);
@@ -449,7 +443,10 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     // the whole batch; scale the initial guess with the batch size
     // (~50 MB/s floor) so clean runs don't retransmit before the
     // estimator has its first sample.
-    let rto0 = 10_000_000 + (size as u64).saturating_mul(messages as u64).saturating_mul(20);
+    let rto0 = 10_000_000
+        + (size as u64)
+            .saturating_mul(messages as u64)
+            .saturating_mul(20);
     engine.health.initial_rto_ns = rto0;
     engine.health.min_rto_ns = 2_000_000;
     engine.health.max_rto_ns = rto0.saturating_mul(20).max(200_000_000);
@@ -511,7 +508,10 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
             .wait(Duration::from_secs(120))
             .ok_or_else(|| format!("message {i} not delivered"))?;
         if msg.total_len() != size {
-            return Err(format!("message {i}: {} bytes, want {size}", msg.total_len()));
+            return Err(format!(
+                "message {i}: {} bytes, want {size}",
+                msg.total_len()
+            ));
         }
     }
     let elapsed = start.elapsed();
@@ -526,7 +526,15 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     );
     println!(
         "\n{:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>12} {:>9}",
-        "rail", "tx pkts", "rx pkts", "control", "timeouts", "retx", "probes", "transitions", "state"
+        "rail",
+        "tx pkts",
+        "rx pkts",
+        "control",
+        "timeouts",
+        "retx",
+        "probes",
+        "transitions",
+        "state"
     );
     let states = a.rail_states();
     for (i, r) in st.rails.iter().enumerate() {
@@ -682,8 +690,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 /// keys for its phase, and duration phases are balanced (`B` matches `E`;
 /// our exporter only emits complete `X` spans).
 fn validate_trace_file(path: &std::path::Path) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let doc: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     let events = doc
@@ -735,6 +742,9 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     let kind = parse_strategy(args.flag("strategy").unwrap_or("adaptive"))?;
     let size = args.size("size", 1 << 20)?;
     let messages: usize = args.num("messages", 8)?;
+    if args.has("parallel") {
+        return cmd_metrics_parallel(kind, size, messages);
+    }
     let w = record_workload(kind, vec![size; messages], true, 4096);
     let now_ns = w.now().0 / 1_000;
 
@@ -769,6 +779,61 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
         .sum::<u64>()
         + w.recorder.total_recorded();
     println!("\nflight recorder: {rec} events recorded across both nodes + fabric");
+    println!("(scheduler lock-hold/outbox/batch histograms: run with --parallel)");
+    Ok(())
+}
+
+/// `metrics --parallel`: drive the in-process fabric through the sharded
+/// parallel pipeline and report the scheduler's own evidence — lock-hold,
+/// outbox-depth and completion-batch histograms plus a per-rail worker
+/// utilization line.
+fn cmd_metrics_parallel(kind: StrategyKind, size: usize, messages: usize) -> Result<(), String> {
+    use nmad_transport_mem::{pair, FabricConfig};
+    use std::time::{Duration, Instant};
+
+    let plat = platform::paper_platform();
+    let mut engine = EngineConfig::with_strategy(kind);
+    engine.parallel = true;
+    let (a, b) = pair(FabricConfig::new(plat.clone(), engine));
+    let epoch = Instant::now();
+    let conn = a.conns()[0];
+    println!(
+        "{} / {messages} x {size} B over the parallel in-process fabric\n",
+        kind.label()
+    );
+    let recvs: Vec<_> = (0..messages).map(|_| b.recv(conn)).collect();
+    let sends: Vec<_> = (0..messages)
+        .map(|i| a.send(conn, vec![Bytes::from(vec![i as u8; size])]))
+        .collect();
+    for (i, s) in sends.iter().enumerate() {
+        if !s.wait(Duration::from_secs(120)) {
+            return Err(format!("message {i} not sent within 120 s"));
+        }
+    }
+    for (i, r) in recvs.iter().enumerate() {
+        if r.wait(Duration::from_secs(120)).is_none() {
+            return Err(format!("message {i} not delivered"));
+        }
+    }
+    let now_ns = epoch.elapsed().as_nanos() as u64;
+
+    for (ep, name) in [(&a, "sender"), (&b, "receiver")] {
+        let s = ep.stats();
+        println!("{name}:");
+        println!("  lock hold ns {}", s.obs.lock_hold_ns.render());
+        println!("  outbox depth {}", s.obs.outbox_depth.render());
+        println!("  batch drain  {}", s.obs.completion_batch.render());
+        for (r, ro) in s.obs.rails.iter().enumerate() {
+            println!(
+                "  rail{r} ({}): worker util {:>5.1}%  tx pkts {}  rx pkts {}  in-flight {} B",
+                plat.rails[r].name,
+                100.0 * ro.utilization(now_ns),
+                s.rails[r].packets,
+                s.rails[r].rx_packets,
+                ro.in_flight_bytes,
+            );
+        }
+    }
     Ok(())
 }
 
@@ -1048,18 +1113,8 @@ mod tests {
 
     #[test]
     fn calibrate_command_runs() {
-        run(&[
-            "calibrate".to_string(),
-            "--messages".into(),
-            "12".into(),
-        ])
-        .unwrap();
-        assert!(run(&[
-            "calibrate".to_string(),
-            "--factor".into(),
-            "-1".into(),
-        ])
-        .is_err());
+        run(&["calibrate".to_string(), "--messages".into(), "12".into()]).unwrap();
+        assert!(run(&["calibrate".to_string(), "--factor".into(), "-1".into(),]).is_err());
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub struct EngineConfig {
     /// engine then splits on its init-time tables forever, exactly as
     /// before.
     pub calibration: CalibrationConfig,
+    /// Parallel per-rail progress engine: when set, threaded transports
+    /// run one TX and one RX worker per rail around a sharded queue
+    /// pipeline (see [`crate::engine::parallel`]) instead of a single
+    /// worker holding the engine lock across transport I/O. Off by
+    /// default — the single-threaded path stays bit-identical, which is
+    /// what the deterministic simulator and the figure benches rely on.
+    pub parallel: bool,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +66,7 @@ impl Default for EngineConfig {
             health: HealthConfig::default(),
             record_capacity: 0,
             calibration: CalibrationConfig::default(),
+            parallel: false,
         }
     }
 }

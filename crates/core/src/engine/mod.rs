@@ -16,6 +16,8 @@
 //! `next_tx`, invoked when a NIC reports idle — the paper's core design
 //! point.
 
+pub mod parallel;
+
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
@@ -324,6 +326,19 @@ impl Engine {
         &self.stats
     }
 
+    /// Record one parallel-scheduler critical section: how long the
+    /// engine lock was held and how many completion events the pass
+    /// drained (see [`parallel`]).
+    pub fn note_sched_pass(&mut self, lock_hold_ns: u64, completions_drained: u64) {
+        self.stats.obs.lock_hold_ns.record(lock_hold_ns);
+        self.stats.obs.completion_batch.record(completions_drained);
+    }
+
+    /// Record a per-rail outbox depth sample after a scheduler refill.
+    pub fn note_outbox_depth(&mut self, depth: u64) {
+        self.stats.obs.outbox_depth.record(depth);
+    }
+
     /// Whether `rail` currently has an injection in flight.
     pub fn rail_busy(&self, rail: RailId) -> bool {
         self.rail_busy[rail.0]
@@ -353,11 +368,24 @@ impl Engine {
     /// Submit a non-blocking send of a multi-segment message. Segments are
     /// exactly the units the optimizing scheduler may aggregate or split.
     pub fn submit_send(&mut self, conn: ConnId, segments: Vec<Bytes>) -> SendId {
-        assert!(
-            !segments.is_empty(),
-            "a message needs at least one segment"
-        );
+        let send_id = SendId(self.next_send_id);
+        self.submit_send_with_id(conn, segments, send_id);
+        send_id
+    }
+
+    /// [`Engine::submit_send`] with a caller-allocated id. The parallel
+    /// submission queue hands out ids from an atomic counter *before*
+    /// enqueueing, so the id must travel with the queued op: queue drain
+    /// order is not guaranteed to match allocation order across producer
+    /// threads. `next_send_id` is bumped past `id` so the two allocation
+    /// schemes never collide.
+    pub fn submit_send_with_id(&mut self, conn: ConnId, segments: Vec<Bytes>, send_id: SendId) {
+        assert!(!segments.is_empty(), "a message needs at least one segment");
         assert!(segments.len() <= u16::MAX as usize, "too many segments");
+        assert!(
+            !self.sends.contains_key(&send_id),
+            "send id {send_id:?} already in use"
+        );
         let ct = self
             .conn_tx
             .get_mut(&conn)
@@ -365,8 +393,7 @@ impl Engine {
         let msg_id = ct.next_msg;
         ct.next_msg += 1;
 
-        let send_id = SendId(self.next_send_id);
-        self.next_send_id += 1;
+        self.next_send_id = self.next_send_id.max(send_id.0 + 1);
         let total_segs = segments.len() as u16;
         let total_bytes: u64 = segments.iter().map(|s| s.len() as u64).sum();
         self.obs.record(
@@ -409,7 +436,10 @@ impl Engine {
                     .push(key, total_segs, seg.len() as u64, SegPhase::EagerReady);
             }
         }
-        self.stats.obs.backlog_depth.record(self.backlog.len() as u64);
+        self.stats
+            .obs
+            .backlog_depth
+            .record(self.backlog.len() as u64);
         self.send_data.insert((conn, msg_id), segments);
         self.send_index.insert((conn, msg_id), send_id);
         self.send_key.insert(send_id, (conn, msg_id));
@@ -435,7 +465,6 @@ impl Engine {
                 },
             );
         }
-        send_id
     }
 
     /// Queue a sampling probe (`SamplePing`) of `size` zero bytes on
@@ -457,7 +486,19 @@ impl Engine {
     /// mini-MPI layer above).
     pub fn post_recv(&mut self, conn: ConnId) -> RecvId {
         let recv_id = RecvId(self.next_recv_id);
-        self.next_recv_id += 1;
+        self.post_recv_with_id(conn, recv_id);
+        recv_id
+    }
+
+    /// [`Engine::post_recv`] with a caller-allocated id (see
+    /// [`Engine::submit_send_with_id`] for why the parallel submission
+    /// queue needs to carry the id through the queue).
+    pub fn post_recv_with_id(&mut self, conn: ConnId, recv_id: RecvId) {
+        assert!(
+            !self.recv_conn.contains_key(&recv_id),
+            "recv id {recv_id:?} already in use"
+        );
+        self.next_recv_id = self.next_recv_id.max(recv_id.0 + 1);
         self.recv_conn.insert(recv_id, conn);
         let rx = self
             .conn_rx
@@ -490,7 +531,6 @@ impl Engine {
                 Some(rail),
             ));
         }
-        recv_id
     }
 
     /// True when the send has been fully injected (local completion).
@@ -627,9 +667,12 @@ impl Engine {
                 let mut items = Vec::with_capacity(keys.len());
                 let first_conn = keys[0].conn;
                 for key in keys {
-                    let item = self.backlog.take_eager(key).ok_or(
-                        EngineError::InvalidStrategyOp("aggregate segment not takeable"),
-                    )?;
+                    let item =
+                        self.backlog
+                            .take_eager(key)
+                            .ok_or(EngineError::InvalidStrategyOp(
+                                "aggregate segment not takeable",
+                            ))?;
                     let data = self.segment_data(key)?;
                     self.note_seg_consumed(key);
                     builder.push(AggregateEntry {
@@ -992,11 +1035,7 @@ impl Engine {
     /// (charged to `rx_copy_bytes`). Runtimes that receive whole frames
     /// should hand them to [`Engine::on_frame`] instead, which keeps
     /// payload slices refcounted all the way into reassembly.
-    pub fn on_packet(
-        &mut self,
-        rail: RailId,
-        wire: &[u8],
-    ) -> Result<OnPacketOutcome, EngineError> {
+    pub fn on_packet(&mut self, rail: RailId, wire: &[u8]) -> Result<OnPacketOutcome, EngineError> {
         let frame = PacketFrame::from_wire(Bytes::copy_from_slice(wire));
         self.stats.datapath.rx_copy_bytes += wire.len() as u64;
         self.dispatch_frame(rail, &frame)
@@ -1034,8 +1073,7 @@ impl Engine {
             FrameBody::Aggregate(entries) => entries.iter().map(|e| e.data.len()).sum(),
         };
         self.stats.datapath.rx_copy_bytes += straddle_copied as u64;
-        self.stats.datapath.rx_zero_copy_bytes +=
-            data_len.saturating_sub(straddle_copied) as u64;
+        self.stats.datapath.rx_zero_copy_bytes += data_len.saturating_sub(straddle_copied) as u64;
         let mut out = OnPacketOutcome::default();
         match body {
             FrameBody::Aggregate(entries) => {
@@ -1056,13 +1094,8 @@ impl Engine {
             if self.drop_duplicate(e.conn_id, rail, e.msg_id, out)? {
                 continue;
             }
-            let done = self.insert_eager_tolerant(
-                e.conn_id,
-                e.msg_id,
-                e.seg_index,
-                e.total_segs,
-                e.data,
-            )?;
+            let done =
+                self.insert_eager_tolerant(e.conn_id, e.msg_id, e.seg_index, e.total_segs, e.data)?;
             self.settle_completion(e.conn_id, rail, done, out);
         }
         Ok(())
@@ -1428,8 +1461,7 @@ impl Engine {
                     .send_key
                     .get(&id)
                     .map(|&(conn, msg)| {
-                        let mine =
-                            |k: &SegKey| k.conn == conn && k.msg_id == msg;
+                        let mine = |k: &SegKey| k.conn == conn && k.msg_id == msg;
                         self.backlog.eager_items().any(|i| mine(&i.key))
                             || self.backlog.granted_items().any(|i| mine(&i.key))
                     })
@@ -1459,11 +1491,8 @@ impl Engine {
                 let msg_id = self.send_key.get(&id).map_or(0, |&(_, m)| m);
                 for r in blamed {
                     self.stats.rails[r].timeouts += 1;
-                    self.obs.record(
-                        Event::new(now, EventKind::TimeoutBlame)
-                            .rail(r)
-                            .seq(msg_id),
-                    );
+                    self.obs
+                        .record(Event::new(now, EventKind::TimeoutBlame).rail(r).seq(msg_id));
                     if !blamed_this_pass[r] {
                         blamed_this_pass[r] = true;
                         let t = self.health.on_timeout(RailId(r), now);
@@ -1521,8 +1550,7 @@ impl Engine {
     /// use this to size their idle sleeps.
     pub fn next_deadline_ns(&self) -> Option<u64> {
         let attempts = self.attempts.values().map(|a| a.deadline_ns);
-        let probes =
-            (0..self.rails.len()).filter_map(|r| self.health.next_event_ns(RailId(r)));
+        let probes = (0..self.rails.len()).filter_map(|r| self.health.next_event_ns(RailId(r)));
         attempts.chain(probes).min()
     }
 

@@ -116,7 +116,10 @@ impl HealthConfig {
             self.down_after >= self.suspect_after,
             "down threshold must not precede suspect threshold"
         );
-        assert!(self.probe_interval_ns > 0, "probe interval must be positive");
+        assert!(
+            self.probe_interval_ns > 0,
+            "probe interval must be positive"
+        );
         assert!(self.probe_timeout_ns > 0, "probe timeout must be positive");
     }
 }
@@ -183,7 +186,10 @@ impl RailHealth {
 
     /// State history with entry timestamps, oldest first.
     pub fn history_stamped(&self) -> impl Iterator<Item = (u64, RailState)> + '_ {
-        self.history_ns.iter().copied().zip(self.history.iter().copied())
+        self.history_ns
+            .iter()
+            .copied()
+            .zip(self.history.iter().copied())
     }
 
     /// Total time spent in each state up to `now_ns`, indexed by
@@ -315,9 +321,7 @@ impl HealthTracker {
     pub fn rto_ns(&self, rail: RailId) -> u64 {
         let r = &self.rails[rail.0];
         match r.srtt_ns {
-            Some(srtt) => {
-                (srtt + 4 * r.rttvar_ns).clamp(self.cfg.min_rto_ns, self.cfg.max_rto_ns)
-            }
+            Some(srtt) => (srtt + 4 * r.rttvar_ns).clamp(self.cfg.min_rto_ns, self.cfg.max_rto_ns),
             None => self.cfg.initial_rto_ns,
         }
     }
@@ -402,8 +406,7 @@ impl HealthTracker {
             r.next_probe_ns = now_ns.saturating_add(cfg.probe_interval_ns);
             r.probe_outstanding = false;
         }
-        r.transition(to, now_ns)
-            .then_some(Transition { rail, to })
+        r.transition(to, now_ns).then_some(Transition { rail, to })
     }
 
     /// Rails that should get a probe now: `Down` rails whose probe timer
@@ -475,9 +478,7 @@ impl HealthTracker {
         let r = &self.rails[rail.0];
         match r.state {
             RailState::Down => Some(r.next_probe_ns),
-            RailState::Probing => {
-                Some(r.probe_sent_ns.saturating_add(self.cfg.probe_timeout_ns))
-            }
+            RailState::Probing => Some(r.probe_sent_ns.saturating_add(self.cfg.probe_timeout_ns)),
             RailState::Suspect => Some(if r.probe_outstanding {
                 r.probe_sent_ns.saturating_add(self.cfg.probe_timeout_ns)
             } else {

@@ -90,6 +90,10 @@ pub mod strategy;
 pub use api::{MessageBuilder, MessageReader};
 pub use config::EngineConfig;
 pub use driver::{TxDecision, TxToken};
+pub use engine::parallel::{
+    outbox, spsc, AppOp, Completion, MpscQueue, OutboxReceiver, OutboxSender, ParallelHub,
+    SchedPass, SchedScratch, SpscConsumer, SpscProducer, WorkSignal,
+};
 pub use engine::{Engine, OnPacketOutcome, ProgressOutcome};
 pub use error::EngineError;
 pub use health::{HealthConfig, HealthTracker, RailState, RailTelemetry};

@@ -11,6 +11,18 @@ use std::fmt::Write as _;
 
 use super::recorder::{Event, EventKind, NO_RAIL};
 
+/// Merge per-worker ring shards with the engine's ring into one
+/// timestamp-ordered stream. The parallel transports record wire-level
+/// worker events (`WorkerWrite`/`WorkerRx`) into per-thread shards — no
+/// cross-thread synchronization on the record path — and only here, at
+/// export time, do the shards meet. The sort is stable so events with
+/// equal timestamps keep their shard order.
+pub fn merge_events(shards: &[&[Event]]) -> Vec<Event> {
+    let mut all: Vec<Event> = shards.iter().flat_map(|s| s.iter().copied()).collect();
+    all.sort_by_key(|e| e.ts_ns);
+    all
+}
+
 /// One JSON object per event, one per line — easy to grep and stream.
 pub fn to_jsonl(events: &[Event]) -> String {
     let mut out = String::new();

@@ -20,6 +20,6 @@ mod export;
 mod hist;
 mod recorder;
 
-pub use export::{summary, to_chrome_trace, to_jsonl};
+pub use export::{merge_events, summary, to_chrome_trace, to_jsonl};
 pub use hist::Log2Histogram;
 pub use recorder::{Event, EventKind, FlightRecorder, NO_RAIL};

@@ -79,6 +79,14 @@ pub enum EventKind {
     /// Simulator: application-level completion (`aux` = 0 send done,
     /// 1 recv done).
     SimApp,
+    /// Parallel transport: a TX worker finished its transport write
+    /// outside the engine lock (`seq` = tx token, `size` = wire bytes,
+    /// `aux` = write duration ns). Recorded into the worker's own ring
+    /// shard, merged with the engine ring at export.
+    WorkerWrite,
+    /// Parallel transport: an RX worker pulled a frame off the wire
+    /// before handing it to the scheduler (`size` = wire bytes).
+    WorkerRx,
 }
 
 impl EventKind {
@@ -109,6 +117,8 @@ impl EventKind {
             EventKind::SimNic => "sim_nic",
             EventKind::SimBus => "sim_bus",
             EventKind::SimApp => "sim_app",
+            EventKind::WorkerWrite => "worker_write",
+            EventKind::WorkerRx => "worker_rx",
         }
     }
 
@@ -134,6 +144,7 @@ impl EventKind {
             | EventKind::HealthTransition
             | EventKind::Failover => "health",
             EventKind::SimCpu | EventKind::SimNic | EventKind::SimBus | EventKind::SimApp => "sim",
+            EventKind::WorkerWrite | EventKind::WorkerRx => "worker",
         }
     }
 }

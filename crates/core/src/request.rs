@@ -156,9 +156,7 @@ impl Backlog {
 
     /// Whether any segment is waiting for a rendezvous grant.
     pub fn has_rdv_pending(&self) -> bool {
-        self.items
-            .iter()
-            .any(|i| i.phase == SegPhase::RdvRequested)
+        self.items.iter().any(|i| i.phase == SegPhase::RdvRequested)
     }
 
     fn position(&self, key: SegKey) -> Option<usize> {

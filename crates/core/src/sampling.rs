@@ -428,8 +428,8 @@ impl OnlineCalibrator {
         if !predicted.is_finite() || predicted <= 0.0 {
             return;
         }
-        let ratio = (observed_us / predicted)
-            .clamp(1.0 / self.cfg.max_correction, self.cfg.max_correction);
+        let ratio =
+            (observed_us / predicted).clamp(1.0 / self.cfg.max_correction, self.cfg.max_correction);
         let bucket = self.bucket_for(size);
         let b = &mut self.buckets[rail][bucket];
         let step = (self.cfg.alpha * weight.min(1.0)).clamp(0.0, 1.0);

@@ -132,6 +132,16 @@ pub struct ObsStats {
     pub backlog_depth: Log2Histogram,
     /// Retransmission timeouts armed (initial and backed-off), ns.
     pub rto_ns: Log2Histogram,
+    /// Time the parallel scheduler held the engine lock per pass, ns.
+    /// Empty unless [`crate::EngineConfig::parallel`] is on — the whole
+    /// point of the sharded pipeline is keeping this distribution tight
+    /// while transport writes happen outside the lock.
+    pub lock_hold_ns: Log2Histogram,
+    /// Per-rail outbox depth sampled after each scheduler refill, frames.
+    pub outbox_depth: Log2Histogram,
+    /// Completion events drained per scheduler pass (TX-done + RX + ack
+    /// batched into one amortized critical section).
+    pub completion_batch: Log2Histogram,
 }
 
 impl ObsStats {

@@ -242,7 +242,10 @@ mod tests {
         assert_eq!(tc1.key, key(1, 0));
         let (len0, len1) = (tc0.len, tc1.len);
         assert_eq!(len0 + len1, 8 << 20);
-        assert!(len0 > len1, "Myri must carry the major part: {len0} vs {len1}");
+        assert!(
+            len0 > len1,
+            "Myri must carry the major part: {len0} vs {len1}"
+        );
         let frac = len0 as f64 / (8u64 << 20) as f64;
         assert!((0.52..0.68).contains(&frac), "myri fraction {frac}");
     }

@@ -158,8 +158,10 @@ mod tests {
     #[test]
     fn large_segments_balanced_greedily() {
         let mut f = Fixture::new();
-        f.backlog.push(key(1, 0), 2, 1 << 20, SegPhase::RdvRequested);
-        f.backlog.push(key(1, 1), 2, 1 << 20, SegPhase::RdvRequested);
+        f.backlog
+            .push(key(1, 0), 2, 1 << 20, SegPhase::RdvRequested);
+        f.backlog
+            .push(key(1, 1), 2, 1 << 20, SegPhase::RdvRequested);
         f.backlog.grant(key(1, 0));
         f.backlog.grant(key(1, 1));
         let mut s = AggregateEager::new();
@@ -179,7 +181,8 @@ mod tests {
     #[test]
     fn large_takes_priority_over_small_on_any_rail() {
         let mut f = Fixture::new();
-        f.backlog.push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog
+            .push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
         f.backlog.grant(key(1, 0));
         f.backlog.push(key(2, 0), 1, 100, SegPhase::EagerReady);
         let mut s = AggregateEager::new();
@@ -227,8 +230,12 @@ mod tests {
     fn mixed_smalls_aggregate_without_the_medium() {
         let mut f = Fixture::new();
         f.backlog.push(key(1, 0), 1, 64, SegPhase::EagerReady);
-        f.backlog
-            .push(key(2, 0), 1, f.config.min_chunk as u64, SegPhase::EagerReady);
+        f.backlog.push(
+            key(2, 0),
+            1,
+            f.config.min_chunk as u64,
+            SegPhase::EagerReady,
+        );
         f.backlog.push(key(3, 0), 1, 64, SegPhase::EagerReady);
         let mut s = AggregateEager::new();
         // Only Quadrics idle: it serves the medium first (greedy priority).

@@ -30,7 +30,11 @@ impl Strategy for Greedy {
     fn next_tx(&mut self, rail: RailId, ctx: &mut StrategyCtx<'_>) -> Option<TxOp> {
         // "First available segment": oldest schedulable backlog entry,
         // whether eager or granted.
-        let first_eager = ctx.backlog.eager_items().next().map(|i| (i.submit_seq, i.key));
+        let first_eager = ctx
+            .backlog
+            .eager_items()
+            .next()
+            .map(|i| (i.submit_seq, i.key));
         let first_granted = ctx
             .backlog
             .granted_items()
@@ -136,7 +140,8 @@ mod tests {
     fn submit_order_decides_between_eager_and_granted() {
         let mut f = Fixture::new();
         // Granted large segment submitted first, eager second.
-        f.backlog.push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog
+            .push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
         f.backlog.grant(key(1, 0));
         f.backlog.push(key(2, 0), 1, 100, SegPhase::EagerReady);
         let mut s = Greedy::new();
@@ -151,7 +156,8 @@ mod tests {
     fn eager_submitted_first_wins() {
         let mut f = Fixture::new();
         f.backlog.push(key(1, 0), 1, 100, SegPhase::EagerReady);
-        f.backlog.push(key(2, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog
+            .push(key(2, 0), 1, 1 << 20, SegPhase::RdvRequested);
         f.backlog.grant(key(2, 0));
         let mut s = Greedy::new();
         let busy = [false, false];
@@ -164,7 +170,8 @@ mod tests {
     #[test]
     fn chunk_max_len_is_rail_mtu() {
         let mut f = Fixture::new();
-        f.backlog.push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog
+            .push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
         f.backlog.grant(key(1, 0));
         let mtu = f.rails[1].mtu as u64;
         let mut s = Greedy::new();
@@ -178,7 +185,8 @@ mod tests {
     #[test]
     fn rdv_waiting_segment_not_schedulable() {
         let mut f = Fixture::new();
-        f.backlog.push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog
+            .push(key(1, 0), 1, 1 << 20, SegPhase::RdvRequested);
         let mut s = Greedy::new();
         let busy = [false, false];
         assert_eq!(s.next_tx(RailId(0), &mut f.ctx(&busy)), None);

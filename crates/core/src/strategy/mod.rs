@@ -97,11 +97,9 @@ impl StrategyCtx<'_> {
         let best = (0..self.rails.len())
             .filter(|&i| self.rail_ok(RailId(i)))
             .min_by_key(|&i| self.rails[i].analytic_pio_oneway(0));
-        best.or_else(|| {
-            (0..self.rails.len()).min_by_key(|&i| self.rails[i].analytic_pio_oneway(0))
-        })
-        .map(RailId)
-        .expect("engine always has rails")
+        best.or_else(|| (0..self.rails.len()).min_by_key(|&i| self.rails[i].analytic_pio_oneway(0)))
+            .map(RailId)
+            .expect("engine always has rails")
     }
 }
 
@@ -156,18 +154,16 @@ impl StrategyKind {
             }
             StrategyKind::Greedy => Box::new(greedy::Greedy::new()),
             StrategyKind::AggregateEager => Box::new(aggregate_eager::AggregateEager::new()),
-            StrategyKind::AdaptiveSplit => {
-                Box::new(adaptive_split::AdaptiveSplit::new(adaptive_split::SplitMode::Sampled))
-            }
-            StrategyKind::IsoSplit => {
-                Box::new(adaptive_split::AdaptiveSplit::new(adaptive_split::SplitMode::Iso))
-            }
+            StrategyKind::AdaptiveSplit => Box::new(adaptive_split::AdaptiveSplit::new(
+                adaptive_split::SplitMode::Sampled,
+            )),
+            StrategyKind::IsoSplit => Box::new(adaptive_split::AdaptiveSplit::new(
+                adaptive_split::SplitMode::Iso,
+            )),
             StrategyKind::FixedSplit(permille) => Box::new(adaptive_split::AdaptiveSplit::new(
                 adaptive_split::SplitMode::Fixed(permille),
             )),
-            StrategyKind::StaticRoundRobin => {
-                Box::new(static_round_robin::StaticRoundRobin::new())
-            }
+            StrategyKind::StaticRoundRobin => Box::new(static_round_robin::StaticRoundRobin::new()),
         }
     }
 
@@ -196,10 +192,7 @@ pub(crate) fn collect_aggregation_batch(ctx: &StrategyCtx<'_>) -> Vec<SegKey> {
 /// Like [`collect_aggregation_batch`] but only considering segments
 /// strictly smaller than `max_seg` (multi-rail strategies exclude
 /// DMA-eager "medium" segments, which balance better than they copy).
-pub(crate) fn collect_aggregation_batch_below(
-    ctx: &StrategyCtx<'_>,
-    max_seg: u64,
-) -> Vec<SegKey> {
+pub(crate) fn collect_aggregation_batch_below(ctx: &StrategyCtx<'_>, max_seg: u64) -> Vec<SegKey> {
     let cap = ctx.config.agg_max_bytes as u64;
     let mut keys = Vec::new();
     let mut total = 0u64;
@@ -226,10 +219,7 @@ mod tests {
     #[test]
     fn kind_builds_matching_names() {
         assert_eq!(StrategyKind::Greedy.build().name(), "greedy");
-        assert_eq!(
-            StrategyKind::SingleRail(0).build().name(),
-            "single-rail"
-        );
+        assert_eq!(StrategyKind::SingleRail(0).build().name(), "single-rail");
         assert_eq!(
             StrategyKind::SingleRailAggregating(1).build().name(),
             "single-rail+agg"

@@ -173,11 +173,20 @@ mod tests {
         let mut s = StaticRoundRobin::new();
         let busy = [false, false];
         // Messages 0 and 2 are bound to rail 0; 1 and 3 to rail 1.
-        assert_eq!(s.next_tx(RailId(0), &mut f.ctx(&busy)), Some(TxOp::Eager(key(0, 0))));
+        assert_eq!(
+            s.next_tx(RailId(0), &mut f.ctx(&busy)),
+            Some(TxOp::Eager(key(0, 0)))
+        );
         f.backlog.take_eager(key(0, 0)).unwrap();
-        assert_eq!(s.next_tx(RailId(1), &mut f.ctx(&busy)), Some(TxOp::Eager(key(1, 0))));
+        assert_eq!(
+            s.next_tx(RailId(1), &mut f.ctx(&busy)),
+            Some(TxOp::Eager(key(1, 0)))
+        );
         f.backlog.take_eager(key(1, 0)).unwrap();
-        assert_eq!(s.next_tx(RailId(0), &mut f.ctx(&busy)), Some(TxOp::Eager(key(2, 0))));
+        assert_eq!(
+            s.next_tx(RailId(0), &mut f.ctx(&busy)),
+            Some(TxOp::Eager(key(2, 0)))
+        );
     }
 
     #[test]
@@ -195,7 +204,8 @@ mod tests {
     #[test]
     fn granted_segments_follow_their_binding() {
         let mut f = Fixture::new();
-        f.backlog.push(key(0, 0), 1, 1 << 20, SegPhase::RdvRequested);
+        f.backlog
+            .push(key(0, 0), 1, 1 << 20, SegPhase::RdvRequested);
         f.backlog.grant(key(0, 0));
         let mut s = StaticRoundRobin::new();
         let busy = [false, false];

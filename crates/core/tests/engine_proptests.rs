@@ -14,7 +14,8 @@ use proptest::prelude::*;
 fn engines(kind: StrategyKind, acked: bool) -> (Engine, Engine) {
     let mut cfg = EngineConfig::with_strategy(kind);
     cfg.acked = acked;
-    let mk = |cfg: &EngineConfig| Engine::new(cfg.clone(), platform::paper_platform().rails, vec![]);
+    let mk =
+        |cfg: &EngineConfig| Engine::new(cfg.clone(), platform::paper_platform().rails, vec![]);
     (mk(&cfg), mk(&cfg))
 }
 
@@ -54,10 +55,10 @@ fn arb_msg() -> impl Strategy<Value = MsgSpec> {
     (
         prop::collection::vec(
             prop_oneof![
-                0usize..64,            // tiny (aggregation candidates)
-                1024usize..8192,       // PIO-sized
-                8192usize..32_768,     // eager DMA
-                32_768usize..300_000,  // rendezvous / splitting
+                0usize..64,           // tiny (aggregation candidates)
+                1024usize..8192,      // PIO-sized
+                8192usize..32_768,    // eager DMA
+                32_768usize..300_000, // rendezvous / splitting
             ],
             1..5,
         ),

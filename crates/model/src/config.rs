@@ -209,10 +209,7 @@ pub struct PlatformSpec {
 
 impl Serialize for PlatformSpec {
     fn to_value(&self) -> Value {
-        ser::object([
-            ("host", ser::v(&self.host)),
-            ("rails", ser::v(&self.rails)),
-        ])
+        ser::object([("host", ser::v(&self.host)), ("rails", ser::v(&self.rails))])
     }
 }
 

@@ -42,7 +42,11 @@ impl HostModel {
 
     /// Validate internal consistency.
     pub fn validate(&self) {
-        assert!(self.memcpy_bandwidth > 0.0, "{}: memcpy bandwidth", self.name);
+        assert!(
+            self.memcpy_bandwidth > 0.0,
+            "{}: memcpy bandwidth",
+            self.name
+        );
         assert!(self.bus_capacity > 0.0, "{}: bus capacity", self.name);
         assert!(self.cores >= 1, "{}: need at least one core", self.name);
     }

@@ -109,8 +109,7 @@ impl NicModel {
             TxMode::EagerDma => self.analytic_dma_oneway(bytes),
             TxMode::Rendezvous => {
                 // Request + ack are minimal PIO packets, then the bulk DMA.
-                let handshake =
-                    self.analytic_pio_oneway(0) + self.analytic_pio_oneway(0);
+                let handshake = self.analytic_pio_oneway(0) + self.analytic_pio_oneway(0);
                 handshake + self.analytic_dma_oneway(bytes)
             }
         }
@@ -140,7 +139,11 @@ impl NicModel {
             self.pio_threshold,
             self.rdv_threshold
         );
-        assert!(self.mtu >= self.rdv_threshold.max(1), "{}: mtu too small", self.name);
+        assert!(
+            self.mtu >= self.rdv_threshold.max(1),
+            "{}: mtu too small",
+            self.name
+        );
     }
 
     /// True if this NIC would be idle at `now` given its busy-until time

@@ -318,9 +318,7 @@ mod tests {
         assert!(myri_10g().link_bandwidth > ib.link_bandwidth);
         assert!(ib.link_bandwidth > quadrics_qm500().link_bandwidth);
         assert!(quadrics_qm500().link_bandwidth > gm.link_bandwidth);
-        assert!(
-            quadrics_qm500().analytic_pio_oneway(4) < ib.analytic_pio_oneway(4)
-        );
+        assert!(quadrics_qm500().analytic_pio_oneway(4) < ib.analytic_pio_oneway(4));
         // An IB + Myri-10G platform still picks sensible roles.
         let p = Platform::new(opteron_node(), vec![infiniband_sdr4x(), myri_10g()]);
         assert_eq!(p.rail(p.highest_bandwidth_rail()).name, "myri-10g");

@@ -8,13 +8,13 @@ use proptest::prelude::*;
 
 fn arb_nic() -> impl Strategy<Value = NicModel> {
     (
-        100.0f64..3000.0,  // link MB/s
-        100.0f64..2000.0,  // pio MB/s
-        1u64..4000,        // wire latency ns
-        1usize..64,        // pio threshold KiB
-        1usize..8,         // rdv = pio * this
-        1u64..2000,        // tx overhead ns
-        1u64..2000,        // rx overhead ns
+        100.0f64..3000.0, // link MB/s
+        100.0f64..2000.0, // pio MB/s
+        1u64..4000,       // wire latency ns
+        1usize..64,       // pio threshold KiB
+        1usize..8,        // rdv = pio * this
+        1u64..2000,       // tx overhead ns
+        1u64..2000,       // rx overhead ns
     )
         .prop_map(|(link, pio, lat, pio_kib, rdv_mult, txo, rxo)| NicModel {
             name: "arb",

@@ -225,7 +225,10 @@ mod tests {
         );
         let r = run_pingpong(&s);
         let us = r.one_way.as_us_f64();
-        assert!((1.6..2.3).contains(&us), "Quadrics 4B one-way {us} us (~1.7)");
+        assert!(
+            (1.6..2.3).contains(&us),
+            "Quadrics 4B one-way {us} us (~1.7)"
+        );
     }
 
     #[test]

@@ -110,7 +110,11 @@ impl Timeline {
             for iv in self.lane(lane) {
                 let a = ((iv.start.as_us_f64() / total) * width as f64).floor() as usize;
                 let b = ((iv.end.as_us_f64() / total) * width as f64).ceil() as usize;
-                for c in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+                for c in row
+                    .iter_mut()
+                    .take(b.min(width))
+                    .skip(a.min(width.saturating_sub(1)))
+                {
                     *c = '#';
                 }
             }

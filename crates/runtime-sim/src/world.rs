@@ -447,11 +447,7 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
                 }
                 // One scheduling pass: the global scheduler polls every
                 // enabled NIC and runs the strategy.
-                let poll_total: SimDuration = self.nodes[i]
-                    .rails
-                    .iter()
-                    .map(|r| r.poll_cost)
-                    .sum();
+                let poll_total: SimDuration = self.nodes[i].rails.iter().map(|r| r.poll_cost).sum();
                 let cost = self.nodes[i].host.sched_cost + poll_total;
                 let g = self.nodes[i].cpu.acquire(now, cost);
                 self.queue.push(g.end, Ev::Sched(i));
@@ -682,8 +678,11 @@ impl<A: AppLogic, B: AppLogic> SimWorld<A, B> {
             }
         }
         if let Some(e) = self.sim_event(now, EventKind::SimCpu, node) {
-            self.recorder
-                .record(e.rail(rail).size(wire_len as u64).aux(d.copied_bytes as u64));
+            self.recorder.record(
+                e.rail(rail)
+                    .size(wire_len as u64)
+                    .aux(d.copied_bytes as u64),
+            );
         }
     }
 
@@ -957,10 +956,7 @@ mod tests {
                 EngineConfig::with_strategy(StrategyKind::Greedy),
                 OneShotSender {
                     conn: 0,
-                    payloads: vec![
-                        Bytes::from(vec![1u8; seg]),
-                        Bytes::from(vec![2u8; seg]),
-                    ],
+                    payloads: vec![Bytes::from(vec![1u8; seg]), Bytes::from(vec![2u8; seg])],
                     send_done_at: None,
                 },
                 OneShotReceiver { conn: 0, got: None },
@@ -1030,12 +1026,7 @@ mod tests {
                     api.post_recv(0);
                 }
             }
-            fn on_recv_complete(
-                &mut self,
-                _r: RecvId,
-                _m: MessageAssembly,
-                api: &mut NodeApi<'_>,
-            ) {
+            fn on_recv_complete(&mut self, _r: RecvId, _m: MessageAssembly, api: &mut NodeApi<'_>) {
                 self.delivered_at.push(api.now());
             }
         }
@@ -1105,7 +1096,10 @@ mod tests {
             cycle.iter().all(|n| it.any(|h| h == n)),
             "rail 0 history must contain the full recovery cycle: {hist:?}"
         );
-        assert!(s0.rails[0].probes_sent > 0, "reinstatement comes from probes");
+        assert!(
+            s0.rails[0].probes_sent > 0,
+            "reinstatement comes from probes"
+        );
     }
 
     #[test]
@@ -1206,7 +1200,13 @@ mod tests {
             assert_eq!(a.permille, b.permille);
             assert_eq!(a.samples, b.samples);
         }
-        for (ta, tb) in w.node(0).engine.tables().iter().zip(w2.node(0).engine.tables()) {
+        for (ta, tb) in w
+            .node(0)
+            .engine
+            .tables()
+            .iter()
+            .zip(w2.node(0).engine.tables())
+        {
             assert_eq!(ta.sizes(), tb.sizes());
             for &s in ta.sizes() {
                 assert_eq!(

@@ -209,11 +209,7 @@ impl FluidChannel {
 
     /// Sum of currently allocated rates (must never exceed capacity).
     pub fn allocated_rate(&self) -> f64 {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|f| f.rate)
-            .sum()
+        self.slots.iter().flatten().map(|f| f.rate).sum()
     }
 
     fn flow(&self, id: FlowId) -> Option<&Flow> {

@@ -35,7 +35,9 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use nmad_core::engine::Engine;
 use nmad_core::health::RailState;
 use nmad_core::request::{RecvId, SendId};
-use nmad_core::EngineConfig;
+use nmad_core::{
+    Completion, EngineConfig, Event, EventKind, FlightRecorder, OutboxReceiver, ParallelHub,
+};
 use nmad_model::{Platform, RailId};
 use nmad_sim::Xoshiro256StarStar;
 use nmad_wire::reassembly::MessageAssembly;
@@ -134,58 +136,100 @@ impl Shared {
     }
 }
 
+/// Parallel-runtime shared state: the hub plus the counters the serial
+/// runtime keeps in [`Shared`].
+#[derive(Clone)]
+struct ParShared {
+    hub: Arc<ParallelHub>,
+    /// Packets the fault injector dropped on this endpoint's tx side.
+    tx_dropped: Arc<AtomicU64>,
+}
+
+/// Which runtime drives an endpoint's engine.
+#[derive(Clone)]
+enum Fabric {
+    /// Single progress thread holding the engine lock across the step.
+    Serial(Arc<Shared>),
+    /// Sharded pipeline: scheduler + per-rail TX/RX workers; the shaped
+    /// wire time is slept out in the TX workers, outside the engine lock.
+    Parallel(ParShared),
+}
+
+impl Fabric {
+    fn engine(&self) -> &Mutex<Engine> {
+        match self {
+            Fabric::Serial(s) => &s.engine,
+            Fabric::Parallel(p) => p.hub.engine(),
+        }
+    }
+
+    /// Condvar notified when app-visible completions may have landed.
+    fn cv(&self) -> &Condvar {
+        match self {
+            Fabric::Serial(s) => &s.cv,
+            Fabric::Parallel(p) => p.hub.app_cv(),
+        }
+    }
+}
+
 /// One endpoint of the in-process fabric.
 pub struct Endpoint {
-    shared: Arc<Shared>,
-    worker: Option<JoinHandle<()>>,
+    fabric: Fabric,
+    /// Serial: the single progress thread. Parallel: per-rail TX/RX
+    /// workers first, the scheduler last (joined in that order).
+    workers: Vec<JoinHandle<()>>,
     conns: Vec<ConnId>,
 }
 
 /// Handle to a send in flight.
 pub struct SendHandle {
-    shared: Arc<Shared>,
+    fabric: Fabric,
     id: SendId,
 }
 
 /// Handle to a posted receive.
 pub struct RecvHandle {
-    shared: Arc<Shared>,
+    fabric: Fabric,
     id: RecvId,
+}
+
+/// Block on `fabric`'s completion condvar until `done` or `timeout`.
+fn wait_on<T>(
+    fabric: &Fabric,
+    timeout: Duration,
+    mut done: impl FnMut(&mut Engine) -> Option<T>,
+) -> Option<T> {
+    let deadline = Instant::now() + timeout;
+    let mut eng = fabric.engine().lock();
+    loop {
+        if let Some(v) = done(&mut eng) {
+            return Some(v);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        fabric.cv().wait_for(&mut eng, deadline - now);
+    }
 }
 
 impl SendHandle {
     /// Block until the send completes locally, or `timeout` expires.
     /// Returns true on completion.
     pub fn wait(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let mut eng = self.shared.engine.lock();
-        loop {
-            if eng.send_complete(self.id) {
-                return true;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            self.shared.cv.wait_for(&mut eng, deadline - now);
-        }
+        wait_on(&self.fabric, timeout, |eng| {
+            eng.send_complete(self.id).then_some(())
+        })
+        .is_some()
     }
 
     /// Block until the *peer confirms delivery* (requires
     /// `EngineConfig::acked` on both endpoints), or `timeout` expires.
     pub fn wait_acked(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let mut eng = self.shared.engine.lock();
-        loop {
-            if eng.send_acked(self.id) {
-                return true;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            self.shared.cv.wait_for(&mut eng, deadline - now);
-        }
+        wait_on(&self.fabric, timeout, |eng| {
+            eng.send_acked(self.id).then_some(())
+        })
+        .is_some()
     }
 
     /// Manually re-enqueue the message for transmission (acked mode).
@@ -193,9 +237,12 @@ impl SendHandle {
     /// automatically on adaptive timeouts. See
     /// [`nmad_core::Engine::retransmit`].
     pub fn retransmit(&self) -> bool {
-        let ok = self.shared.engine.lock().retransmit(self.id);
+        let ok = self.fabric.engine().lock().retransmit(self.id);
         if ok {
-            self.shared.kick();
+            match &self.fabric {
+                Fabric::Serial(s) => s.kick(),
+                Fabric::Parallel(p) => p.hub.kick_sched(),
+            }
         }
         ok
     }
@@ -204,18 +251,7 @@ impl SendHandle {
 impl RecvHandle {
     /// Block until the message arrives, or `timeout` expires.
     pub fn wait(&self, timeout: Duration) -> Option<MessageAssembly> {
-        let deadline = Instant::now() + timeout;
-        let mut eng = self.shared.engine.lock();
-        loop {
-            if let Some(msg) = eng.try_recv(self.id) {
-                return Some(msg);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            self.shared.cv.wait_for(&mut eng, deadline - now);
-        }
+        wait_on(&self.fabric, timeout, |eng| eng.try_recv(self.id))
     }
 }
 
@@ -227,20 +263,34 @@ impl Endpoint {
 
     /// Submit a non-blocking send.
     pub fn send(&self, conn: ConnId, segments: Vec<Bytes>) -> SendHandle {
-        let id = self.shared.engine.lock().submit_send(conn, segments);
-        self.shared.kick();
+        let id = match &self.fabric {
+            Fabric::Serial(s) => {
+                let id = s.engine.lock().submit_send(conn, segments);
+                s.kick();
+                id
+            }
+            // The hub queues without the engine lock and kicks the
+            // scheduler itself.
+            Fabric::Parallel(p) => p.hub.submit_send(conn, segments),
+        };
         SendHandle {
-            shared: self.shared.clone(),
+            fabric: self.fabric.clone(),
             id,
         }
     }
 
     /// Post a non-blocking receive.
     pub fn recv(&self, conn: ConnId) -> RecvHandle {
-        let id = self.shared.engine.lock().post_recv(conn);
-        self.shared.kick();
+        let id = match &self.fabric {
+            Fabric::Serial(s) => {
+                let id = s.engine.lock().post_recv(conn);
+                s.kick();
+                id
+            }
+            Fabric::Parallel(p) => p.hub.post_recv(conn),
+        };
         RecvHandle {
-            shared: self.shared.clone(),
+            fabric: self.fabric.clone(),
             id,
         }
     }
@@ -257,28 +307,34 @@ impl Endpoint {
 
     /// Engine statistics snapshot.
     pub fn stats(&self) -> nmad_core::EngineStats {
-        self.shared.engine.lock().stats().clone()
+        self.fabric.engine().lock().stats().clone()
     }
 
     /// Receive-side errors (decode/CRC/reassembly) counted so far.
     pub fn rx_errors(&self) -> u64 {
-        self.shared.rx_errors.load(Ordering::Relaxed)
+        match &self.fabric {
+            Fabric::Serial(s) => s.rx_errors.load(Ordering::Relaxed),
+            Fabric::Parallel(p) => p.hub.rx_errors.load(Ordering::Relaxed),
+        }
     }
 
     /// Packets dropped by the fault injector on this endpoint's tx side.
     pub fn tx_dropped(&self) -> u64 {
-        self.shared.tx_dropped.load(Ordering::Relaxed)
+        match &self.fabric {
+            Fabric::Serial(s) => s.tx_dropped.load(Ordering::Relaxed),
+            Fabric::Parallel(p) => p.tx_dropped.load(Ordering::Relaxed),
+        }
     }
 
     /// Current health state of every rail.
     pub fn rail_states(&self) -> Vec<RailState> {
-        self.shared.engine.lock().rail_states()
+        self.fabric.engine().lock().rail_states()
     }
 
     /// Full health state history of one rail, oldest first.
     pub fn rail_history(&self, rail: usize) -> Vec<RailState> {
-        self.shared
-            .engine
+        self.fabric
+            .engine()
             .lock()
             .health()
             .rail(RailId(rail))
@@ -289,22 +345,33 @@ impl Endpoint {
     /// Timer and dwell-time telemetry of one rail (SRTT/RTTVAR/RTO and
     /// per-state dwell times, as of the engine clock).
     pub fn rail_telemetry(&self, rail: usize) -> nmad_core::RailTelemetry {
-        self.shared.engine.lock().rail_telemetry(rail)
+        self.fabric.engine().lock().rail_telemetry(rail)
     }
 
-    /// Snapshot of the engine's flight-recorder ring, oldest first.
-    /// Empty unless the endpoint was built with a nonzero
-    /// `EngineConfig::record_capacity`.
+    /// Snapshot of the recorded flight events, oldest first. Empty unless
+    /// the endpoint was built with a nonzero
+    /// `EngineConfig::record_capacity`. In parallel mode this merges the
+    /// engine ring with the per-worker shards deposited so far.
     pub fn events(&self) -> Vec<nmad_core::Event> {
-        self.shared.engine.lock().recorder().events()
+        match &self.fabric {
+            Fabric::Serial(s) => s.engine.lock().recorder().events(),
+            Fabric::Parallel(p) => p.hub.merged_events(),
+        }
     }
 }
 
 impl Drop for Endpoint {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.kick();
-        if let Some(h) = self.worker.take() {
+        match &self.fabric {
+            Fabric::Serial(s) => {
+                s.shutdown.store(true, Ordering::SeqCst);
+                s.kick();
+            }
+            Fabric::Parallel(p) => p.hub.begin_shutdown(),
+        }
+        // Parallel: I/O workers were pushed before the scheduler, so they
+        // join first and their final completions get drained.
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -422,7 +489,8 @@ impl Worker {
                 .expect("engine invariant violated")
             {
                 progressed = true;
-                let dur = self.shaped_duration(rail, d.frame.wire_len());
+                let dur =
+                    shaped_duration(&self.platform, rail, d.frame.wire_len(), self.time_scale);
                 self.inflight[rail] = Some(InFlight {
                     ready_at: now + dur,
                     token: d.token,
@@ -437,72 +505,28 @@ impl Worker {
         progressed
     }
 
-    fn shaped_duration(&self, rail: usize, bytes: usize) -> Duration {
-        if self.time_scale <= 0.0 {
-            return Duration::ZERO;
-        }
-        let bw = self.platform.rails[rail].link_bandwidth;
-        let lat = self.platform.rails[rail].wire_latency.as_secs_f64();
-        Duration::from_secs_f64((bytes as f64 / bw + lat) * self.time_scale)
-    }
-
     fn deliver(&mut self, rail: usize, frame: PacketFrame) {
-        let Some(spec) = self.faults.clone() else {
+        let Some(spec) = &self.faults else {
             self.push(rail, frame);
             return;
         };
-        // Scheduled outage: the rail eats everything, including probes.
         let elapsed = self.start.elapsed();
-        if spec
-            .outages
-            .iter()
-            .any(|o| o.rail == rail && o.covers(elapsed))
-        {
-            self.shared.tx_dropped.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        if self.rng.chance(spec.drop_prob) {
-            self.shared.tx_dropped.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        let frame = if self.rng.chance(spec.corrupt_prob) {
-            self.corrupt(frame)
-        } else {
-            frame
-        };
-        let dup = self.rng.chance(spec.dup_prob);
-        if self.held[rail].is_none() && self.rng.chance(spec.reorder_prob) {
-            // Hold this packet back; it goes out right after the next one
-            // on this rail (pairwise reorder). Clones are refcount bumps.
-            self.held[rail] = Some(frame.clone());
-            if dup {
-                self.push(rail, frame);
-            }
-            return;
-        }
-        self.push(rail, frame.clone());
-        if dup {
-            self.push(rail, frame);
-        }
-        if let Some(h) = self.held[rail].take() {
-            self.push(rail, h);
-        }
-    }
-
-    /// Flip one bit somewhere in the wire image. Copy-on-write of the one
-    /// part holding the chosen byte — never the whole wire image. The part
-    /// cannot be mutated in place: it is refcount-shared with the sender's
-    /// retransmission state, and a real wire would not reach back into the
-    /// sender's memory either.
-    fn corrupt(&mut self, mut frame: PacketFrame) -> PacketFrame {
-        let idx = self.rng.range_usize(0, frame.wire_len());
-        let (part_idx, off) = frame.locate(idx).expect("index within wire image");
-        let part = frame.part(part_idx).expect("located part exists");
-        let mut raw = BytesMut::with_capacity(part.len());
-        raw.extend_from_slice(part);
-        raw[off] ^= 1 << self.rng.range_u64(0, 8);
-        frame.replace_part(part_idx, raw.freeze());
-        frame
+        let tx = &self.tx[rail];
+        let peer = &self.peer;
+        apply_faults(
+            spec,
+            elapsed,
+            rail,
+            &mut self.rng,
+            &mut self.held[rail],
+            &self.shared.tx_dropped,
+            frame,
+            &mut |f| {
+                // Peer gone: drop silently (shutdown path).
+                let _ = tx.send(f);
+                peer.kick();
+            },
+        );
     }
 
     /// Hand one wire packet to the peer and wake its worker.
@@ -513,10 +537,231 @@ impl Worker {
     }
 }
 
-/// Build a connected pair of endpoints, each with its own progress thread.
+/// Wall-clock duration of one shaped injection on `rail`.
+fn shaped_duration(platform: &Platform, rail: usize, bytes: usize, time_scale: f64) -> Duration {
+    if time_scale <= 0.0 {
+        return Duration::ZERO;
+    }
+    let bw = platform.rails[rail].link_bandwidth;
+    let lat = platform.rails[rail].wire_latency.as_secs_f64();
+    Duration::from_secs_f64((bytes as f64 / bw + lat) * time_scale)
+}
+
+/// Apply the fault spec to one outgoing frame; survivors reach `push` in
+/// delivery order. Shared by the serial worker and the parallel TX
+/// workers so both runtimes exercise the identical injector (the rng
+/// draw order — drop, corrupt, dup, reorder — is part of the contract:
+/// serial fault sequences must not change underneath seeded tests).
+#[allow(clippy::too_many_arguments)]
+fn apply_faults(
+    spec: &FaultSpec,
+    elapsed: Duration,
+    rail: usize,
+    rng: &mut Xoshiro256StarStar,
+    held: &mut Option<PacketFrame>,
+    tx_dropped: &AtomicU64,
+    frame: PacketFrame,
+    push: &mut dyn FnMut(PacketFrame),
+) {
+    // Scheduled outage: the rail eats everything, including probes.
+    if spec
+        .outages
+        .iter()
+        .any(|o| o.rail == rail && o.covers(elapsed))
+    {
+        tx_dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if rng.chance(spec.drop_prob) {
+        tx_dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let frame = if rng.chance(spec.corrupt_prob) {
+        corrupt_frame(rng, frame)
+    } else {
+        frame
+    };
+    let dup = rng.chance(spec.dup_prob);
+    if held.is_none() && rng.chance(spec.reorder_prob) {
+        // Hold this packet back; it goes out right after the next one
+        // on this rail (pairwise reorder). Clones are refcount bumps.
+        *held = Some(frame.clone());
+        if dup {
+            push(frame);
+        }
+        return;
+    }
+    push(frame.clone());
+    if dup {
+        push(frame);
+    }
+    if let Some(h) = held.take() {
+        push(h);
+    }
+}
+
+/// Flip one bit somewhere in the wire image. Copy-on-write of the one
+/// part holding the chosen byte — never the whole wire image. The part
+/// cannot be mutated in place: it is refcount-shared with the sender's
+/// retransmission state, and a real wire would not reach back into the
+/// sender's memory either.
+fn corrupt_frame(rng: &mut Xoshiro256StarStar, mut frame: PacketFrame) -> PacketFrame {
+    let idx = rng.range_usize(0, frame.wire_len());
+    let (part_idx, off) = frame.locate(idx).expect("index within wire image");
+    let part = frame.part(part_idx).expect("located part exists");
+    let mut raw = BytesMut::with_capacity(part.len());
+    raw.extend_from_slice(part);
+    raw[off] ^= 1 << rng.range_u64(0, 8);
+    frame.replace_part(part_idx, raw.freeze());
+    frame
+}
+
+/// Parallel runtime: one rail's TX worker. Pops published decisions off
+/// its own outbox and sleeps out the shaped wire time *outside the
+/// engine lock* — this is where cross-rail overlap (and the measured
+/// speedup) comes from — then applies fault injection and hands the
+/// frame to the peer's channel. The channel send wakes the peer's RX
+/// worker directly; no global condvar is involved.
+struct ParTxWorker {
+    hub: Arc<ParallelHub>,
+    rail: usize,
+    outbox: OutboxReceiver,
+    tx: Sender<PacketFrame>,
+    platform: Platform,
+    time_scale: f64,
+    faults: Option<FaultSpec>,
+    /// Reorder-injector hold slot for this rail.
+    held: Option<PacketFrame>,
+    rng: Xoshiro256StarStar,
+    tx_dropped: Arc<AtomicU64>,
+    start: Instant,
+    /// Per-thread recorder shard; deposited into the hub at exit.
+    shard: FlightRecorder,
+}
+
+/// Parallel TX worker: upper bound on one outbox wait.
+const PAR_TX_IDLE_WAIT: Duration = Duration::from_millis(2);
+/// Parallel RX worker: channel wait bound (shutdown responsiveness).
+const PAR_RX_IDLE_WAIT: Duration = Duration::from_millis(10);
+
+impl ParTxWorker {
+    fn run(mut self) {
+        loop {
+            match self.outbox.pop_wait(PAR_TX_IDLE_WAIT) {
+                Some(d) => self.inject(d),
+                None => {
+                    if self.hub.is_shutdown() {
+                        break;
+                    }
+                }
+            }
+        }
+        // Clean shutdown drains the outbox: published decisions still go
+        // out so the peer's reassembly isn't left dangling.
+        while let Some(d) = self.outbox.pop() {
+            self.inject(d);
+        }
+        self.hub.deposit_shard(self.shard.events());
+    }
+
+    fn inject(&mut self, d: nmad_core::TxDecision) {
+        let bytes = d.frame.wire_len();
+        let dur = shaped_duration(&self.platform, self.rail, bytes, self.time_scale);
+        if dur > Duration::ZERO {
+            std::thread::sleep(dur);
+        }
+        self.shard.record(
+            Event::new(
+                self.start.elapsed().as_nanos() as u64,
+                EventKind::WorkerWrite,
+            )
+            .rail(self.rail)
+            .seq(d.token.0)
+            .size(bytes as u64)
+            .aux(dur.as_nanos() as u64),
+        );
+        self.hub.push_completion(
+            self.rail,
+            Completion::TxDone {
+                rail: self.rail,
+                token: d.token,
+            },
+        );
+        match &self.faults {
+            None => {
+                let _ = self.tx.send(d.frame);
+            }
+            Some(spec) => {
+                let elapsed = self.start.elapsed();
+                let tx = &self.tx;
+                apply_faults(
+                    spec,
+                    elapsed,
+                    self.rail,
+                    &mut self.rng,
+                    &mut self.held,
+                    &self.tx_dropped,
+                    d.frame,
+                    &mut |f| {
+                        let _ = tx.send(f);
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Parallel runtime: one rail's RX worker. Blocks on the rail's channel
+/// (the sender's `send` is the wakeup) and queues arrivals for the
+/// scheduler's next batched drain.
+struct ParRxWorker {
+    hub: Arc<ParallelHub>,
+    rail: usize,
+    rx: Receiver<PacketFrame>,
+    start: Instant,
+    shard: FlightRecorder,
+}
+
+impl ParRxWorker {
+    fn run(mut self) {
+        loop {
+            match self.rx.recv_timeout(PAR_RX_IDLE_WAIT) {
+                Ok(frame) => {
+                    self.shard.record(
+                        Event::new(self.start.elapsed().as_nanos() as u64, EventKind::WorkerRx)
+                            .rail(self.rail)
+                            .size(frame.wire_len() as u64),
+                    );
+                    self.hub.push_completion(
+                        self.rail,
+                        Completion::RxFrame {
+                            rail: self.rail,
+                            frame,
+                        },
+                    );
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    if self.hub.is_shutdown() {
+                        break;
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.hub.deposit_shard(self.shard.events());
+    }
+}
+
+/// Build a connected pair of endpoints. With
+/// [`EngineConfig::parallel`] off each endpoint gets one progress
+/// thread; with it on, each gets the sharded pipeline (scheduler plus
+/// per-rail TX/RX workers).
 pub fn pair(config: FabricConfig) -> (Endpoint, Endpoint) {
     let mut cfg_engine = config.engine.clone();
     cfg_engine.crc = true;
+    if cfg_engine.parallel {
+        return pair_parallel(&config, cfg_engine);
+    }
     let n_rails = config.platform.rail_count();
 
     let mk_shared = || {
@@ -599,16 +844,107 @@ pub fn pair(config: FabricConfig) -> (Endpoint, Endpoint) {
 
     (
         Endpoint {
-            shared: shared_a,
-            worker: Some(ha),
+            fabric: Fabric::Serial(shared_a),
+            workers: vec![ha],
             conns: conns_a,
         },
         Endpoint {
-            shared: shared_b,
-            worker: Some(hb),
+            fabric: Fabric::Serial(shared_b),
+            workers: vec![hb],
             conns: conns_b,
         },
     )
+}
+
+/// Build a connected pair on the sharded parallel pipeline.
+fn pair_parallel(config: &FabricConfig, cfg_engine: EngineConfig) -> (Endpoint, Endpoint) {
+    let n_rails = config.platform.rail_count();
+    let record_capacity = cfg_engine.record_capacity;
+    let seed = config.faults.as_ref().map(|f| f.seed).unwrap_or(0);
+
+    let mut a_to_b_tx = Vec::new();
+    let mut a_to_b_rx = Vec::new();
+    let mut b_to_a_tx = Vec::new();
+    let mut b_to_a_rx = Vec::new();
+    for _ in 0..n_rails {
+        let (t, r) = unbounded();
+        a_to_b_tx.push(t);
+        a_to_b_rx.push(r);
+        let (t, r) = unbounded();
+        b_to_a_tx.push(t);
+        b_to_a_rx.push(r);
+    }
+
+    let start = Instant::now();
+    let build_side = |txs: Vec<Sender<PacketFrame>>,
+                      rxs: Vec<Receiver<PacketFrame>>,
+                      side_seed: u64,
+                      name: &str| {
+        let mut engine = Engine::new(cfg_engine.clone(), config.platform.rails.clone(), vec![]);
+        let mut conns = Vec::new();
+        for _ in 0..config.conns.max(1) {
+            conns.push(engine.conn_open());
+        }
+        let (hub, senders, receivers) = ParallelHub::new(engine);
+        let tx_dropped = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::new();
+        for (rail, ((outbox, tx), rx)) in receivers.into_iter().zip(txs).zip(rxs).enumerate() {
+            let txw = ParTxWorker {
+                hub: hub.clone(),
+                rail,
+                outbox,
+                tx,
+                platform: config.platform.clone(),
+                time_scale: config.time_scale,
+                faults: config.faults.clone(),
+                held: None,
+                // Per-rail rng: deterministic, decorrelated across rails.
+                rng: Xoshiro256StarStar::new(
+                    side_seed ^ (rail as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                tx_dropped: tx_dropped.clone(),
+                start,
+                shard: FlightRecorder::with_capacity(record_capacity),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("nmad-mem-{name}-tx{rail}"))
+                    .spawn(move || txw.run())
+                    .expect("spawn tx worker"),
+            );
+            let rxw = ParRxWorker {
+                hub: hub.clone(),
+                rail,
+                rx,
+                start,
+                shard: FlightRecorder::with_capacity(record_capacity),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("nmad-mem-{name}-rx{rail}"))
+                    .spawn(move || rxw.run())
+                    .expect("spawn rx worker"),
+            );
+        }
+        // Scheduler last: joined after the I/O workers so it drains
+        // their final completions before quiescing.
+        let sched_hub = hub.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("nmad-mem-{name}-sched"))
+                .spawn(move || sched_hub.run_scheduler(senders, start))
+                .expect("spawn scheduler"),
+        );
+        Endpoint {
+            fabric: Fabric::Parallel(ParShared { hub, tx_dropped }),
+            workers,
+            conns,
+        }
+    };
+
+    let a = build_side(a_to_b_tx, b_to_a_rx, seed ^ 0xA, "a");
+    let b = build_side(b_to_a_tx, a_to_b_rx, seed ^ 0xB, "b");
+    (a, b)
 }
 
 #[cfg(test)]
@@ -668,7 +1004,9 @@ mod tests {
     fn multi_segment_aggregation_on_threads() {
         let (a, b) = fabric(StrategyKind::AggregateEager);
         let c = a.conns()[0];
-        let segs: Vec<Bytes> = (0..4).map(|i| Bytes::from(random_payload(128, i))).collect();
+        let segs: Vec<Bytes> = (0..4)
+            .map(|i| Bytes::from(random_payload(128, i)))
+            .collect();
         let r = b.recv(c);
         let s = a.send(c, segs.clone());
         assert!(s.wait(T));
@@ -873,7 +1211,12 @@ mod tests {
         let n = 12;
         let recvs: Vec<RecvHandle> = (0..n).map(|_| b.recv(c)).collect();
         let sends: Vec<SendHandle> = (0..n)
-            .map(|i| a.send(c, vec![Bytes::from(random_payload(300 + i * 53, 100 + i as u64))]))
+            .map(|i| {
+                a.send(
+                    c,
+                    vec![Bytes::from(random_payload(300 + i * 53, 100 + i as u64))],
+                )
+            })
             .collect();
         for (i, s) in sends.iter().enumerate() {
             assert!(s.wait_acked(Duration::from_secs(30)), "message {i} lost");
@@ -1007,5 +1350,136 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let msg = b.recv(c).wait(T).expect("buffered unexpected message");
         assert_eq!(&msg.segments[0][..], b"early");
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel pipeline on the in-process fabric
+    // ------------------------------------------------------------------
+
+    fn fabric_parallel(kind: StrategyKind) -> (Endpoint, Endpoint) {
+        let mut engine = EngineConfig::with_strategy(kind);
+        engine.parallel = true;
+        pair(FabricConfig::new(platform::paper_platform(), engine))
+    }
+
+    #[test]
+    fn parallel_small_message_roundtrip() {
+        let (a, b) = fabric_parallel(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let payload = random_payload(256, 61);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T), "send must complete");
+        let msg = r.wait(T).expect("recv must complete");
+        assert_eq!(msg.segments[0].as_ref(), payload.as_slice());
+        assert_eq!(b.rx_errors(), 0);
+    }
+
+    #[test]
+    fn parallel_large_message_split_across_rails() {
+        let (a, b) = fabric_parallel(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let payload = random_payload(2 << 20, 62);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T));
+        let msg = r.wait(T).expect("recv");
+        assert_eq!(msg.segments[0].as_ref(), payload.as_slice());
+        let st = a.stats();
+        assert!(
+            st.rails[0].payload_bytes > 0 && st.rails[1].payload_bytes > 0,
+            "both rails must carry bytes: {:?}",
+            st.rails
+        );
+        assert!(st.obs.lock_hold_ns.count() > 0, "scheduler passes measured");
+    }
+
+    #[test]
+    fn parallel_pipelined_messages_in_order() {
+        let (a, b) = fabric_parallel(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let n = 50;
+        let recvs: Vec<RecvHandle> = (0..n).map(|_| b.recv(c)).collect();
+        let sends: Vec<SendHandle> = (0..n)
+            .map(|i| {
+                a.send(
+                    c,
+                    vec![Bytes::from(random_payload(64 + i * 13, 200 + i as u64))],
+                )
+            })
+            .collect();
+        for s in &sends {
+            assert!(s.wait(T));
+        }
+        for (i, r) in recvs.into_iter().enumerate() {
+            let msg = r.wait(T).expect("recv");
+            assert_eq!(
+                msg.segments[0].as_ref(),
+                random_payload(64 + i * 13, 200 + i as u64).as_slice(),
+                "message {i} out of order or corrupted"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_acked_delivery() {
+        let mut cfg = FabricConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+        );
+        cfg.engine.acked = true;
+        cfg.engine.parallel = true;
+        let (a, b) = pair(cfg);
+        let c = a.conns()[0];
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(random_payload(50_000, 63))]);
+        assert!(s.wait_acked(T), "delivery must be confirmed");
+        assert!(r.wait(T).is_some());
+        assert!(a.stats().acks_received >= 1);
+    }
+
+    #[test]
+    fn parallel_shaped_fabric_overlaps_rails() {
+        // The point of the pipeline: with shaping, the per-rail TX
+        // workers sleep out their wire time concurrently, so a striped
+        // transfer must not take the sum of both rails' serial times.
+        let mut cfg = FabricConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+        );
+        cfg.time_scale = 10.0;
+        cfg.engine.parallel = true;
+        let (a, b) = pair(cfg);
+        let c = a.conns()[0];
+        let payload = random_payload(100_000, 64);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T));
+        let msg = r.wait(T).expect("recv under shaping");
+        assert_eq!(msg.segments[0].as_ref(), payload.as_slice());
+    }
+
+    #[test]
+    fn parallel_corruption_detected() {
+        let mut cfg = FabricConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::SingleRail(0)),
+        );
+        cfg.engine.parallel = true;
+        cfg.faults = Some(FaultSpec {
+            corrupt_prob: 1.0,
+            drop_prob: 0.0,
+            seed: 71,
+            ..FaultSpec::default()
+        });
+        let (a, b) = pair(cfg);
+        let c = a.conns()[0];
+        let r = b.recv(c);
+        a.send(c, vec![Bytes::from(random_payload(512, 72))]);
+        assert!(
+            r.wait(Duration::from_millis(500)).is_none(),
+            "corrupted packet must not complete a receive"
+        );
+        assert!(b.rx_errors() > 0, "CRC failure must be counted");
     }
 }

@@ -8,9 +8,6 @@
 //!
 //! * packets are framed with a `u32` little-endian length prefix and carry
 //!   the exact same wire format as every other harness;
-//! * a progress thread per endpoint plays the NIC-activity loop with
-//!   non-blocking sockets: it drains arrivals, flushes pending injections
-//!   and offers idle rails to the engine;
 //! * endpoints can live in the same process ([`pair_localhost`]) or in
 //!   different processes ([`listen`] / [`connect`]).
 //!
@@ -18,11 +15,28 @@
 //! poor man's multi-rail: the strategies still apply (striping a large
 //! message over N sockets, aggregating small ones onto the first).
 //!
-//! The datapath is scatter-gather end to end: transmissions go out with
-//! `write_vectored` straight from the engine's [`PacketFrame`] parts (no
-//! flattening), and arrivals are carved out of a `BytesMut` receive ring
-//! with `split_to`, handing each frame to [`nmad_core::Engine::on_frame`]
-//! as one refcounted slice.
+//! Two progress runtimes drive the same engine:
+//!
+//! * **Serial** (default, `EngineConfig::parallel = false`): one progress
+//!   thread per endpoint plays the NIC-activity loop with non-blocking
+//!   sockets — it drains arrivals, flushes pending injections and offers
+//!   idle rails to the engine. Submissions kick the thread's work signal
+//!   so a send posted during an idle poll is picked up immediately
+//!   instead of waiting out the poll interval.
+//! * **Parallel** (`EngineConfig::parallel = true`): a sharded pipeline
+//!   per endpoint — one scheduler thread owning the (short-held) engine
+//!   lock, plus one TX and one RX thread per rail. The slow socket write
+//!   happens in the rail's TX worker *outside* any shared lock; arrivals
+//!   and TX completions flow back to the scheduler through per-rail
+//!   completion queues and are drained in batches. Each TX worker sleeps
+//!   on its own outbox condvar, not a global one. See
+//!   [`nmad_core::ParallelHub`] and DESIGN.md §10.
+//!
+//! The datapath is scatter-gather end to end in both modes: transmissions
+//! go out with `write_vectored` straight from the engine's
+//! [`PacketFrame`] parts (no flattening), and arrivals are carved out of
+//! a `BytesMut` receive ring with `split_to`, handing each frame to
+//! [`nmad_core::Engine::on_frame`] as one refcounted slice.
 
 #![warn(missing_docs)]
 // Copy-regression gate: see DESIGN.md "Datapath and copy discipline".
@@ -36,9 +50,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
+use nmad_core::driver::TxToken;
 use nmad_core::engine::Engine;
 use nmad_core::request::{RecvId, SendId};
-use nmad_core::EngineConfig;
+use nmad_core::{
+    Completion, EngineConfig, Event, EventKind, FlightRecorder, OutboxReceiver, ParallelHub,
+    WorkSignal,
+};
 use nmad_model::{Platform, RailId};
 use nmad_wire::reassembly::MessageAssembly;
 use nmad_wire::{ConnId, PacketFrame};
@@ -48,6 +66,15 @@ use parking_lot::{Condvar, Mutex};
 const LEN_PREFIX: usize = 4;
 /// Largest accepted frame (sanity bound against corrupt prefixes).
 const MAX_FRAME: usize = 64 << 20;
+/// Serial worker: upper bound on one idle poll (a kick ends it early).
+const IDLE_POLL: Duration = Duration::from_micros(50);
+/// Parallel workers: socket read/write timeout, which doubles as the
+/// shutdown-responsiveness bound for blocking I/O.
+const IO_TIMEOUT: Duration = Duration::from_millis(25);
+/// Parallel TX worker: upper bound on one outbox wait.
+const TX_IDLE_WAIT: Duration = Duration::from_millis(2);
+/// Bytes read from the socket per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Transport configuration.
 #[derive(Clone)]
@@ -55,7 +82,9 @@ pub struct TcpConfig {
     /// Rail layout (one TCP connection per rail; the model's thresholds
     /// drive the strategies exactly as on the simulated platform).
     pub platform: Platform,
-    /// Engine configuration. CRC is forced on.
+    /// Engine configuration. CRC is forced on. Set
+    /// [`EngineConfig::parallel`] to run the sharded per-rail pipeline
+    /// instead of the single progress thread.
     pub engine: EngineConfig,
     /// Logical channels opened at construction on both endpoints.
     pub conns: usize,
@@ -75,62 +104,100 @@ impl TcpConfig {
 struct Shared {
     engine: Mutex<Engine>,
     cv: Condvar,
+    /// Wakes the progress thread out of an idle poll when the app
+    /// submits work. Without it a submission posted while the worker
+    /// slept waited out the full poll interval (and, worse, any future
+    /// longer idle wait would have lost the wakeup entirely).
+    work: WorkSignal,
     shutdown: AtomicBool,
     rx_errors: AtomicU64,
     io_errors: AtomicU64,
 }
 
+/// Which runtime drives an endpoint's engine.
+#[derive(Clone)]
+enum Fabric {
+    /// Single progress thread holding the engine lock across I/O.
+    Serial(Arc<Shared>),
+    /// Sharded pipeline: scheduler + per-rail TX/RX workers.
+    Parallel(Arc<ParallelHub>),
+}
+
+impl Fabric {
+    fn engine(&self) -> &Mutex<Engine> {
+        match self {
+            Fabric::Serial(s) => &s.engine,
+            Fabric::Parallel(h) => h.engine(),
+        }
+    }
+
+    /// Condvar notified when app-visible completions may have landed.
+    fn cv(&self) -> &Condvar {
+        match self {
+            Fabric::Serial(s) => &s.cv,
+            Fabric::Parallel(h) => h.app_cv(),
+        }
+    }
+}
+
 /// One endpoint of the TCP fabric.
 pub struct Endpoint {
-    shared: Arc<Shared>,
-    worker: Option<JoinHandle<()>>,
+    fabric: Fabric,
+    /// Serial: the single progress thread. Parallel: per-rail TX/RX
+    /// workers first, the scheduler last — joined in that order so the
+    /// scheduler drains the workers' final completions before exiting.
+    workers: Vec<JoinHandle<()>>,
     conns: Vec<ConnId>,
 }
 
 /// Handle to a send in flight.
 pub struct SendHandle {
-    shared: Arc<Shared>,
+    fabric: Fabric,
     id: SendId,
 }
 
 /// Handle to a posted receive.
 pub struct RecvHandle {
-    shared: Arc<Shared>,
+    fabric: Fabric,
     id: RecvId,
+}
+
+/// Block on `fabric`'s completion condvar until `done` or `timeout`.
+fn wait_on<T>(
+    fabric: &Fabric,
+    timeout: Duration,
+    mut done: impl FnMut(&mut Engine) -> Option<T>,
+) -> Option<T> {
+    let deadline = Instant::now() + timeout;
+    let mut eng = fabric.engine().lock();
+    loop {
+        if let Some(v) = done(&mut eng) {
+            return Some(v);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        fabric.cv().wait_for(&mut eng, deadline - now);
+    }
 }
 
 impl SendHandle {
     /// Block until local completion or timeout.
     pub fn wait(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let mut eng = self.shared.engine.lock();
-        loop {
-            if eng.send_complete(self.id) {
-                return true;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            self.shared.cv.wait_for(&mut eng, deadline - now);
-        }
+        wait_on(&self.fabric, timeout, |eng| {
+            eng.send_complete(self.id).then_some(())
+        })
+        .is_some()
     }
 
     /// Block until the *peer confirms delivery* (requires
     /// `EngineConfig::acked` on both endpoints), or `timeout` expires.
     pub fn wait_acked(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let mut eng = self.shared.engine.lock();
-        loop {
-            if eng.send_acked(self.id) {
-                return true;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            self.shared.cv.wait_for(&mut eng, deadline - now);
-        }
+        wait_on(&self.fabric, timeout, |eng| {
+            eng.send_acked(self.id).then_some(())
+        })
+        .is_some()
     }
 
     /// Re-enqueue the message for transmission (acked mode). Normally the
@@ -138,25 +205,19 @@ impl SendHandle {
     /// the manual hook remains for tests. See
     /// [`nmad_core::Engine::retransmit`].
     pub fn retransmit(&self) -> bool {
-        self.shared.engine.lock().retransmit(self.id)
+        let hit = self.fabric.engine().lock().retransmit(self.id);
+        match &self.fabric {
+            Fabric::Serial(s) => s.work.kick(),
+            Fabric::Parallel(h) => h.kick_sched(),
+        }
+        hit
     }
 }
 
 impl RecvHandle {
     /// Block until the message arrives or timeout.
     pub fn wait(&self, timeout: Duration) -> Option<MessageAssembly> {
-        let deadline = Instant::now() + timeout;
-        let mut eng = self.shared.engine.lock();
-        loop {
-            if let Some(msg) = eng.try_recv(self.id) {
-                return Some(msg);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            self.shared.cv.wait_for(&mut eng, deadline - now);
-        }
+        wait_on(&self.fabric, timeout, |eng| eng.try_recv(self.id))
     }
 }
 
@@ -168,61 +229,143 @@ impl Endpoint {
 
     /// Submit a non-blocking send.
     pub fn send(&self, conn: ConnId, segments: Vec<Bytes>) -> SendHandle {
-        let id = self.shared.engine.lock().submit_send(conn, segments);
+        let id = match &self.fabric {
+            Fabric::Serial(s) => {
+                let id = s.engine.lock().submit_send(conn, segments);
+                // Wake the progress thread: it may be mid idle-poll.
+                s.work.kick();
+                id
+            }
+            // The hub queues without touching the engine lock and kicks
+            // the scheduler itself.
+            Fabric::Parallel(h) => h.submit_send(conn, segments),
+        };
         SendHandle {
-            shared: self.shared.clone(),
+            fabric: self.fabric.clone(),
             id,
         }
     }
 
     /// Post a non-blocking receive.
     pub fn recv(&self, conn: ConnId) -> RecvHandle {
-        let id = self.shared.engine.lock().post_recv(conn);
+        let id = match &self.fabric {
+            Fabric::Serial(s) => {
+                let id = s.engine.lock().post_recv(conn);
+                s.work.kick();
+                id
+            }
+            Fabric::Parallel(h) => h.post_recv(conn),
+        };
         RecvHandle {
-            shared: self.shared.clone(),
+            fabric: self.fabric.clone(),
             id,
         }
     }
 
     /// Engine statistics snapshot.
     pub fn stats(&self) -> nmad_core::EngineStats {
-        self.shared.engine.lock().stats().clone()
+        self.fabric.engine().lock().stats().clone()
     }
 
     /// Packets rejected on receive (decode/CRC/reassembly errors).
     pub fn rx_errors(&self) -> u64 {
-        self.shared.rx_errors.load(Ordering::Relaxed)
+        match &self.fabric {
+            Fabric::Serial(s) => s.rx_errors.load(Ordering::Relaxed),
+            Fabric::Parallel(h) => h.rx_errors.load(Ordering::Relaxed),
+        }
     }
 
-    /// Socket-level I/O errors observed by the worker.
+    /// Socket-level I/O errors observed by the workers.
     pub fn io_errors(&self) -> u64 {
-        self.shared.io_errors.load(Ordering::Relaxed)
+        match &self.fabric {
+            Fabric::Serial(s) => s.io_errors.load(Ordering::Relaxed),
+            Fabric::Parallel(h) => h.io_errors.load(Ordering::Relaxed),
+        }
     }
 
     /// Timer and dwell-time telemetry of one rail (SRTT/RTTVAR/RTO and
     /// per-state dwell times, as of the engine clock).
     pub fn rail_telemetry(&self, rail: usize) -> nmad_core::RailTelemetry {
-        self.shared.engine.lock().rail_telemetry(rail)
+        self.fabric.engine().lock().rail_telemetry(rail)
     }
 
-    /// Snapshot of the engine's flight-recorder ring, oldest first.
-    /// Empty unless the endpoint was built with a nonzero
-    /// `EngineConfig::record_capacity`.
+    /// Snapshot of the recorded flight events, oldest first. Empty unless
+    /// the endpoint was built with a nonzero
+    /// `EngineConfig::record_capacity`. In parallel mode this merges the
+    /// engine's ring with the per-worker shards deposited so far
+    /// (workers deposit at exit; live workers' events appear after
+    /// shutdown).
     pub fn events(&self) -> Vec<nmad_core::Event> {
-        self.shared.engine.lock().recorder().events()
+        match &self.fabric {
+            Fabric::Serial(s) => s.engine.lock().recorder().events(),
+            Fabric::Parallel(h) => h.merged_events(),
+        }
     }
 }
 
 impl Drop for Endpoint {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.worker.take() {
+        match &self.fabric {
+            Fabric::Serial(s) => {
+                s.shutdown.store(true, Ordering::SeqCst);
+                s.work.kick();
+            }
+            Fabric::Parallel(h) => h.begin_shutdown(),
+        }
+        // Parallel: I/O workers were pushed before the scheduler, so they
+        // join first and their final completions get drained.
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-/// Per-rail socket state: partial reads and pending vectored writes.
+/// Build gather slices for `prefix + frame` starting at byte `off`.
+fn gather_slices<'a>(
+    prefix: &'a [u8; LEN_PREFIX],
+    frame: &'a PacketFrame,
+    mut skip: usize,
+    slices: &mut Vec<IoSlice<'a>>,
+) {
+    slices.clear();
+    if skip < LEN_PREFIX {
+        slices.push(IoSlice::new(&prefix[skip..]));
+        skip = 0;
+    } else {
+        skip -= LEN_PREFIX;
+    }
+    for part in frame.parts() {
+        if skip >= part.len() {
+            skip -= part.len();
+            continue;
+        }
+        slices.push(IoSlice::new(&part[skip..]));
+        skip = 0;
+    }
+}
+
+/// Carve complete length-prefixed frames off the front of `rx_buf`.
+fn carve_frames(rx_buf: &mut BytesMut, frames: &mut Vec<PacketFrame>) -> std::io::Result<()> {
+    while rx_buf.len() >= LEN_PREFIX {
+        let len = u32::from_le_bytes(rx_buf[..LEN_PREFIX].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("frame length {len} exceeds bound"),
+            ));
+        }
+        if rx_buf.len() - LEN_PREFIX < len {
+            break;
+        }
+        let _prefix = rx_buf.split_to(LEN_PREFIX);
+        let wire = rx_buf.split_to(len).freeze();
+        frames.push(PacketFrame::from_wire(wire));
+    }
+    Ok(())
+}
+
+/// Per-rail socket state: partial reads and pending vectored writes
+/// (serial runtime).
 struct RailIo {
     stream: TcpStream,
     /// Receive ring: bytes read but not yet framed. Complete frames are
@@ -236,7 +379,7 @@ struct RailIo {
     /// Bytes of `prefix + frame` already accepted by the socket.
     tx_off: usize,
     /// Tx token to report once the pending frame fully drains.
-    pending_token: Option<nmad_core::driver::TxToken>,
+    pending_token: Option<TxToken>,
 }
 
 impl RailIo {
@@ -255,7 +398,6 @@ impl RailIo {
 
     /// Pull whatever the socket has; return complete frames.
     fn drain_rx(&mut self) -> std::io::Result<Vec<PacketFrame>> {
-        const READ_CHUNK: usize = 64 * 1024;
         loop {
             // Read straight into the ring's tail — no bounce buffer.
             let old = self.rx_buf.len();
@@ -281,29 +423,14 @@ impl RailIo {
             }
         }
         let mut frames = Vec::new();
-        while self.rx_buf.len() >= LEN_PREFIX {
-            let len =
-                u32::from_le_bytes(self.rx_buf[..LEN_PREFIX].try_into().unwrap()) as usize;
-            if len > MAX_FRAME {
-                return Err(std::io::Error::new(
-                    ErrorKind::InvalidData,
-                    format!("frame length {len} exceeds bound"),
-                ));
-            }
-            if self.rx_buf.len() - LEN_PREFIX < len {
-                break;
-            }
-            let _prefix = self.rx_buf.split_to(LEN_PREFIX);
-            let wire = self.rx_buf.split_to(len).freeze();
-            frames.push(PacketFrame::from_wire(wire));
-        }
+        carve_frames(&mut self.rx_buf, &mut frames)?;
         Ok(frames)
     }
 
     /// Queue a frame for transmission. The parts are shared with the
     /// engine's in-flight state (refcounted), not copied into a staging
     /// buffer.
-    fn enqueue(&mut self, frame: PacketFrame, token: nmad_core::driver::TxToken) {
+    fn enqueue(&mut self, frame: PacketFrame, token: TxToken) {
         debug_assert!(self.pending_token.is_none(), "one injection at a time");
         self.tx_prefix = (frame.wire_len() as u32).to_le_bytes();
         self.tx_off = 0;
@@ -314,28 +441,14 @@ impl RailIo {
     /// Push the pending frame with gather writes; return the token once
     /// everything drained. `tx_off` tracks partial progress across the
     /// prefix and the frame parts between calls.
-    fn flush(&mut self) -> std::io::Result<Option<nmad_core::driver::TxToken>> {
+    fn flush(&mut self) -> std::io::Result<Option<TxToken>> {
         loop {
             let Some(frame) = &self.tx_frame else {
                 return Ok(self.pending_token.take());
             };
             let total = LEN_PREFIX + frame.wire_len();
-            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(1 + frame.num_parts());
-            let mut skip = self.tx_off;
-            if skip < LEN_PREFIX {
-                slices.push(IoSlice::new(&self.tx_prefix[skip..]));
-                skip = 0;
-            } else {
-                skip -= LEN_PREFIX;
-            }
-            for part in frame.parts() {
-                if skip >= part.len() {
-                    skip -= part.len();
-                    continue;
-                }
-                slices.push(IoSlice::new(&part[skip..]));
-                skip = 0;
-            }
+            let mut slices: Vec<IoSlice<'_>> = Vec::new();
+            gather_slices(&self.tx_prefix, frame, self.tx_off, &mut slices);
             match self.stream.write_vectored(&slices) {
                 Ok(0) => {
                     return Err(std::io::Error::new(
@@ -362,6 +475,8 @@ impl RailIo {
     }
 }
 
+/// The serial progress thread: the whole NIC-activity loop under one
+/// engine lock.
 struct Worker {
     shared: Arc<Shared>,
     rails: Vec<RailIo>,
@@ -379,12 +494,17 @@ impl Worker {
                     false
                 }
             };
-            self.shared.cv.notify_all();
+            if progressed {
+                self.shared.cv.notify_all();
+            }
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             if !progressed {
-                std::thread::sleep(Duration::from_micros(50));
+                // Idle poll, ended early by a submission's kick — a send
+                // posted now is picked up immediately, not after the
+                // poll interval.
+                self.shared.work.wait(IDLE_POLL);
             }
         }
     }
@@ -437,9 +557,174 @@ impl Worker {
     }
 }
 
+/// Parallel runtime: one rail's TX worker. Pops published decisions off
+/// its own outbox (its own condvar — no global wakeup) and performs the
+/// slow socket write with no shared lock held, then reports completion
+/// to the scheduler's queue.
+struct TxWorker {
+    hub: Arc<ParallelHub>,
+    rail: usize,
+    stream: TcpStream,
+    outbox: OutboxReceiver,
+    epoch: Instant,
+    /// Per-thread recorder shard; deposited into the hub at exit and
+    /// merged with the engine ring at export.
+    shard: FlightRecorder,
+}
+
+impl TxWorker {
+    fn run(mut self) {
+        loop {
+            match self.outbox.pop_wait(TX_IDLE_WAIT) {
+                Some(d) => self.inject(d),
+                None => {
+                    if self.hub.is_shutdown() {
+                        break;
+                    }
+                }
+            }
+        }
+        // Clean shutdown drains the outbox: decisions already published
+        // still go out so the peer's reassembly isn't left dangling.
+        while let Some(d) = self.outbox.pop() {
+            self.inject(d);
+        }
+        self.hub.deposit_shard(self.shard.events());
+    }
+
+    fn inject(&mut self, d: nmad_core::TxDecision) {
+        match self.write_frame(&d.frame) {
+            Ok(dur_ns) => {
+                self.shard.record(
+                    Event::new(
+                        self.epoch.elapsed().as_nanos() as u64,
+                        EventKind::WorkerWrite,
+                    )
+                    .rail(self.rail)
+                    .seq(d.token.0)
+                    .size((LEN_PREFIX + d.frame.wire_len()) as u64)
+                    .aux(dur_ns),
+                );
+                self.hub.push_completion(
+                    self.rail,
+                    Completion::TxDone {
+                        rail: self.rail,
+                        token: d.token,
+                    },
+                );
+            }
+            Err(_) => {
+                self.hub.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Blocking gather write of one frame, tracking partial progress.
+    /// Returns the wall time spent in the write.
+    fn write_frame(&mut self, frame: &PacketFrame) -> std::io::Result<u64> {
+        let prefix = (frame.wire_len() as u32).to_le_bytes();
+        let total = LEN_PREFIX + frame.wire_len();
+        let mut off = 0usize;
+        let mut slices: Vec<IoSlice<'_>> = Vec::new();
+        let t0 = Instant::now();
+        while off < total {
+            gather_slices(&prefix, frame, off, &mut slices);
+            match self.stream.write_vectored(&slices) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket refused bytes",
+                    ))
+                }
+                Ok(n) => off += n,
+                // SO_SNDTIMEO expiry: keep pushing — a partially written
+                // frame must complete or the peer's stream corrupts —
+                // but give up once shutdown is requested.
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if self.hub.is_shutdown() {
+                        return Err(e);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(t0.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Parallel runtime: one rail's RX worker. Blocking reads with a timeout
+/// (so shutdown stays responsive), carving frames off a receive ring and
+/// queueing them for the scheduler's next batched drain.
+struct RxWorker {
+    hub: Arc<ParallelHub>,
+    rail: usize,
+    stream: TcpStream,
+    epoch: Instant,
+    shard: FlightRecorder,
+}
+
+impl RxWorker {
+    fn run(mut self) {
+        let mut rx_buf = BytesMut::new();
+        let mut frames = Vec::new();
+        loop {
+            if self.hub.is_shutdown() {
+                break;
+            }
+            let old = rx_buf.len();
+            rx_buf.resize(old + READ_CHUNK, 0);
+            match self.stream.read(&mut rx_buf[old..]) {
+                Ok(0) => {
+                    rx_buf.truncate(old);
+                    break; // peer closed for good
+                }
+                Ok(n) => rx_buf.truncate(old + n),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    // SO_RCVTIMEO expiry: loop re-checks shutdown.
+                    rx_buf.truncate(old);
+                    continue;
+                }
+                Err(_) => {
+                    rx_buf.truncate(old);
+                    self.hub.io_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+            frames.clear();
+            if carve_frames(&mut rx_buf, &mut frames).is_err() {
+                self.hub.io_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            for frame in frames.drain(..) {
+                self.shard.record(
+                    Event::new(self.epoch.elapsed().as_nanos() as u64, EventKind::WorkerRx)
+                        .rail(self.rail)
+                        .size((LEN_PREFIX + frame.wire_len()) as u64),
+                );
+                self.hub.push_completion(
+                    self.rail,
+                    Completion::RxFrame {
+                        rail: self.rail,
+                        frame,
+                    },
+                );
+            }
+        }
+        self.hub.deposit_shard(self.shard.events());
+    }
+}
+
 fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Result<Endpoint> {
     let mut cfg_engine = config.engine.clone();
     cfg_engine.crc = true;
+    if cfg_engine.parallel {
+        return build_parallel(config, cfg_engine, streams);
+    }
     let shared = Arc::new(Shared {
         engine: Mutex::new(Engine::new(
             cfg_engine,
@@ -447,6 +732,7 @@ fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Resul
             vec![],
         )),
         cv: Condvar::new(),
+        work: WorkSignal::default(),
         shutdown: AtomicBool::new(false),
         rx_errors: AtomicU64::new(0),
         io_errors: AtomicU64::new(0),
@@ -468,8 +754,74 @@ fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Resul
         .name("nmad-tcp".into())
         .spawn(move || worker.run())?;
     Ok(Endpoint {
-        shared,
-        worker: Some(handle),
+        fabric: Fabric::Serial(shared),
+        workers: vec![handle],
+        conns,
+    })
+}
+
+/// Build the sharded pipeline: scheduler + one TX and one RX thread per
+/// rail.
+fn build_parallel(
+    config: &TcpConfig,
+    cfg_engine: EngineConfig,
+    streams: Vec<TcpStream>,
+) -> std::io::Result<Endpoint> {
+    let record_capacity = cfg_engine.record_capacity;
+    let mut engine = Engine::new(cfg_engine, config.platform.rails.clone(), vec![]);
+    let mut conns = Vec::new();
+    for _ in 0..config.conns.max(1) {
+        conns.push(engine.conn_open());
+    }
+    let (hub, senders, receivers) = ParallelHub::new(engine);
+    let epoch = Instant::now();
+    let mut workers = Vec::with_capacity(2 * streams.len() + 1);
+    for (rail, (stream, outbox)) in streams.into_iter().zip(receivers).enumerate() {
+        stream.set_nodelay(true)?;
+        // Blocking sockets with timeouts: the flag and the timeouts are
+        // shared by both clones (same open socket), which is exactly
+        // what the split TX/RX threads want.
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let tx_stream = stream.try_clone()?;
+        let tx = TxWorker {
+            hub: hub.clone(),
+            rail,
+            stream: tx_stream,
+            outbox,
+            epoch,
+            shard: FlightRecorder::with_capacity(record_capacity),
+        };
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("nmad-tcp-tx{rail}"))
+                .spawn(move || tx.run())?,
+        );
+        let rx = RxWorker {
+            hub: hub.clone(),
+            rail,
+            stream,
+            epoch,
+            shard: FlightRecorder::with_capacity(record_capacity),
+        };
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("nmad-tcp-rx{rail}"))
+                .spawn(move || rx.run())?,
+        );
+    }
+    // Scheduler last: joined after the I/O workers so it drains their
+    // final completions before quiescing.
+    let sched_hub = hub.clone();
+    workers.push(
+        std::thread::Builder::new()
+            .name("nmad-tcp-sched".into())
+            .spawn(move || sched_hub.run_scheduler(senders, epoch))?,
+    );
+    Ok(Endpoint {
+        fabric: Fabric::Parallel(hub),
+        workers,
         conns,
     })
 }
@@ -544,6 +896,28 @@ pub fn pair_localhost(config: TcpConfig) -> std::io::Result<(Endpoint, Endpoint)
 }
 
 #[cfg(test)]
+impl SendHandle {
+    /// Test hook: merged events via the handle's fabric reference (lets
+    /// tests inspect shards after the endpoint itself was dropped).
+    fn fabric_events(&self) -> Vec<nmad_core::Event> {
+        match &self.fabric {
+            Fabric::Serial(s) => s.engine.lock().recorder().events(),
+            Fabric::Parallel(h) => h.merged_events(),
+        }
+    }
+}
+
+#[cfg(test)]
+impl RecvHandle {
+    fn fabric_events(&self) -> Vec<nmad_core::Event> {
+        match &self.fabric {
+            Fabric::Serial(s) => s.engine.lock().recorder().events(),
+            Fabric::Parallel(h) => h.merged_events(),
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use nmad_core::StrategyKind;
@@ -558,6 +932,12 @@ mod tests {
             EngineConfig::with_strategy(kind),
         ))
         .expect("localhost pair")
+    }
+
+    fn fabric_parallel(kind: StrategyKind) -> (Endpoint, Endpoint) {
+        let mut engine = EngineConfig::with_strategy(kind);
+        engine.parallel = true;
+        pair_localhost(TcpConfig::new(platform::paper_platform(), engine)).expect("localhost pair")
     }
 
     fn random(len: usize, seed: u64) -> Vec<u8> {
@@ -680,5 +1060,162 @@ mod tests {
         let r = client.recv(c);
         server.send(c, vec![Bytes::from_static(b"over real tcp")]);
         assert_eq!(&r.wait(T).unwrap().segments[0][..], b"over real tcp");
+    }
+
+    /// Satellite regression: a send submitted while the progress thread
+    /// is mid idle-poll must be picked up via the work-signal kick, not
+    /// after sleeping out the poll. The bound is generous for CI noise —
+    /// the point is that it holds even if the idle wait is ever made
+    /// much longer than the kick-less sleep used to be.
+    #[test]
+    fn submit_during_idle_poll_wakes_worker_promptly() {
+        let (a, b) = fabric(StrategyKind::Greedy);
+        let c = a.conns()[0];
+        // Let both progress threads drain startup traffic and go idle.
+        std::thread::sleep(Duration::from_millis(30));
+        let r = b.recv(c);
+        let t0 = Instant::now();
+        let s = a.send(c, vec![Bytes::from_static(b"wake up")]);
+        assert!(s.wait(Duration::from_millis(500)), "send never completed");
+        assert!(r.wait(Duration::from_millis(500)).is_some());
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "idle submission took {:?} — wakeup lost?",
+            t0.elapsed()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel pipeline over real sockets
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn parallel_small_message() {
+        let (a, b) = fabric_parallel(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let payload = random(512, 31);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T));
+        assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        assert_eq!(b.rx_errors(), 0);
+        assert_eq!(a.io_errors(), 0);
+    }
+
+    #[test]
+    fn parallel_large_message_striped_over_two_sockets() {
+        let (a, b) = fabric_parallel(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let payload = random(3 << 20, 32);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T));
+        assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        let st = a.stats();
+        assert!(
+            st.rails[0].payload_bytes > 0 && st.rails[1].payload_bytes > 0,
+            "large message must stripe across both sockets: {:?}",
+            st.rails
+        );
+        // The scheduler's short critical sections were measured.
+        assert!(st.obs.lock_hold_ns.count() > 0);
+        assert!(st.obs.outbox_depth.count() > 0);
+    }
+
+    #[test]
+    fn parallel_bidirectional_traffic() {
+        let (a, b) = fabric_parallel(StrategyKind::Greedy);
+        let c = a.conns()[0];
+        let pa = random(100_000, 33);
+        let pb = random(120_000, 34);
+        let ra = a.recv(c);
+        let rb = b.recv(c);
+        let sa = a.send(c, vec![Bytes::from(pa.clone())]);
+        let sb = b.send(c, vec![Bytes::from(pb.clone())]);
+        assert!(sa.wait(T) && sb.wait(T));
+        assert_eq!(rb.wait(T).unwrap().segments[0].as_ref(), pa.as_slice());
+        assert_eq!(ra.wait(T).unwrap().segments[0].as_ref(), pb.as_slice());
+    }
+
+    #[test]
+    fn parallel_many_pipelined_messages_in_order() {
+        let (a, b) = fabric_parallel(StrategyKind::AggregateEager);
+        let c = a.conns()[0];
+        let n = 40;
+        let recvs: Vec<RecvHandle> = (0..n).map(|_| b.recv(c)).collect();
+        for i in 0..n {
+            a.send(c, vec![Bytes::from(random(32 + i * 7, 100 + i as u64))]);
+        }
+        for (i, r) in recvs.into_iter().enumerate() {
+            let msg = r.wait(T).expect("recv");
+            assert_eq!(
+                msg.segments[0].as_ref(),
+                random(32 + i * 7, 100 + i as u64).as_slice(),
+                "message {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_acked_delivery() {
+        let mut engine = EngineConfig::with_strategy(StrategyKind::Greedy);
+        engine.acked = true;
+        engine.parallel = true;
+        let (a, b) = pair_localhost(TcpConfig::new(platform::paper_platform(), engine))
+            .expect("localhost pair");
+        let c = a.conns()[0];
+        let payload = random(200_000, 41);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait_acked(T), "ack must arrive");
+        assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        assert_eq!(a.stats().retransmits, 0);
+    }
+
+    /// Worker shards reach the merged event stream: `WorkerWrite` on the
+    /// sender, `WorkerRx` on the receiver, alongside the engine's own
+    /// lifecycle events.
+    #[test]
+    fn parallel_worker_shards_merged_into_events() {
+        let mut engine = EngineConfig::with_strategy(StrategyKind::AdaptiveSplit);
+        engine.parallel = true;
+        engine.record_capacity = 4096;
+        let (a, b) = pair_localhost(TcpConfig::new(platform::paper_platform(), engine))
+            .expect("localhost pair");
+        let c = a.conns()[0];
+        let payload = random(1 << 20, 42);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload)]);
+        assert!(s.wait(T));
+        assert!(r.wait(T).is_some());
+        // Shards are deposited at worker exit: shut the endpoints down
+        // first, then inspect. `drop` joins; read events via clones of
+        // the fabric before dropping is not possible, so rebuild from
+        // the endpoint by shutting down in-place: simplest is to drop B
+        // and read A after its workers exited. Both endpoints' fabrics
+        // survive in the handles' Arcs, so take events after drop via a
+        // leaked handle.
+        let sh = a.send(c, vec![Bytes::from_static(b"tail")]); // keep a fabric ref
+        let rh = b.recv(c);
+        let _ = sh.wait(T);
+        let _ = rh.wait(T);
+        drop(a);
+        drop(b);
+        let tx_events = sh.fabric_events();
+        let rx_events = rh.fabric_events();
+        assert!(
+            tx_events.iter().any(|e| e.kind == EventKind::WorkerWrite),
+            "sender shard missing WorkerWrite events"
+        );
+        assert!(
+            tx_events.iter().any(|e| e.kind == EventKind::TxPost),
+            "engine ring missing from merge"
+        );
+        assert!(
+            rx_events.iter().any(|e| e.kind == EventKind::WorkerRx),
+            "receiver shard missing WorkerRx events"
+        );
+        // Merged stream is timestamp-ordered.
+        assert!(tx_events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
     }
 }

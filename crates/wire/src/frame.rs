@@ -25,9 +25,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use crate::agg::AggregateEntry;
 use crate::checksum::{crc32_finish, crc32_init, update};
 use crate::error::WireError;
-use crate::header::{
-    Envelope, Packet, PacketKind, ENVELOPE_LEN, FLAG_CRC, MAGIC, VERSION,
-};
+use crate::header::{Envelope, Packet, PacketKind, ENVELOPE_LEN, FLAG_CRC, MAGIC, VERSION};
 use crate::ConnId;
 
 /// Parts stored inline in a [`PartList`] before spilling to the heap.
@@ -108,7 +106,9 @@ impl PartList {
 
 impl std::fmt::Debug for PartList {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_list().entries(self.iter().map(|p| p.len())).finish()
+        f.debug_list()
+            .entries(self.iter().map(|p| p.len()))
+            .finish()
     }
 }
 
@@ -818,10 +818,7 @@ mod tests {
         raw[10] ^= 0x01;
         let mut bad = frame.clone();
         bad.replace_part(1, raw.freeze());
-        assert!(matches!(
-            bad.decode(),
-            Err(WireError::BadChecksum { .. })
-        ));
+        assert!(matches!(bad.decode(), Err(WireError::BadChecksum { .. })));
     }
 
     #[test]

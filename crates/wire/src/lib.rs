@@ -39,8 +39,8 @@ pub mod reassembly;
 pub mod split;
 
 pub use agg::{AggregateBuilder, AggregateEntry, AggregateParts};
-pub use frame::{FrameBody, PacketFrame, PartList, SgReader};
 pub use error::WireError;
+pub use frame::{FrameBody, PacketFrame, PartList, SgReader};
 pub use header::{
     AckPacket, ChunkPacket, EagerPacket, Envelope, Packet, PacketKind, RdvAck, RdvRequest,
     SamplePacket,

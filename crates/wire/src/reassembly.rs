@@ -131,7 +131,9 @@ impl SegState {
         match self {
             SegState::Complete(_) => true,
             SegState::Chunked {
-                received, total_len, ..
+                received,
+                total_len,
+                ..
             } => received == total_len,
             SegState::Missing => false,
         }
@@ -186,11 +188,7 @@ impl Reassembler {
         self.completed_bytes
     }
 
-    fn entry(
-        &mut self,
-        msg_id: MsgId,
-        total_segs: u16,
-    ) -> Result<&mut PartialMessage, ReasmError> {
+    fn entry(&mut self, msg_id: MsgId, total_segs: u16) -> Result<&mut PartialMessage, ReasmError> {
         let pm = self
             .partial
             .entry(msg_id)
@@ -205,11 +203,7 @@ impl Reassembler {
         Ok(pm)
     }
 
-    fn check_index(
-        msg_id: MsgId,
-        seg_index: u16,
-        total_segs: u16,
-    ) -> Result<(), ReasmError> {
+    fn check_index(msg_id: MsgId, seg_index: u16, total_segs: u16) -> Result<(), ReasmError> {
         if seg_index >= total_segs {
             return Err(ReasmError::SegIndexOutOfRange {
                 msg_id,
@@ -307,9 +301,7 @@ impl Reassembler {
                     pm.complete_segs += 1;
                 }
             }
-            SegState::Complete(_) => {
-                return Err(ReasmError::MixedDelivery { msg_id, seg_index })
-            }
+            SegState::Complete(_) => return Err(ReasmError::MixedDelivery { msg_id, seg_index }),
             SegState::Missing => unreachable!("initialized above"),
         }
         Ok(self.finish_if_done(msg_id))
@@ -484,7 +476,10 @@ mod tests {
         let mut r = Reassembler::new();
         let big: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
         assert!(r.insert_eager(9, 0, 2, b(b"small")).unwrap().is_none());
-        assert!(r.insert_chunk(9, 1, 2, 0, 1000, &big[..500]).unwrap().is_none());
+        assert!(r
+            .insert_chunk(9, 1, 2, 0, 1000, &big[..500])
+            .unwrap()
+            .is_none());
         let done = r
             .insert_chunk(9, 1, 2, 500, 1000, &big[500..])
             .unwrap()
@@ -512,10 +507,16 @@ mod tests {
         let mut r = Reassembler::new();
         r.insert_chunk(1, 0, 1, 0, 100, &[0; 50]).unwrap();
         let err = r.insert_chunk(1, 0, 1, 25, 100, &[0; 50]).unwrap_err();
-        assert!(matches!(err, ReasmError::OverlappingChunk { offset: 25, .. }));
+        assert!(matches!(
+            err,
+            ReasmError::OverlappingChunk { offset: 25, .. }
+        ));
         // Exact duplicate also overlaps.
         let err = r.insert_chunk(1, 0, 1, 0, 100, &[0; 50]).unwrap_err();
-        assert!(matches!(err, ReasmError::OverlappingChunk { offset: 0, .. }));
+        assert!(matches!(
+            err,
+            ReasmError::OverlappingChunk { offset: 0, .. }
+        ));
     }
 
     #[test]

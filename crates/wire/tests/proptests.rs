@@ -38,29 +38,35 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
                 })
             }
         ),
-        (any::<u64>(), any::<u16>()).prop_map(|(msg_id, seg_index)| Packet::RdvAck(RdvAck {
-            msg_id,
-            seg_index
-        })),
+        (any::<u64>(), any::<u16>())
+            .prop_map(|(msg_id, seg_index)| Packet::RdvAck(RdvAck { msg_id, seg_index })),
         any::<u64>().prop_map(|msg_id| Packet::Ack(AckPacket { msg_id })),
         (any::<u64>(), arb_bytes(256))
             .prop_map(|(probe_id, data)| Packet::SamplePing(SamplePacket { probe_id, data })),
-        (any::<u64>(), 0..1024u64, 0..512u64, any::<u16>(), any::<u16>(), 1..16u16).prop_map(
-            |(msg_id, total_extra, len, seg_index, chunk_index, total_segs)| {
-                // Construct a consistent chunk: offset + len <= total_len.
-                let data = Bytes::from(vec![0xA5u8; len as usize]);
-                let offset = total_extra;
-                Packet::Chunk(ChunkPacket {
-                    msg_id,
-                    seg_index,
-                    total_segs,
-                    offset,
-                    total_len: offset + len,
-                    chunk_index,
-                    data,
-                })
-            }
-        ),
+        (
+            any::<u64>(),
+            0..1024u64,
+            0..512u64,
+            any::<u16>(),
+            any::<u16>(),
+            1..16u16
+        )
+            .prop_map(
+                |(msg_id, total_extra, len, seg_index, chunk_index, total_segs)| {
+                    // Construct a consistent chunk: offset + len <= total_len.
+                    let data = Bytes::from(vec![0xA5u8; len as usize]);
+                    let offset = total_extra;
+                    Packet::Chunk(ChunkPacket {
+                        msg_id,
+                        seg_index,
+                        total_segs,
+                        offset,
+                        total_len: offset + len,
+                        chunk_index,
+                        data,
+                    })
+                }
+            ),
     ]
 }
 

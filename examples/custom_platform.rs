@@ -25,15 +25,20 @@ const MODERN_NODE: &str = r#"{
 
 fn main() {
     let json = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => MODERN_NODE.to_string(),
     };
     let platform = PlatformSpec::from_json(&json)
         .expect("valid platform JSON")
         .build();
 
-    println!("platform: {} ({} rails)", platform.host.name, platform.rail_count());
+    println!(
+        "platform: {} ({} rails)",
+        platform.host.name,
+        platform.rail_count()
+    );
     for (i, r) in platform.rails.iter().enumerate() {
         println!(
             "  rail{i} {:<10} lat {:>5.2} us  link {:>7.0} MB/s",
@@ -63,10 +68,7 @@ fn main() {
         let lat = run(4).one_way.as_us_f64();
         let mid = run(64 << 10).bandwidth_mbs;
         let big = run(8 << 20).bandwidth_mbs;
-        println!(
-            "{:<18} {lat:>12.2} {mid:>12.0} {big:>12.0}",
-            kind.label()
-        );
+        println!("{:<18} {lat:>12.2} {mid:>12.0} {big:>12.0}", kind.label());
     }
     println!(
         "\nSame engine, same strategies — the hardware model is just data.\n\

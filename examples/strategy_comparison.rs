@@ -41,12 +41,9 @@ fn main() {
     for (label, kind) in strategies {
         print!("{label:<18}");
         for &(_, size, segs) in &workloads {
-            let mut spec = PingPongSpec::new(
-                platform.clone(),
-                EngineConfig::with_strategy(kind),
-                size,
-            )
-            .with_segments(segs);
+            let mut spec =
+                PingPongSpec::new(platform.clone(), EngineConfig::with_strategy(kind), size)
+                    .with_segments(segs);
             if matches!(kind, StrategyKind::AdaptiveSplit) {
                 spec = spec.with_tables(tables.clone());
             }

@@ -31,7 +31,10 @@ fn main() {
         let mut payload = vec![0u8; size];
         rng.fill_bytes(&mut payload);
         let recv = bob.recv(conn);
-        let send = alice.send(conn, vec![newmadeleine::bytes::Bytes::from(payload.clone())]);
+        let send = alice.send(
+            conn,
+            vec![newmadeleine::bytes::Bytes::from(payload.clone())],
+        );
         assert!(send.wait(timeout), "send {i} timed out");
         let msg = recv.wait(timeout).expect("recv timed out");
         assert_eq!(

@@ -44,6 +44,14 @@ NMAD_OBS_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_obs
 echo "==> online recalibration under drift (ablate_calibration smoke sweep)"
 NMAD_CALIBRATION_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_calibration
 
+# Lock-contention gate: the ablate_parallel smoke sweep drives the same
+# wire-paced workload through the single-lock discipline and the sharded
+# parallel pipeline and exits nonzero unless the multi-rail speedup
+# clears the 1.5x gate with every rail carrying frames (see DESIGN.md
+# §10).
+echo "==> parallel progress engine (ablate_parallel smoke sweep)"
+NMAD_PARALLEL_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_parallel
+
 # Calibrate round-trip: the CLI must run the drift scenario and report a
 # converged split history (the degraded rail's share leaves the seed band).
 echo "==> nmad calibrate round-trip"

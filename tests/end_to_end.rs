@@ -40,7 +40,9 @@ fn every_strategy_delivers_on_threads() {
             let r = b.recv(c);
             let s = a.send(c, vec![Bytes::from(payload.clone())]);
             assert!(s.wait(T), "{}: send {size}B", kind.label());
-            let msg = r.wait(T).unwrap_or_else(|| panic!("{}: recv {size}B", kind.label()));
+            let msg = r
+                .wait(T)
+                .unwrap_or_else(|| panic!("{}: recv {size}B", kind.label()));
             assert_eq!(
                 msg.segments[0].as_ref(),
                 payload.as_slice(),
@@ -92,7 +94,11 @@ fn three_rail_platform_end_to_end() {
     assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
     let st = a.stats();
     let used = st.rails.iter().filter(|r| r.payload_bytes > 0).count();
-    assert!(used >= 2, "3-rail split should use several rails: {:?}", st.rails);
+    assert!(
+        used >= 2,
+        "3-rail split should use several rails: {:?}",
+        st.rails
+    );
 }
 
 #[test]

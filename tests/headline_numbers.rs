@@ -32,7 +32,10 @@ fn myri_latency_2_8us() {
         platform::single_rail_platform(platform::myri_10g()),
         4,
     );
-    assert!((t - 2.8).abs() < 0.5, "Myri-10G 4B one-way {t} us, paper: 2.8");
+    assert!(
+        (t - 2.8).abs() < 0.5,
+        "Myri-10G 4B one-way {t} us, paper: 2.8"
+    );
 }
 
 #[test]
@@ -42,7 +45,10 @@ fn quadrics_latency_1_7us() {
         platform::single_rail_platform(platform::quadrics_qm500()),
         4,
     );
-    assert!((t - 1.7).abs() < 0.5, "Quadrics 4B one-way {t} us, paper: 1.7");
+    assert!(
+        (t - 1.7).abs() < 0.5,
+        "Quadrics 4B one-way {t} us, paper: 1.7"
+    );
 }
 
 #[test]
@@ -52,7 +58,10 @@ fn myri_bandwidth_1200() {
         platform::single_rail_platform(platform::myri_10g()),
         8 << 20,
     );
-    assert!((bw - 1200.0).abs() < 50.0, "Myri 8MB {bw} MB/s, paper: ~1200");
+    assert!(
+        (bw - 1200.0).abs() < 50.0,
+        "Myri 8MB {bw} MB/s, paper: ~1200"
+    );
 }
 
 #[test]
@@ -62,7 +71,10 @@ fn quadrics_bandwidth_850() {
         platform::single_rail_platform(platform::quadrics_qm500()),
         8 << 20,
     );
-    assert!((bw - 850.0).abs() < 40.0, "Quadrics 8MB {bw} MB/s, paper: ~850");
+    assert!(
+        (bw - 850.0).abs() < 40.0,
+        "Quadrics 8MB {bw} MB/s, paper: ~850"
+    );
 }
 
 #[test]
@@ -161,7 +173,10 @@ fn aggregation_beats_separate_packets_for_4_segments() {
         agg.one_way.as_us_f64(),
         single.one_way.as_us_f64(),
     );
-    assert!(ta < tp, "aggregated 4-seg ({ta}) must beat plain 4-seg ({tp})");
+    assert!(
+        ta < tp,
+        "aggregated 4-seg ({ta}) must beat plain 4-seg ({tp})"
+    );
     // Aggregation brings the 4-segment message within 25% of a regular one.
     assert!(
         ta < ts * 1.25,
