@@ -21,9 +21,11 @@
 pub mod calibration;
 pub mod datapath;
 pub mod figures;
+pub mod loadgen;
 pub mod obs_bench;
 pub mod parallel;
 pub mod report;
+pub mod soak;
 pub mod workload;
 
 pub use figures::FigureResult;

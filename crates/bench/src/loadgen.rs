@@ -1,0 +1,414 @@
+//! Deterministic traffic generation for the chaos soak (`nmad loadgen`,
+//! `ablate_soak`).
+//!
+//! Realistic overload comes from realistic arrival and size processes,
+//! not uniform ones: message sizes in communication traces are heavy
+//! tailed (many tiny control messages, a few huge bulk transfers) and
+//! arrivals are bursty, not evenly spaced. This module provides the
+//! three primitives the soak composes, all driven by a seeded
+//! [`Xoshiro256StarStar`] so any run is replayable from its recorded
+//! seed:
+//!
+//! * [`BoundedPareto`] — heavy-tailed message sizes with a hard cap (an
+//!   unbounded Pareto would eventually draw a message bigger than the
+//!   soak's whole byte budget);
+//! * [`Arrivals`] — Poisson (exponential inter-arrivals) or a two-state
+//!   Markov-modulated Poisson process (MMPP-2), the standard minimal
+//!   model of bursty traffic: a quiet state and a burst state with
+//!   different rates, switching at exponential sojourn times;
+//! * [`TenantSpec`]/[`TrafficSpec`] — a multi-tenant channel mix:
+//!   every tenant has its own channel, size distribution, arrival
+//!   process, and loop mode (open = submit on schedule regardless of
+//!   completions; closed = keep a window of requests outstanding).
+
+use std::time::Duration;
+
+use nmad_sim::Xoshiro256StarStar;
+use serde::{ser, Serialize, Value};
+
+/// Heavy-tailed size distribution: Pareto with shape `alpha`, truncated
+/// to `[min, max]` by inverse-CDF sampling (not rejection, so one draw
+/// consumes exactly one uniform and the stream stays replayable).
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedPareto {
+    /// Smallest sample (bytes).
+    pub min: u64,
+    /// Largest sample (bytes).
+    pub max: u64,
+    /// Tail index; smaller = heavier tail. Typical traffic fits 1.1–1.5.
+    pub alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Construct, validating the parameters.
+    pub fn new(min: u64, max: u64, alpha: f64) -> Self {
+        assert!(min >= 1, "min must be positive");
+        assert!(max >= min, "max must be >= min");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        BoundedPareto { min, max, alpha }
+    }
+
+    /// One sample in `[min, max]`.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        if self.min == self.max {
+            return self.min;
+        }
+        let u = rng.next_f64();
+        let ratio = (self.min as f64 / self.max as f64).powf(self.alpha);
+        // Inverse CDF of the truncated Pareto: F(x) = (1 - (m/x)^a) /
+        // (1 - (m/M)^a) for x in [m, M].
+        let x = self.min as f64 / (1.0 - u * (1.0 - ratio)).powf(1.0 / self.alpha);
+        (x as u64).clamp(self.min, self.max)
+    }
+}
+
+/// Arrival process of one tenant's open-loop schedule.
+#[derive(Clone, Copy, Debug)]
+pub enum Arrivals {
+    /// Poisson arrivals: exponential inter-arrival times at `rate_hz`.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_hz: f64,
+    },
+    /// Two-state Markov-modulated Poisson process. The process spends
+    /// exponentially distributed sojourns in a quiet state and a burst
+    /// state, emitting Poisson arrivals at the state's rate.
+    Mmpp2 {
+        /// Arrival rate in the quiet state (per second).
+        quiet_hz: f64,
+        /// Arrival rate in the burst state (per second).
+        burst_hz: f64,
+        /// Mean sojourn in each state, seconds.
+        mean_sojourn_s: f64,
+    },
+}
+
+/// Stateful sampler for an [`Arrivals`] process.
+#[derive(Clone, Debug)]
+pub struct ArrivalSampler {
+    model: Arrivals,
+    /// MMPP state: true = burst. Unused for Poisson.
+    burst: bool,
+    /// Remaining sojourn in the current MMPP state, seconds.
+    sojourn_left_s: f64,
+}
+
+impl ArrivalSampler {
+    /// New sampler starting in the quiet state.
+    pub fn new(model: Arrivals, rng: &mut Xoshiro256StarStar) -> Self {
+        let sojourn = match model {
+            Arrivals::Poisson { .. } => 0.0,
+            Arrivals::Mmpp2 { mean_sojourn_s, .. } => rng.exponential(mean_sojourn_s),
+        };
+        ArrivalSampler {
+            model,
+            burst: false,
+            sojourn_left_s: sojourn,
+        }
+    }
+
+    /// Next inter-arrival gap.
+    pub fn next_gap(&mut self, rng: &mut Xoshiro256StarStar) -> Duration {
+        match self.model {
+            Arrivals::Poisson { rate_hz } => {
+                Duration::from_secs_f64(rng.exponential(1.0 / rate_hz))
+            }
+            Arrivals::Mmpp2 {
+                quiet_hz,
+                burst_hz,
+                mean_sojourn_s,
+            } => {
+                let mut rate = if self.burst { burst_hz } else { quiet_hz };
+                let mut gap = rng.exponential(1.0 / rate);
+                let mut elapsed = 0.0f64;
+                // Walk through state switches the gap spans: each switch
+                // rescales the remaining wait from the old rate to the
+                // new one (memorylessness makes this exact). `rate` must
+                // track the current state or the rescale diverges.
+                while gap > self.sojourn_left_s {
+                    gap -= self.sojourn_left_s;
+                    elapsed += self.sojourn_left_s;
+                    self.burst = !self.burst;
+                    self.sojourn_left_s = rng.exponential(mean_sojourn_s);
+                    let new_rate = if self.burst { burst_hz } else { quiet_hz };
+                    gap = gap * rate / new_rate;
+                    rate = new_rate;
+                }
+                self.sojourn_left_s -= gap;
+                Duration::from_secs_f64(elapsed + gap)
+            }
+        }
+    }
+}
+
+/// How a tenant issues requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Submit on the arrival schedule regardless of completions — the
+    /// generator that actually overloads a slow system.
+    Open,
+    /// Keep at most this many requests outstanding; a completion frees
+    /// a slot. Self-clocking: backs off when the system slows down.
+    Closed {
+        /// Outstanding-request window.
+        window: usize,
+    },
+}
+
+/// One tenant of the traffic mix.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name ("bulk", "rpc", ...).
+    pub name: &'static str,
+    /// Message-size distribution.
+    pub sizes: BoundedPareto,
+    /// Arrival process (drives open-loop pacing; closed-loop tenants
+    /// use it as think time between a completion and the next submit).
+    pub arrivals: Arrivals,
+    /// Open or closed loop.
+    pub mode: LoopMode,
+}
+
+/// The full mix: every tenant gets its own logical channel (conn id =
+/// tenant index) and an rng stream decorrelated from the others.
+#[derive(Clone, Debug)]
+pub struct TrafficSpec {
+    /// Tenants, one channel each.
+    pub tenants: Vec<TenantSpec>,
+    /// Master seed; tenant `i` derives its own stream from it.
+    pub seed: u64,
+}
+
+impl TrafficSpec {
+    /// The soak's default three-tenant mix: a heavy-tailed bulk mover,
+    /// a latency-sensitive closed-loop RPC tenant, and a bursty MMPP
+    /// telemetry tenant.
+    pub fn standard(seed: u64) -> Self {
+        TrafficSpec {
+            tenants: vec![
+                TenantSpec {
+                    name: "bulk",
+                    sizes: BoundedPareto::new(4 << 10, 1 << 20, 1.2),
+                    arrivals: Arrivals::Poisson { rate_hz: 40.0 },
+                    mode: LoopMode::Closed { window: 4 },
+                },
+                TenantSpec {
+                    name: "rpc",
+                    sizes: BoundedPareto::new(64, 4 << 10, 1.5),
+                    arrivals: Arrivals::Poisson { rate_hz: 400.0 },
+                    mode: LoopMode::Closed { window: 8 },
+                },
+                TenantSpec {
+                    name: "burst",
+                    sizes: BoundedPareto::new(256, 64 << 10, 1.3),
+                    arrivals: Arrivals::Mmpp2 {
+                        quiet_hz: 20.0,
+                        burst_hz: 600.0,
+                        mean_sojourn_s: 0.5,
+                    },
+                    mode: LoopMode::Open,
+                },
+            ],
+            seed,
+        }
+    }
+
+    /// Rng stream for tenant `i`, decorrelated by a splitmix-style odd
+    /// multiplier (the same idiom the transports use per rail).
+    pub fn tenant_rng(&self, i: usize) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(self.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// A dry-run sample of one tenant's schedule: what `nmad loadgen`
+/// prints and the determinism tests pin down.
+#[derive(Clone, Debug)]
+pub struct SchedulePreview {
+    /// Tenant name.
+    pub name: String,
+    /// Loop mode rendered as text.
+    pub mode: String,
+    /// Events previewed.
+    pub events: usize,
+    /// Total bytes across the preview.
+    pub total_bytes: u64,
+    /// Mean message size, bytes.
+    pub mean_size: f64,
+    /// Largest sampled message.
+    pub max_size: u64,
+    /// Mean inter-arrival gap, microseconds.
+    pub mean_gap_us: f64,
+    /// Largest inter-arrival gap, microseconds.
+    pub max_gap_us: f64,
+}
+
+impl Serialize for SchedulePreview {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("name", ser::v(&self.name)),
+            ("mode", ser::v(&self.mode)),
+            ("events", ser::v(&self.events)),
+            ("total_bytes", ser::v(&self.total_bytes)),
+            ("mean_size", ser::v(&self.mean_size)),
+            ("max_size", ser::v(&self.max_size)),
+            ("mean_gap_us", ser::v(&self.mean_gap_us)),
+            ("max_gap_us", ser::v(&self.max_gap_us)),
+        ])
+    }
+}
+
+/// Sample `events` (size, gap) pairs per tenant without running any
+/// engine — the generator's output, summarized.
+pub fn preview(spec: &TrafficSpec, events: usize) -> Vec<SchedulePreview> {
+    spec.tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut rng = spec.tenant_rng(i);
+            let mut arrivals = ArrivalSampler::new(t.arrivals, &mut rng);
+            let mut total = 0u64;
+            let mut max_size = 0u64;
+            let mut gap_sum = 0.0f64;
+            let mut gap_max = 0.0f64;
+            for _ in 0..events {
+                let size = t.sizes.sample(&mut rng);
+                total += size;
+                max_size = max_size.max(size);
+                let gap = arrivals.next_gap(&mut rng).as_secs_f64() * 1e6;
+                gap_sum += gap;
+                gap_max = gap_max.max(gap);
+            }
+            SchedulePreview {
+                name: t.name.to_string(),
+                mode: match t.mode {
+                    LoopMode::Open => "open".to_string(),
+                    LoopMode::Closed { window } => format!("closed/{window}"),
+                },
+                events,
+                total_bytes: total,
+                mean_size: total as f64 / events.max(1) as f64,
+                max_size,
+                mean_gap_us: gap_sum / events.max(1) as f64,
+                max_gap_us: gap_max,
+            }
+        })
+        .collect()
+}
+
+/// Aligned text table of a preview.
+pub fn render_preview(rows: &[SchedulePreview]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>8} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "tenant", "mode", "events", "bytes", "mean B", "max B", "mean gap us", "max gap us"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>8} {:>12} {:>10.0} {:>10} {:>12.1} {:>12.1}",
+            r.name,
+            r.mode,
+            r.events,
+            r.total_bytes,
+            r.mean_size,
+            r.max_size,
+            r.mean_gap_us,
+            r.max_gap_us
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_respects_bounds_and_tail() {
+        let d = BoundedPareto::new(64, 1 << 20, 1.2);
+        let mut rng = Xoshiro256StarStar::new(7);
+        let mut small = 0usize;
+        let mut seen_large = false;
+        let n = 20_000;
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            assert!((64..=1 << 20).contains(&s), "sample {s} out of bounds");
+            if s < 256 {
+                small += 1;
+            }
+            if s > 256 << 10 {
+                seen_large = true;
+            }
+        }
+        // Heavy tail: most samples are near the floor, yet the cap
+        // region is still reached.
+        assert!(small > n / 2, "tail not heavy: {small}/{n} small");
+        assert!(seen_large, "cap region never sampled");
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut rng = Xoshiro256StarStar::new(11);
+        let mut s = ArrivalSampler::new(Arrivals::Poisson { rate_hz: 1000.0 }, &mut rng);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| s.next_gap(&mut rng).as_secs_f64()).sum();
+        let mean_ms = total / n as f64 * 1e3;
+        assert!(
+            (0.9..1.1).contains(&mean_ms),
+            "mean gap {mean_ms} ms, expected ~1 ms"
+        );
+    }
+
+    #[test]
+    fn mmpp_bursts_faster_than_quiet() {
+        let mut rng = Xoshiro256StarStar::new(13);
+        let model = Arrivals::Mmpp2 {
+            quiet_hz: 10.0,
+            burst_hz: 1000.0,
+            mean_sojourn_s: 0.2,
+        };
+        let mut s = ArrivalSampler::new(model, &mut rng);
+        let n = 20_000;
+        let gaps: Vec<f64> = (0..n).map(|_| s.next_gap(&mut rng).as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / n as f64;
+        // The blended rate sits strictly between the two states' rates.
+        assert!(
+            mean < 1.0 / 10.0 && mean > 1.0 / 1000.0,
+            "blended mean gap {mean}"
+        );
+        // Bursts exist: a meaningful share of gaps is at burst pacing.
+        let fast = gaps.iter().filter(|g| **g < 5e-3).count();
+        assert!(fast > n / 10, "no burst phase visible: {fast}/{n}");
+    }
+
+    #[test]
+    fn schedules_are_replayable_from_seed() {
+        let spec = TrafficSpec::standard(42);
+        let a = preview(&spec, 500);
+        let b = preview(&spec, 500);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total_bytes, y.total_bytes);
+            assert_eq!(x.max_size, y.max_size);
+            assert_eq!(x.mean_gap_us, y.mean_gap_us);
+        }
+        let c = preview(&TrafficSpec::standard(43), 500);
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.total_bytes != y.total_bytes),
+            "different seeds must give different schedules"
+        );
+    }
+
+    #[test]
+    fn preview_renders_every_tenant() {
+        let spec = TrafficSpec::standard(1);
+        let rows = preview(&spec, 100);
+        let table = render_preview(&rows);
+        for t in &spec.tenants {
+            assert!(table.contains(t.name), "{table}");
+        }
+    }
+}

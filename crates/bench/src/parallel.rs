@@ -163,7 +163,10 @@ fn run_parallel(rails: usize, messages: usize) -> ParallelOutcome {
     let payload = Bytes::from(vec![0x5Au8; MSG_SIZE]);
     let t0 = Instant::now();
     let ids: Vec<SendId> = (0..messages)
-        .map(|_| hub.submit_send(0, vec![payload.clone()]))
+        .map(|_| {
+            hub.submit_send(0, vec![payload.clone()])
+                .expect("hub not shut down")
+        })
         .collect();
     let completed = {
         let mut eng = hub.engine().lock();

@@ -1,0 +1,164 @@
+//! Shared chaos state: live fault knobs the soak harness turns while the
+//! engine runs.
+//!
+//! PR 1's `FaultSpec` and PR 4's drift scenarios are fixed at
+//! construction; a chaos soak needs to *change* loss rates and rail
+//! bandwidth mid-run, from a driver thread, while transport workers keep
+//! reading them on the hot path. `ChaosState` is that shared dial: a set
+//! of per-rail atomics (f64 bit patterns in `AtomicU64`) the schedule
+//! writes and the transports read lock-free. With no writer it reads as
+//! identity (multiplier 1.0, boost 0.0), so wiring it into a transport
+//! costs one relaxed load per frame and changes nothing by default.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One rail's live knobs.
+#[derive(Debug)]
+struct RailKnobs {
+    /// Bandwidth multiplier applied to the rail's modelled wire time
+    /// (f64 bits). 1.0 = nominal; 0.25 = rail running at a quarter speed
+    /// (wire time x4); values > 1.0 speed the rail up.
+    bandwidth_mult: AtomicU64,
+    /// Additive drop probability folded into the transport's fault draw
+    /// (f64 bits, clamped to [0, 1] at read).
+    drop_boost: AtomicU64,
+}
+
+impl RailKnobs {
+    fn identity() -> Self {
+        RailKnobs {
+            bandwidth_mult: AtomicU64::new(1.0_f64.to_bits()),
+            drop_boost: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+}
+
+/// Live, shared fault dials — one set per rail. Cloneable handle
+/// (internally `Arc`ed) so a chaos driver thread and every transport
+/// worker can hold it at once.
+#[derive(Clone, Debug)]
+pub struct ChaosState {
+    rails: Arc<Vec<RailKnobs>>,
+}
+
+impl ChaosState {
+    /// Identity state (no bandwidth change, no extra drops) for
+    /// `n_rails` rails.
+    pub fn new(n_rails: usize) -> Self {
+        ChaosState {
+            rails: Arc::new((0..n_rails).map(|_| RailKnobs::identity()).collect()),
+        }
+    }
+
+    /// Number of rails this state covers.
+    pub fn rail_count(&self) -> usize {
+        self.rails.len()
+    }
+
+    /// Set `rail`'s bandwidth multiplier (1.0 = nominal). Non-finite or
+    /// non-positive values are clamped to a floor so wire times stay
+    /// finite. Out-of-range rails are ignored.
+    pub fn set_bandwidth_mult(&self, rail: usize, mult: f64) {
+        if let Some(k) = self.rails.get(rail) {
+            let m = if mult.is_finite() {
+                mult.max(0.01)
+            } else {
+                1.0
+            };
+            k.bandwidth_mult.store(m.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current bandwidth multiplier for `rail` (1.0 when unknown).
+    pub fn bandwidth_mult(&self, rail: usize) -> f64 {
+        self.rails
+            .get(rail)
+            .map(|k| f64::from_bits(k.bandwidth_mult.load(Ordering::Relaxed)))
+            .unwrap_or(1.0)
+    }
+
+    /// Set `rail`'s additive drop probability (clamped to [0, 1]).
+    pub fn set_drop_boost(&self, rail: usize, p: f64) {
+        if let Some(k) = self.rails.get(rail) {
+            let p = if p.is_finite() {
+                p.clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            k.drop_boost.store(p.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current additive drop probability for `rail` (0.0 when unknown).
+    pub fn drop_boost(&self, rail: usize) -> f64 {
+        self.rails
+            .get(rail)
+            .map(|k| f64::from_bits(k.drop_boost.load(Ordering::Relaxed)))
+            .unwrap_or(0.0)
+    }
+
+    /// Reset every rail to identity (bandwidth 1.0, boost 0.0) — the
+    /// "final fault heals" step of a soak.
+    pub fn heal_all(&self) {
+        for rail in 0..self.rails.len() {
+            self.set_bandwidth_mult(rail, 1.0);
+            self.set_drop_boost(rail, 0.0);
+        }
+    }
+
+    /// True when every rail reads as identity.
+    pub fn is_healed(&self) -> bool {
+        (0..self.rails.len()).all(|r| self.bandwidth_mult(r) == 1.0 && self.drop_boost(r) == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_identity() {
+        let c = ChaosState::new(2);
+        assert_eq!(c.rail_count(), 2);
+        assert_eq!(c.bandwidth_mult(0), 1.0);
+        assert_eq!(c.drop_boost(1), 0.0);
+        assert!(c.is_healed());
+    }
+
+    #[test]
+    fn set_and_heal_roundtrip() {
+        let c = ChaosState::new(2);
+        c.set_bandwidth_mult(0, 0.25);
+        c.set_drop_boost(1, 0.4);
+        assert_eq!(c.bandwidth_mult(0), 0.25);
+        assert_eq!(c.drop_boost(1), 0.4);
+        assert!(!c.is_healed());
+        c.heal_all();
+        assert!(c.is_healed());
+    }
+
+    #[test]
+    fn hostile_values_clamped() {
+        let c = ChaosState::new(1);
+        c.set_bandwidth_mult(0, 0.0);
+        assert!(c.bandwidth_mult(0) >= 0.01, "wire time must stay finite");
+        c.set_bandwidth_mult(0, f64::NAN);
+        assert_eq!(c.bandwidth_mult(0), 1.0);
+        c.set_drop_boost(0, 7.0);
+        assert_eq!(c.drop_boost(0), 1.0);
+        c.set_drop_boost(0, -1.0);
+        assert_eq!(c.drop_boost(0), 0.0);
+        // Out-of-range rails: reads fall back to identity, writes no-op.
+        c.set_drop_boost(9, 1.0);
+        assert_eq!(c.drop_boost(9), 0.0);
+    }
+
+    #[test]
+    fn handle_is_shared_across_clones() {
+        let a = ChaosState::new(1);
+        let b = a.clone();
+        a.set_drop_boost(0, 0.5);
+        assert_eq!(b.drop_boost(0), 0.5);
+    }
+}

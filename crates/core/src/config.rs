@@ -4,6 +4,37 @@ use crate::health::HealthConfig;
 use crate::sampling::CalibrationConfig;
 use crate::strategy::StrategyKind;
 
+/// Overload-protection knobs: bounded submission queues, per-tenant
+/// admission control, and a pool-memory watermark. Every limit defaults
+/// to 0 = unlimited, so existing callers see no behaviour change; the
+/// soak harness and the loadgen CLI turn them on (see DESIGN.md §11).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Maximum depth of the parallel hub's submission queue. When the
+    /// queue holds this many not-yet-drained operations,
+    /// [`crate::ParallelHub::try_submit_send`] refuses with
+    /// [`crate::SubmitError::WouldBlock`] instead of growing without
+    /// bound. 0 disables the cap.
+    pub max_submission_depth: usize,
+    /// Maximum sends a single tenant (connection) may have admitted but
+    /// not yet locally completed. Excess submissions are rejected with
+    /// `WouldBlock`, so one misbehaving tenant cannot starve the rest.
+    /// 0 disables admission control.
+    pub max_tenant_inflight: usize,
+    /// Watermark on outstanding pool buffers (taken and not yet
+    /// reclaimed). Above it, new submissions are shed with `WouldBlock`
+    /// until completions drain the pool back down. 0 disables the
+    /// watermark.
+    pub pool_watermark: usize,
+}
+
+impl OverloadConfig {
+    /// True when every limit is disabled (the default).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_submission_depth == 0 && self.max_tenant_inflight == 0 && self.pool_watermark == 0
+    }
+}
+
 /// Tunable knobs of the engine, with defaults matching the paper's setup.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -52,6 +83,9 @@ pub struct EngineConfig {
     /// default — the single-threaded path stays bit-identical, which is
     /// what the deterministic simulator and the figure benches rely on.
     pub parallel: bool,
+    /// Overload protection: queue bounds, per-tenant admission, pool
+    /// watermark. All-zero (off) by default.
+    pub overload: OverloadConfig,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +101,7 @@ impl Default for EngineConfig {
             record_capacity: 0,
             calibration: CalibrationConfig::default(),
             parallel: false,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -105,6 +140,7 @@ mod tests {
         assert_eq!(c.rdv_threshold, 32 * 1024);
         assert_eq!(c.agg_max_bytes, 16 * 1024);
         assert_eq!(c.min_chunk, 8 * 1024);
+        assert!(c.overload.is_unlimited(), "overload limits default off");
     }
 
     #[test]

@@ -184,6 +184,10 @@ pub struct Engine {
 struct InFlightTx {
     items: Vec<TxItem>,
     head: Option<Bytes>,
+    /// Pooled aggregation staging slab riding in this frame (aggregate
+    /// decisions only); reclaimed alongside the head at tx completion so
+    /// the pool's leak ledger balances.
+    slab: Option<Bytes>,
     /// Wire bytes of the posted frame (for the in-flight gauge and the
     /// `TxDone` event).
     wire_len: usize,
@@ -562,6 +566,22 @@ impl Engine {
         self.recv_conn.get(&id).copied()
     }
 
+    /// Connection a send was submitted on (None once the send's
+    /// bookkeeping is fully retired). The parallel hub's per-tenant
+    /// admission control uses this to credit the tenant back at local
+    /// completion.
+    pub fn send_conn(&self, id: SendId) -> Option<ConnId> {
+        self.send_key.get(&id).map(|&(conn, _)| conn)
+    }
+
+    /// Merge externally-observed overload rejections into the stats (the
+    /// admission boundary lives in the parallel hub, outside the engine
+    /// lock; the hub mirrors its atomic counters here so `stats()` is the
+    /// one place to read them).
+    pub fn note_overload(&mut self, overload: crate::stats::OverloadStats) {
+        self.stats.overload = overload;
+    }
+
     // ------------------------------------------------------------------
     // Transmit layer: NIC-activity-driven scheduling
     // ------------------------------------------------------------------
@@ -819,6 +839,19 @@ impl Engine {
         d.pool_hits = c.hits;
         d.pool_reclaims = c.reclaims;
         d.pool_reclaim_misses = c.reclaim_misses;
+        d.pool_outstanding = self.pool.outstanding();
+    }
+
+    /// Pool buffers outside anyone's custody: taken from the pool but
+    /// neither reclaimed nor accounted to an in-flight frame. Zero on a
+    /// healthy engine at all times; asserted at drop.
+    pub fn pool_leaks(&self) -> u64 {
+        let in_custody: u64 = self
+            .in_flight
+            .values()
+            .map(|t| t.head.is_some() as u64 + t.slab.is_some() as u64)
+            .sum();
+        self.pool.outstanding().saturating_sub(in_custody)
     }
 
     fn finish_decision(
@@ -835,7 +868,7 @@ impl Engine {
         self.sync_pool_counters();
         let frame = pkt.encode_frame_into(conn, seq, self.config.crc, head);
         let control = pkt.is_control();
-        self.seal_decision(rail, frame, control, items, copied_bytes, app_payload)
+        self.seal_decision(rail, frame, control, items, copied_bytes, app_payload, None)
     }
 
     /// Aggregate counterpart of [`Self::finish_decision`]: the body parts
@@ -853,6 +886,11 @@ impl Engine {
         let head = self.pool.take(HEAD_CAPACITY);
         self.sync_pool_counters();
         let copied = agg.staged_bytes;
+        // Keep a handle on the staging slab: the frame's staged runs are
+        // slices of it, and on_tx_done hands the allocation back to the
+        // pool once the frame retires (without this, every aggregate
+        // leaked its slab).
+        let slab = Some(agg.slab.clone());
         let frame = encode_parts_frame(
             PacketKind::Aggregate,
             conn,
@@ -861,9 +899,10 @@ impl Engine {
             agg.parts,
             head,
         );
-        self.seal_decision(rail, frame, false, items, copied, app_payload)
+        self.seal_decision(rail, frame, false, items, copied, app_payload, slab)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn seal_decision(
         &mut self,
         rail: RailId,
@@ -872,6 +911,7 @@ impl Engine {
         items: Vec<TxItem>,
         copied_bytes: usize,
         app_payload: usize,
+        slab: Option<Bytes>,
     ) -> TxDecision {
         let nic = &self.rails[rail.0];
         let wire_len = frame.wire_len();
@@ -936,6 +976,7 @@ impl Engine {
             InFlightTx {
                 items,
                 head,
+                slab,
                 wire_len,
                 posted_ns: self.now_ns,
                 control,
@@ -957,6 +998,7 @@ impl Engine {
         let InFlightTx {
             items,
             head,
+            slab,
             wire_len,
             posted_ns,
             control,
@@ -979,6 +1021,11 @@ impl Engine {
             // transports at completion); the in-process fabric's receiver
             // may still hold a reference — a counted miss, not an error.
             self.pool.reclaim(h);
+            self.sync_pool_counters();
+        }
+        if let Some(s) = slab {
+            // Same deal for the aggregation staging slab.
+            self.pool.reclaim(s);
             self.sync_pool_counters();
         }
         // Online calibration: a completed data injection is a live
@@ -1757,6 +1804,28 @@ impl Engine {
     }
 }
 
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Leak ledger: every pooled buffer taken must be either reclaimed
+        // or in the custody of an in-flight frame. Anything else is a
+        // buffer the engine lost track of — fail loudly in debug builds
+        // (release builds keep drop infallible). Skipped when the thread
+        // is already panicking: a second panic would abort.
+        if std::thread::panicking() {
+            return;
+        }
+        debug_assert_eq!(
+            self.pool_leaks(),
+            0,
+            "BufferPool leak at engine drop: {} buffer(s) outstanding beyond in-flight custody \
+             (outstanding={}, in_flight={})",
+            self.pool_leaks(),
+            self.pool.outstanding(),
+            self.in_flight.len(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2261,6 +2330,52 @@ mod tests {
         drop(d2);
         tx.on_tx_done(RailId(0), token2).unwrap();
         let _ = rx;
+    }
+
+    #[test]
+    fn aggregate_slab_reclaimed_at_tx_done() {
+        let mut tx = engine(StrategyKind::AggregateEager);
+        let mut rx = engine(StrategyKind::AggregateEager);
+        let c = tx.conn_open();
+        rx.conn_open();
+        let segs: Vec<Bytes> = (0..4u8).map(|i| payload(256, i)).collect();
+        tx.submit_send(c, segs);
+        let recv = rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert!(rx.try_recv(recv).is_some());
+        assert_eq!(tx.stats().aggregates_built, 1);
+        // The staging slab and the head both went back: nothing is
+        // outstanding once the engine quiesces.
+        assert!(tx.is_quiescent());
+        assert_eq!(tx.pool_leaks(), 0, "slab must be reclaimed, not leaked");
+        assert_eq!(tx.stats().datapath.pool_outstanding, 0);
+    }
+
+    #[test]
+    fn leak_ledger_flags_a_held_buffer() {
+        // A quiesced engine carries zero outstanding pool buffers...
+        let mut tx = engine(StrategyKind::Greedy);
+        let mut rx = engine(StrategyKind::Greedy);
+        let c = tx.conn_open();
+        rx.conn_open();
+        tx.submit_send(c, vec![payload(64, 1)]);
+        rx.post_recv(c);
+        pump(&mut tx, &mut rx);
+        assert!(tx.is_quiescent());
+        assert_eq!(tx.pool_leaks(), 0);
+        assert_eq!(tx.stats().datapath.pool_outstanding, 0);
+        // ...and a deliberately-held frame shows up in the ledger, the
+        // stats counter, and the drop assertion.
+        let _held = tx.pool.take(64);
+        tx.sync_pool_counters();
+        assert_eq!(tx.pool_leaks(), 1, "held buffer must be flagged");
+        assert_eq!(tx.stats().datapath.pool_outstanding, 1);
+        if cfg!(debug_assertions) {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(tx)))
+                .expect_err("drop must assert on a leaked buffer");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("BufferPool leak"), "unexpected panic: {msg}");
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! the single-threaded path stays bit-identical.
 
 use std::cell::UnsafeCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -50,8 +50,12 @@ use nmad_model::RailId;
 use nmad_wire::{ConnId, PacketFrame};
 use parking_lot::{Condvar, Mutex};
 
+use crate::config::OverloadConfig;
 use crate::driver::{TxDecision, TxToken};
+use crate::error::SubmitError;
+use crate::obs::{Event, EventKind};
 use crate::request::{RecvId, SendId};
+use crate::stats::OverloadStats;
 
 use super::Engine;
 
@@ -66,6 +70,12 @@ pub const MAX_IDLE_WAIT: Duration = Duration::from_millis(2);
 /// Lower bound on a scheduler idle wait (don't busy-spin on imminent
 /// deadlines).
 pub const MIN_IDLE_WAIT: Duration = Duration::from_micros(20);
+/// How long the shutdown drain keeps trying to flush already-queued
+/// transmit work (e.g. a retransmission armed before shutdown whose
+/// outbox is full because the worker died first) before giving up. The
+/// drain exits as soon as the work flushes; the grace only bounds the
+/// pathological case.
+pub const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_millis(500);
 
 // ---------------------------------------------------------------------
 // SPSC ring
@@ -440,6 +450,10 @@ pub struct SchedPass {
     /// Engine's next timer deadline, captured inside the lock so the
     /// idle wait can be sized without re-locking.
     pub next_deadline_ns: Option<u64>,
+    /// True when the engine still holds queued transmit work (control or
+    /// backlog) after the refill — captured inside the lock so the
+    /// shutdown drain knows whether anything is left to flush.
+    pub tx_work_pending: bool,
 }
 
 /// Reusable scratch for the scheduler loop: drained ops and completions
@@ -448,6 +462,9 @@ pub struct SchedPass {
 pub struct SchedScratch {
     ops: Vec<AppOp>,
     completions: Vec<Completion>,
+    /// Overload counters as of the previous pass, for delta-based
+    /// shed/backpressure obs events.
+    last_overload: OverloadStats,
 }
 
 /// Shared state of the parallel pipeline: the engine behind its (now
@@ -471,6 +488,20 @@ pub struct ParallelHub {
     /// Per-worker flight-recorder shards deposited at worker exit,
     /// merged with the engine ring at export.
     shards: Mutex<Vec<crate::obs::Event>>,
+    /// Overload limits, copied from the engine config at construction so
+    /// the admission boundary never needs the engine lock.
+    overload: OverloadConfig,
+    /// Sends admitted but not yet locally completed, per tenant
+    /// (connection). Only maintained when
+    /// [`OverloadConfig::max_tenant_inflight`] is nonzero.
+    tenant_inflight: Mutex<HashMap<ConnId, u64>>,
+    /// Outstanding-pool-buffer gauge mirrored out of the engine by each
+    /// scheduler pass, so the watermark check is a lock-free load.
+    pool_outstanding: AtomicU64,
+    queue_rejections: AtomicU64,
+    admission_rejections: AtomicU64,
+    watermark_rejections: AtomicU64,
+    shutdown_rejections: AtomicU64,
 }
 
 impl ParallelHub {
@@ -480,6 +511,7 @@ impl ParallelHub {
     /// the per-rail TX workers.
     pub fn new(engine: Engine) -> (Arc<Self>, Vec<OutboxSender>, Vec<OutboxReceiver>) {
         let n = engine.rails().len();
+        let overload = engine.config().overload;
         let hub = Arc::new(ParallelHub {
             engine: Mutex::new(engine),
             app_cv: Condvar::new(),
@@ -492,6 +524,13 @@ impl ParallelHub {
             rx_errors: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
             shards: Mutex::new(Vec::new()),
+            overload,
+            tenant_inflight: Mutex::new(HashMap::new()),
+            pool_outstanding: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            admission_rejections: AtomicU64::new(0),
+            watermark_rejections: AtomicU64::new(0),
+            shutdown_rejections: AtomicU64::new(0),
         });
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -519,19 +558,103 @@ impl ParallelHub {
     /// Queue a send without touching the engine lock. The id is handed
     /// out immediately; the op reaches the backlog on the scheduler's
     /// next pass.
-    pub fn submit_send(&self, conn: ConnId, segments: Vec<Bytes>) -> SendId {
+    ///
+    /// Errors only on shutdown — a submit after
+    /// [`ParallelHub::begin_shutdown`] is refused explicitly instead of
+    /// panicking or silently vanishing into a queue nobody will drain.
+    /// Overload limits are NOT enforced here; callers that want
+    /// backpressure use [`ParallelHub::try_submit_send`].
+    pub fn submit_send(&self, conn: ConnId, segments: Vec<Bytes>) -> Result<SendId, SubmitError> {
+        if self.is_shutdown() {
+            self.shutdown_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Shutdown);
+        }
+        self.charge_tenant(conn);
+        Ok(self.enqueue_send(conn, segments))
+    }
+
+    /// [`ParallelHub::submit_send`] with the full overload policy: the
+    /// submission is refused with [`SubmitError::WouldBlock`] when the
+    /// submission queue is at its configured depth, the buffer pool is
+    /// above its watermark, or the tenant is over its admission quota
+    /// (see [`OverloadConfig`]). Never blocks and never queues on
+    /// rejection — the caller decides whether to retry, shed, or slow
+    /// down.
+    pub fn try_submit_send(
+        &self,
+        conn: ConnId,
+        segments: Vec<Bytes>,
+    ) -> Result<SendId, SubmitError> {
+        if self.is_shutdown() {
+            self.shutdown_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Shutdown);
+        }
+        let depth_cap = self.overload.max_submission_depth;
+        if depth_cap != 0 && self.submissions.len() >= depth_cap {
+            self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::WouldBlock);
+        }
+        let watermark = self.overload.pool_watermark;
+        if watermark != 0 && self.pool_outstanding.load(Ordering::Relaxed) > watermark as u64 {
+            self.watermark_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::WouldBlock);
+        }
+        let quota = self.overload.max_tenant_inflight;
+        if quota != 0 {
+            let mut tenants = self.tenant_inflight.lock();
+            let inflight = tenants.entry(conn).or_insert(0);
+            if *inflight >= quota as u64 {
+                self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::WouldBlock);
+            }
+            *inflight += 1;
+        }
+        Ok(self.enqueue_send(conn, segments))
+    }
+
+    fn enqueue_send(&self, conn: ConnId, segments: Vec<Bytes>) -> SendId {
         let id = SendId(self.next_send_id.fetch_add(1, Ordering::Relaxed));
         self.submissions.push(AppOp::Send { conn, segments, id });
         self.sched.kick();
         id
     }
 
-    /// Queue a receive without touching the engine lock.
-    pub fn post_recv(&self, conn: ConnId) -> RecvId {
+    /// Count an admitted send against its tenant without enforcing the
+    /// quota (the legacy submit path still accounts, so the scheduler's
+    /// completion credits balance).
+    fn charge_tenant(&self, conn: ConnId) {
+        if self.overload.max_tenant_inflight != 0 {
+            *self.tenant_inflight.lock().entry(conn).or_insert(0) += 1;
+        }
+    }
+
+    /// Queue a receive without touching the engine lock. Errors only on
+    /// shutdown, like [`ParallelHub::submit_send`].
+    pub fn post_recv(&self, conn: ConnId) -> Result<RecvId, SubmitError> {
+        if self.is_shutdown() {
+            self.shutdown_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Shutdown);
+        }
         let id = RecvId(self.next_recv_id.fetch_add(1, Ordering::Relaxed));
         self.submissions.push(AppOp::Recv { conn, id });
         self.sched.kick();
-        id
+        Ok(id)
+    }
+
+    /// Snapshot of the admission boundary's rejection counters.
+    pub fn overload_stats(&self) -> OverloadStats {
+        OverloadStats {
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
+            watermark_rejections: self.watermark_rejections.load(Ordering::Relaxed),
+            shutdown_rejections: self.shutdown_rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sends admitted and not yet locally completed for `conn` (0 when
+    /// tenant tracking is disabled).
+    pub fn tenant_inflight(&self, conn: ConnId) -> u64 {
+        self.tenant_inflight.lock().get(&conn).copied().unwrap_or(0)
     }
 
     /// Push a wire-side completion from a worker and wake the scheduler.
@@ -606,8 +729,19 @@ impl ParallelHub {
                     // Tokens are issued by this hub's own engine; an
                     // unknown one can only mean worker/scheduler state
                     // diverged, which the tests would catch.
-                    eng.on_tx_done(RailId(rail), token)
+                    let completed = eng
+                        .on_tx_done(RailId(rail), token)
                         .expect("token issued by this hub");
+                    if self.overload.max_tenant_inflight != 0 && !completed.is_empty() {
+                        let mut tenants = self.tenant_inflight.lock();
+                        for id in &completed {
+                            if let Some(conn) = eng.send_conn(*id) {
+                                if let Some(n) = tenants.get_mut(&conn) {
+                                    *n = n.saturating_sub(1);
+                                }
+                            }
+                        }
+                    }
                 }
                 Completion::RxFrame { rail, frame } => {
                     if eng.on_frame(RailId(rail), &frame).is_err() {
@@ -616,9 +750,15 @@ impl ParallelHub {
                 }
             }
         }
-        let timer_out = eng.progress(now_ns);
-        if !timer_out.retransmitted.is_empty() || timer_out.control_enqueued {
-            pass.progressed = true;
+        if !self.is_shutdown() {
+            // During shutdown drain we stop arming new timer work: an
+            // unacked send with no live peer would otherwise re-queue a
+            // retransmission every RTO and the drain would never settle.
+            // Already-queued frames still flush below.
+            let timer_out = eng.progress(now_ns);
+            if !timer_out.retransmitted.is_empty() || timer_out.control_enqueued {
+                pass.progressed = true;
+            }
         }
         for (r, ob) in outboxes.iter_mut().enumerate() {
             while ob.has_space() {
@@ -640,6 +780,42 @@ impl ParallelHub {
         }
         eng.note_sched_pass(t0.elapsed().as_nanos() as u64, completions_drained);
         pass.next_deadline_ns = eng.next_deadline_ns();
+        pass.tx_work_pending = eng.has_tx_work();
+
+        // Mirror the admission boundary into the engine-side stats and
+        // flight recorder, and refresh the watermark input. Delta-based:
+        // one obs event per pass per rejection kind, not per rejection.
+        let overload = self.overload_stats();
+        let last = scratch.last_overload;
+        let shed_deltas = [
+            (overload.queue_rejections - last.queue_rejections, 0u64),
+            (
+                overload.admission_rejections - last.admission_rejections,
+                1u64,
+            ),
+            (
+                overload.watermark_rejections - last.watermark_rejections,
+                2u64,
+            ),
+        ];
+        for (delta, aux) in shed_deltas {
+            if delta > 0 {
+                eng.recorder_mut()
+                    .record(Event::new(now_ns, EventKind::Shed).size(delta).aux(aux));
+            }
+        }
+        let shutdown_delta = overload.shutdown_rejections - last.shutdown_rejections;
+        if shutdown_delta > 0 {
+            eng.recorder_mut().record(
+                Event::new(now_ns, EventKind::Backpressure)
+                    .size(shutdown_delta)
+                    .aux(1),
+            );
+        }
+        eng.note_overload(overload);
+        scratch.last_overload = overload;
+        self.pool_outstanding
+            .store(eng.stats().datapath.pool_outstanding, Ordering::Relaxed);
         drop(eng);
 
         if pass.drained > 0 || pass.published > 0 {
@@ -659,14 +835,25 @@ impl ParallelHub {
     /// completions get drained.
     pub fn run_scheduler(&self, mut outboxes: Vec<OutboxSender>, epoch: Instant) {
         let mut scratch = SchedScratch::default();
+        let mut shutdown_since: Option<Instant> = None;
         loop {
             let now_ns = epoch.elapsed().as_nanos() as u64;
             let pass = self.scheduler_pass(now_ns, &mut outboxes, &mut scratch);
             if self.is_shutdown() {
+                let since = *shutdown_since.get_or_insert_with(Instant::now);
                 let queues_empty =
                     self.submissions.is_empty() && self.completions.iter().all(MpscQueue::is_empty);
-                if queues_empty && !pass.progressed {
+                // Drain: give pending TX work (queued retransmissions
+                // included) a bounded grace window to flush through the
+                // outboxes. Work that cannot flush — e.g. frames for a
+                // rail whose worker already exited — does not hold the
+                // scheduler hostage past the grace period.
+                let drained = !pass.tx_work_pending || since.elapsed() >= SHUTDOWN_DRAIN_GRACE;
+                if queues_empty && !pass.progressed && drained {
                     break;
+                }
+                if !pass.progressed {
+                    self.sched.wait(Duration::from_millis(1));
                 }
                 continue;
             }
@@ -889,8 +1076,10 @@ mod tests {
     fn hub_round_trip_through_queues() {
         let ((hub_a, mut ob_a, mut rx_a), (hub_b, mut ob_b, mut rx_b)) = hub_pair();
         let conn = 0;
-        let send = hub_a.submit_send(conn, vec![Bytes::from(vec![0xAB; 100_000])]);
-        let recv = hub_b.post_recv(conn);
+        let send = hub_a
+            .submit_send(conn, vec![Bytes::from(vec![0xAB; 100_000])])
+            .unwrap();
+        let recv = hub_b.post_recv(conn).unwrap();
         let mut scratch_a = SchedScratch::default();
         let mut scratch_b = SchedScratch::default();
         for step in 0..10_000 {
@@ -976,7 +1165,10 @@ mod tests {
             thread::spawn(move || hub.run_scheduler(senders, epoch))
         };
         let ids: Vec<SendId> = (0..50)
-            .map(|i| hub.submit_send(0, vec![Bytes::from(vec![i as u8; 64])]))
+            .map(|i| {
+                hub.submit_send(0, vec![Bytes::from(vec![i as u8; 64])])
+                    .unwrap()
+            })
             .collect();
         hub.begin_shutdown();
         for r in &receivers {
@@ -1014,7 +1206,10 @@ mod tests {
                 let hub = hub.clone();
                 thread::spawn(move || {
                     (0..100)
-                        .map(|i| hub.submit_send(0, vec![Bytes::from(vec![t as u8; 32 + i])]))
+                        .map(|i| {
+                            hub.submit_send(0, vec![Bytes::from(vec![t as u8; 32 + i])])
+                                .unwrap()
+                        })
                         .collect::<Vec<SendId>>()
                 })
             })
@@ -1034,5 +1229,184 @@ mod tests {
         assert_eq!(sorted.len(), 400, "ids must be unique across producers");
         let eng = hub.engine().lock();
         assert_eq!(eng.stats().obs.seg_size.count(), 400, "all sends landed");
+    }
+
+    // -----------------------------------------------------------------
+    // Overload policy and shutdown semantics
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.parallel = true;
+        let mut eng = Engine::new(cfg, platform::paper_platform().rails, vec![]);
+        eng.conn_open();
+        let (hub, _senders, _receivers) = ParallelHub::new(eng);
+        hub.begin_shutdown();
+        assert_eq!(
+            hub.submit_send(0, vec![Bytes::from_static(b"late")]),
+            Err(SubmitError::Shutdown)
+        );
+        assert_eq!(
+            hub.try_submit_send(0, vec![Bytes::from_static(b"late")]),
+            Err(SubmitError::Shutdown)
+        );
+        assert_eq!(hub.post_recv(0), Err(SubmitError::Shutdown));
+        assert_eq!(hub.overload_stats().shutdown_rejections, 3);
+        assert!(
+            hub.submissions.is_empty(),
+            "rejected ops must not be queued"
+        );
+    }
+
+    #[test]
+    fn try_submit_would_block_on_depth() {
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.parallel = true;
+        cfg.overload.max_submission_depth = 1;
+        let mut eng = Engine::new(cfg, platform::paper_platform().rails, vec![]);
+        eng.conn_open();
+        let (hub, _senders, _receivers) = ParallelHub::new(eng);
+        // No scheduler running, so the first admitted op sits in the
+        // queue and the second hits the depth cap.
+        hub.try_submit_send(0, vec![Bytes::from_static(b"first")])
+            .unwrap();
+        assert_eq!(
+            hub.try_submit_send(0, vec![Bytes::from_static(b"second")]),
+            Err(SubmitError::WouldBlock)
+        );
+        assert_eq!(hub.overload_stats().queue_rejections, 1);
+        // The legacy path ignores the cap (backwards-compatible).
+        hub.submit_send(0, vec![Bytes::from_static(b"third")])
+            .unwrap();
+    }
+
+    /// Per-tenant admission: a tenant at its in-flight quota is refused,
+    /// and completing its send returns the credit.
+    #[test]
+    fn tenant_admission_credits_on_completion() {
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.parallel = true;
+        cfg.overload.max_tenant_inflight = 1;
+        let mut eng = Engine::new(cfg, platform::paper_platform().rails, vec![]);
+        eng.conn_open();
+        eng.conn_open();
+        let (hub, mut senders, mut receivers) = ParallelHub::new(eng);
+        hub.try_submit_send(0, vec![Bytes::from_static(b"one")])
+            .unwrap();
+        assert_eq!(
+            hub.try_submit_send(0, vec![Bytes::from_static(b"two")]),
+            Err(SubmitError::WouldBlock),
+            "tenant 0 is at quota"
+        );
+        assert_eq!(hub.overload_stats().admission_rejections, 1);
+        // Another tenant is unaffected by tenant 0's quota.
+        hub.try_submit_send(1, vec![Bytes::from_static(b"other")])
+            .unwrap();
+        assert_eq!(hub.tenant_inflight(0), 1);
+        // Drive tenant 0's send to local completion by hand: publish,
+        // then feed the TxDone back (unacked mode completes at tx_done).
+        let mut scratch = SchedScratch::default();
+        hub.scheduler_pass(0, &mut senders, &mut scratch);
+        let mut done = 0;
+        for (rail, rx) in receivers.iter_mut().enumerate() {
+            while let Some(d) = rx.pop() {
+                hub.push_completion(
+                    rail,
+                    Completion::TxDone {
+                        rail,
+                        token: d.token,
+                    },
+                );
+                done += 1;
+            }
+        }
+        assert!(done >= 1, "the eager send must have been published");
+        hub.scheduler_pass(1_000, &mut senders, &mut scratch);
+        assert_eq!(hub.tenant_inflight(0), 0, "completion returns the credit");
+        hub.try_submit_send(0, vec![Bytes::from_static(b"three")])
+            .unwrap();
+    }
+
+    /// Shutdown with an un-acked send in flight: queued retransmissions
+    /// drain instead of hanging the scheduler, and the drain completes
+    /// within the grace window even though the peer never acks.
+    #[test]
+    fn shutdown_drains_inflight_retransmissions() {
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.parallel = true;
+        cfg.acked = true;
+        cfg.health = crate::health::HealthConfig {
+            initial_rto_ns: 5_000_000,
+            min_rto_ns: 2_000_000,
+            max_rto_ns: 50_000_000,
+            ..Default::default()
+        };
+        let mut eng = Engine::new(cfg, platform::paper_platform().rails, vec![]);
+        eng.conn_open();
+        let (hub, senders, receivers) = ParallelHub::new(eng);
+        let epoch = Instant::now();
+        let sched = {
+            let hub = hub.clone();
+            thread::spawn(move || hub.run_scheduler(senders, epoch))
+        };
+        // Lossy TX workers: complete transmissions but drop every frame
+        // on the floor, so acks never arrive and RTOs keep firing.
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let workers: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rail, mut rx)| {
+                let hub = hub.clone();
+                let done = done.clone();
+                thread::spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        if let Some(d) = rx.pop_wait(Duration::from_millis(2)) {
+                            hub.push_completion(
+                                rail,
+                                Completion::TxDone {
+                                    rail,
+                                    token: d.token,
+                                },
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        hub.submit_send(0, vec![Bytes::from(vec![0xEE; 256])])
+            .unwrap();
+        // Wait until at least one retransmission has been queued.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if hub.engine().lock().stats().retransmits >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "retransmission never fired");
+            thread::sleep(Duration::from_millis(1));
+        }
+        hub.begin_shutdown();
+        // The scheduler must exit on its own: queued retransmissions
+        // flush through the outboxes, no new ones are armed, and the
+        // grace window bounds the wait.
+        let join_deadline = Instant::now() + SHUTDOWN_DRAIN_GRACE + Duration::from_secs(10);
+        while !sched.is_finished() {
+            assert!(
+                Instant::now() < join_deadline,
+                "scheduler failed to drain and exit after shutdown"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        sched.join().unwrap();
+        done.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(hub.submissions.is_empty(), "submissions drained");
+        let eng = hub.engine().lock();
+        assert!(
+            eng.stats().retransmits >= 1,
+            "the scenario actually exercised retransmission"
+        );
     }
 }

@@ -59,6 +59,36 @@ impl From<ReasmError> for EngineError {
     }
 }
 
+/// Why a submission was refused at the admission boundary.
+///
+/// Returned by [`crate::ParallelHub::try_submit_send`] (and, for the
+/// `Shutdown` case, by the infallible-looking submit paths too): the hub
+/// never panics and never silently drops a submission — it either accepts
+/// it or tells the caller exactly why not, so the caller can back off,
+/// shed, or stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The engine is overloaded: the submission queue is at its
+    /// configured depth, the tenant is over its admission quota, or the
+    /// buffer pool is above its watermark (see
+    /// [`crate::OverloadConfig`]). Retry after completions drain.
+    WouldBlock,
+    /// [`crate::ParallelHub::begin_shutdown`] was already called; no new
+    /// work is accepted while in-flight work drains.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::WouldBlock => write!(f, "submission refused: overloaded (would block)"),
+            SubmitError::Shutdown => write!(f, "submission refused: engine shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +105,11 @@ mod tests {
         .into();
         assert!(e.to_string().contains("reassembly"));
         assert!(EngineError::BadToken(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn submit_error_display() {
+        assert!(SubmitError::WouldBlock.to_string().contains("would block"));
+        assert!(SubmitError::Shutdown.to_string().contains("shutting down"));
     }
 }

@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
 pub mod config;
 pub mod driver;
 pub mod engine;
@@ -88,14 +89,15 @@ pub mod stats;
 pub mod strategy;
 
 pub use api::{MessageBuilder, MessageReader};
-pub use config::EngineConfig;
+pub use chaos::ChaosState;
+pub use config::{EngineConfig, OverloadConfig};
 pub use driver::{TxDecision, TxToken};
 pub use engine::parallel::{
     outbox, spsc, AppOp, Completion, MpscQueue, OutboxReceiver, OutboxSender, ParallelHub,
     SchedPass, SchedScratch, SpscConsumer, SpscProducer, WorkSignal,
 };
 pub use engine::{Engine, OnPacketOutcome, ProgressOutcome};
-pub use error::EngineError;
+pub use error::{EngineError, SubmitError};
 pub use health::{HealthConfig, HealthTracker, RailState, RailTelemetry};
 pub use obs::{Event, EventKind, FlightRecorder, Log2Histogram};
 pub use pool::BufferPool;
@@ -103,5 +105,5 @@ pub use request::{Backlog, RecvId, SendId};
 pub use sampling::{
     split_ratio_permille, CalibrationConfig, CalibrationSnapshot, OnlineCalibrator, PerfTable,
 };
-pub use stats::{DataPathStats, EngineStats, ObsStats, RailObs};
+pub use stats::{DataPathStats, EngineStats, ObsStats, OverloadStats, RailObs};
 pub use strategy::{Strategy, StrategyKind};

@@ -87,6 +87,13 @@ pub enum EventKind {
     /// Parallel transport: an RX worker pulled a frame off the wire
     /// before handing it to the scheduler (`size` = wire bytes).
     WorkerRx,
+    /// Overload protection shed a submission (`aux` = reason code:
+    /// 0 queue depth, 1 tenant admission, 2 pool watermark).
+    Shed,
+    /// Overload protection refused a submission with an explicit
+    /// backpressure/lifecycle error the caller must handle (`aux` =
+    /// reason code: 0 would-block, 1 shutdown).
+    Backpressure,
 }
 
 impl EventKind {
@@ -119,6 +126,8 @@ impl EventKind {
             EventKind::SimApp => "sim_app",
             EventKind::WorkerWrite => "worker_write",
             EventKind::WorkerRx => "worker_rx",
+            EventKind::Shed => "shed",
+            EventKind::Backpressure => "backpressure",
         }
     }
 
@@ -145,6 +154,7 @@ impl EventKind {
             | EventKind::Failover => "health",
             EventKind::SimCpu | EventKind::SimNic | EventKind::SimBus | EventKind::SimApp => "sim",
             EventKind::WorkerWrite | EventKind::WorkerRx => "worker",
+            EventKind::Shed | EventKind::Backpressure => "overload",
         }
     }
 }

@@ -34,6 +34,11 @@ pub struct BufferPool {
     free: Vec<Vec<u8>>,
     max_buffers: usize,
     counters: PoolCounters,
+    /// Leak ledger: buffers taken and not yet handed back to `reclaim`.
+    /// Every `take` must eventually be answered by exactly one `reclaim`
+    /// (shared buffers count — a miss still closes the ledger entry), so
+    /// a nonzero value at engine drop is a leaked buffer.
+    outstanding: u64,
 }
 
 impl Default for BufferPool {
@@ -50,6 +55,7 @@ impl BufferPool {
             free: Vec::new(),
             max_buffers,
             counters: PoolCounters::default(),
+            outstanding: 0,
         }
     }
 
@@ -59,6 +65,7 @@ impl BufferPool {
         // Find a free buffer that already has the capacity; otherwise
         // reuse the largest available (growing it amortizes like a fresh
         // Vec, but keeps the allocation count honest).
+        self.outstanding += 1;
         if let Some(idx) = self.free.iter().position(|b| b.capacity() >= min_capacity) {
             let mut buf = self.free.swap_remove(idx);
             buf.clear();
@@ -73,6 +80,7 @@ impl BufferPool {
     /// Succeeds only when `buf` is the sole reference; a shared buffer is
     /// counted as a miss and dropped (the other holder keeps it alive).
     pub fn reclaim(&mut self, buf: Bytes) {
+        self.outstanding = self.outstanding.saturating_sub(1);
         if buf.is_unique() {
             if self.free.len() < self.max_buffers {
                 let v: Vec<u8> = buf.into();
@@ -87,6 +95,13 @@ impl BufferPool {
     /// Buffers currently on the free list.
     pub fn free_buffers(&self) -> usize {
         self.free.len()
+    }
+
+    /// Buffers taken and not yet reclaimed (the leak ledger). A steady
+    /// nonzero value equals the frames currently in flight; a value that
+    /// stays nonzero after the engine quiesces is a leak.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
     }
 
     /// Cumulative hit/alloc/reclaim counters.
@@ -132,6 +147,24 @@ mod tests {
             p.reclaim(b.freeze());
         }
         assert!(p.free_buffers() <= 2);
+    }
+
+    #[test]
+    fn outstanding_ledger_tracks_take_and_reclaim() {
+        let mut p = BufferPool::new(4);
+        assert_eq!(p.outstanding(), 0);
+        let a = p.take(64);
+        let b = p.take(64);
+        assert_eq!(p.outstanding(), 2, "two buffers out");
+        p.reclaim(a.freeze());
+        assert_eq!(p.outstanding(), 1, "one still held — a would-be leak");
+        // A shared reclaim (miss) still closes the ledger entry: custody
+        // returned even though the allocation could not be recycled.
+        let frozen = b.freeze();
+        let _shared = frozen.clone();
+        p.reclaim(frozen);
+        assert_eq!(p.outstanding(), 0);
+        assert_eq!(p.counters().reclaim_misses, 1);
     }
 
     #[test]

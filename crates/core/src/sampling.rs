@@ -355,6 +355,9 @@ pub struct OnlineCalibrator {
     ladder: Vec<u64>,
     base: Vec<PerfTable>,
     buckets: Vec<Vec<Bucket>>,
+    /// Per-rail failover multiplier applied *outside* the EWMA and its
+    /// `max_correction` clamp (see [`Self::penalize`]). 1.0 = no penalty.
+    penalty: Vec<f64>,
     since_rebuild: u32,
     samples: u64,
     rebuilds: u64,
@@ -380,11 +383,13 @@ impl OnlineCalibrator {
             ];
             base.len()
         ];
+        let penalty = vec![1.0; base.len()];
         OnlineCalibrator {
             cfg,
             ladder,
             base,
             buckets,
+            penalty,
             since_rebuild: 0,
             samples: 0,
             rebuilds: 0,
@@ -431,10 +436,20 @@ impl OnlineCalibrator {
         let ratio =
             (observed_us / predicted).clamp(1.0 / self.cfg.max_correction, self.cfg.max_correction);
         let bucket = self.bucket_for(size);
-        let b = &mut self.buckets[rail][bucket];
         let step = (self.cfg.alpha * weight.min(1.0)).clamp(0.0, 1.0);
+        let b = &mut self.buckets[rail][bucket];
         b.corr += step * (ratio - b.corr);
         b.weight += weight.min(1.0);
+        // Re-earning: every accepted sample on a penalized rail is fresh
+        // evidence the rail moves bytes again, so the failover multiplier
+        // decays toward neutral at the EWMA's own pace.
+        let p = &mut self.penalty[rail];
+        if *p > 1.0 {
+            *p = 1.0 + (1.0 - step) * (*p - 1.0);
+            if *p < 1.0 + 1e-6 {
+                *p = 1.0;
+            }
+        }
         self.samples += 1;
         self.since_rebuild = self.since_rebuild.saturating_add(1);
     }
@@ -445,19 +460,22 @@ impl OnlineCalibrator {
             && self.since_rebuild >= self.cfg.rebuild_every
     }
 
-    /// Failover decay: raise every bucket of `rail` to at least the
-    /// configured penalty so the rebuilt table reads "slow" and the rail
-    /// re-earns its byte share through fresh measurements.
+    /// Failover decay: mark `rail` as `failover_penalty`× slower than its
+    /// EWMA currently reads, so the rebuilt table strips its byte share
+    /// and the rail re-earns it through fresh measurements.
+    ///
+    /// The penalty is a separate multiplier, deliberately outside the
+    /// per-bucket EWMA and its `max_correction` clamp: under saturation
+    /// every rail's EWMA can sit pinned at `max_correction` (queueing
+    /// delay reads as "slow" everywhere), and raising the dead rail's
+    /// buckets to an absolute level would be a relative no-op — the split
+    /// would keep feeding a black hole. A multiplier guarantees the strip
+    /// is relative to wherever the siblings are.
     pub fn penalize(&mut self, rail: usize) {
-        if rail >= self.buckets.len() {
+        if rail >= self.penalty.len() {
             return;
         }
-        for b in &mut self.buckets[rail] {
-            b.corr = b.corr.max(self.cfg.failover_penalty);
-            // Make the penalty land even in never-sampled buckets (zero
-            // weight would otherwise be interpolated away on rebuild).
-            b.weight = b.weight.max(1.0);
-        }
+        self.penalty[rail] = self.penalty[rail].max(self.cfg.failover_penalty);
     }
 
     /// Effective correction per ladder bucket: sampled buckets use their
@@ -467,11 +485,12 @@ impl OnlineCalibrator {
     /// the bandwidth regime is what drifts).
     fn effective_corr(&self, rail: usize) -> Vec<f64> {
         let bs = &self.buckets[rail];
+        let penalty = self.penalty[rail];
         let sampled: Vec<usize> = (0..bs.len())
             .filter(|&i| bs[i].weight >= MIN_BUCKET_WEIGHT)
             .collect();
         if sampled.is_empty() {
-            return vec![1.0; bs.len()];
+            return vec![penalty; bs.len()];
         }
         let mut out = Vec::with_capacity(bs.len());
         let mut next = 0usize; // index into `sampled`, first entry >= i
@@ -494,6 +513,14 @@ impl OnlineCalibrator {
                 (None, Some(r)) => bs[r].corr,
                 (None, None) => 1.0,
             });
+        }
+        // The failover multiplier rides on top of the EWMA, unclamped:
+        // it must strip share even when every bucket is pinned at
+        // `max_correction` (see `penalize`).
+        if penalty > 1.0 {
+            for c in &mut out {
+                *c *= penalty;
+            }
         }
         out
     }
@@ -834,6 +861,45 @@ mod tests {
             c.observe(0, 1 << 20, pred, 1.0);
         }
         assert!(c.correction_at(0, 1 << 20) < corr * 0.5);
+    }
+
+    #[test]
+    fn calibrator_penalty_strips_share_even_at_saturation() {
+        let mut c = test_calibrator();
+        // Sustained queueing delay reads "slow" on every rail: both EWMAs
+        // pin at max_correction and carry no relative signal. An absolute
+        // penalty would be a no-op here — the regression this guards.
+        let sat = c.config().max_correction * 4.0;
+        for _ in 0..64 {
+            for rail in 0..2 {
+                let pred = c.base[rail].time_for(1 << 20);
+                c.observe(rail, 1 << 20, pred * sat, 1.0);
+            }
+        }
+        let t = c.rebuild();
+        let refs: Vec<&PerfTable> = t.iter().collect();
+        let before = split_ratio_permille(&refs, 1 << 20);
+        c.penalize(0);
+        let t = c.rebuild();
+        let refs: Vec<&PerfTable> = t.iter().collect();
+        let after = split_ratio_permille(&refs, 1 << 20);
+        assert!(
+            after[0] < before[0],
+            "penalty must stay relative under saturation: {before:?} -> {after:?}"
+        );
+        // Fresh on-prediction samples both decay the multiplier and pull
+        // the EWMA back: the rail re-earns its share.
+        let pred = c.base[0].time_for(1 << 20);
+        for _ in 0..64 {
+            c.observe(0, 1 << 20, pred, 1.0);
+        }
+        let t = c.rebuild();
+        let refs: Vec<&PerfTable> = t.iter().collect();
+        let healed = split_ratio_permille(&refs, 1 << 20);
+        assert!(
+            healed[0] > after[0],
+            "share must be re-earnable: {after:?} -> {healed:?}"
+        );
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct DataPathStats {
     /// Reclaim attempts that failed because the buffer was still shared
     /// (e.g. the in-process fabric's receiver holds a reference).
     pub pool_reclaim_misses: u64,
+    /// Pool buffers taken and not yet reclaimed (gauge, not a counter):
+    /// the leak ledger. After the engine quiesces this must equal the
+    /// buffers still legitimately in custody (in-flight heads and slabs);
+    /// at engine drop it must be zero (see `Engine::pool_leaks`).
+    pub pool_outstanding: u64,
 }
 
 impl DataPathStats {
@@ -154,6 +159,31 @@ impl ObsStats {
     }
 }
 
+/// Overload-protection counters: how often the admission boundary said
+/// no, and why. All zero unless [`crate::OverloadConfig`] limits are set
+/// (except `shutdown_rejections`, which counts submit-after-shutdown
+/// attempts regardless of configuration).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Submissions refused because the submission queue was at its
+    /// configured depth.
+    pub queue_rejections: u64,
+    /// Submissions refused by per-tenant admission control.
+    pub admission_rejections: u64,
+    /// Submissions shed because the buffer pool was above its watermark.
+    pub watermark_rejections: u64,
+    /// Submissions refused because shutdown had already begun.
+    pub shutdown_rejections: u64,
+}
+
+impl OverloadStats {
+    /// Total submissions refused for overload reasons (excludes
+    /// shutdown, which is lifecycle, not load).
+    pub fn total_shed(&self) -> u64 {
+        self.queue_rejections + self.admission_rejections + self.watermark_rejections
+    }
+}
+
 /// Engine-wide counters.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
@@ -187,6 +217,8 @@ pub struct EngineStats {
     pub duplicates_dropped: u64,
     /// Copy/allocation accounting for the scatter-gather datapath.
     pub datapath: DataPathStats,
+    /// Overload-protection rejections (backpressure and shedding).
+    pub overload: OverloadStats,
     /// Histograms and per-rail gauges (always on, allocation-free).
     pub obs: ObsStats,
 }
@@ -243,6 +275,17 @@ mod tests {
         assert_eq!(s.rail_share(1), 0.0);
         assert_eq!(s.rails.len(), 3);
         assert_eq!(s.datapath, DataPathStats::default());
+    }
+
+    #[test]
+    fn overload_total_shed_excludes_shutdown() {
+        let o = OverloadStats {
+            queue_rejections: 3,
+            admission_rejections: 2,
+            watermark_rejections: 1,
+            shutdown_rejections: 100,
+        };
+        assert_eq!(o.total_shed(), 6);
     }
 
     #[test]

@@ -36,7 +36,8 @@ use nmad_core::engine::Engine;
 use nmad_core::health::RailState;
 use nmad_core::request::{RecvId, SendId};
 use nmad_core::{
-    Completion, EngineConfig, Event, EventKind, FlightRecorder, OutboxReceiver, ParallelHub,
+    ChaosState, Completion, EngineConfig, Event, EventKind, FlightRecorder, OutboxReceiver,
+    ParallelHub,
 };
 use nmad_model::{Platform, RailId};
 use nmad_sim::Xoshiro256StarStar;
@@ -97,6 +98,11 @@ pub struct FabricConfig {
     pub time_scale: f64,
     /// Optional fault injection applied to outgoing packets.
     pub faults: Option<FaultSpec>,
+    /// Optional live chaos dials (per-rail bandwidth multiplier and
+    /// drop boost) a soak driver can turn while the fabric runs. The
+    /// caller keeps a clone of the handle; the workers read it
+    /// lock-free on every injection.
+    pub chaos: Option<ChaosState>,
 }
 
 impl FabricConfig {
@@ -108,6 +114,7 @@ impl FabricConfig {
             conns: 1,
             time_scale: 0.0,
             faults: None,
+            chaos: None,
         }
     }
 }
@@ -270,8 +277,12 @@ impl Endpoint {
                 id
             }
             // The hub queues without the engine lock and kicks the
-            // scheduler itself.
-            Fabric::Parallel(p) => p.hub.submit_send(conn, segments),
+            // scheduler itself. Submission only errors after shutdown,
+            // and this endpoint owns the hub's lifetime.
+            Fabric::Parallel(p) => p
+                .hub
+                .submit_send(conn, segments)
+                .expect("endpoint not shut down"),
         };
         SendHandle {
             fabric: self.fabric.clone(),
@@ -287,7 +298,7 @@ impl Endpoint {
                 s.kick();
                 id
             }
-            Fabric::Parallel(p) => p.hub.post_recv(conn),
+            Fabric::Parallel(p) => p.hub.post_recv(conn).expect("endpoint not shut down"),
         };
         RecvHandle {
             fabric: self.fabric.clone(),
@@ -303,6 +314,41 @@ impl Endpoint {
     /// Convenience: receive and wait.
     pub fn recv_blocking(&self, conn: ConnId, timeout: Duration) -> Option<MessageAssembly> {
         self.recv(conn).wait(timeout)
+    }
+
+    /// Submit a send under the full overload policy (parallel fabric
+    /// only): the submission is refused with
+    /// [`nmad_core::SubmitError::WouldBlock`] when the hub's queue
+    /// depth, pool watermark, or per-tenant quota is exceeded — see
+    /// [`nmad_core::OverloadConfig`]. On the serial fabric there is no
+    /// admission boundary and this behaves like [`Endpoint::send`].
+    pub fn try_send(
+        &self,
+        conn: ConnId,
+        segments: Vec<Bytes>,
+    ) -> Result<SendHandle, nmad_core::SubmitError> {
+        match &self.fabric {
+            Fabric::Serial(_) => Ok(self.send(conn, segments)),
+            Fabric::Parallel(p) => p.hub.try_submit_send(conn, segments).map(|id| SendHandle {
+                fabric: self.fabric.clone(),
+                id,
+            }),
+        }
+    }
+
+    /// Overload rejection counters (all zero on the serial fabric,
+    /// which has no admission boundary).
+    pub fn overload_stats(&self) -> nmad_core::OverloadStats {
+        match &self.fabric {
+            Fabric::Serial(_) => nmad_core::OverloadStats::default(),
+            Fabric::Parallel(p) => p.hub.overload_stats(),
+        }
+    }
+
+    /// Buffer-pool ledger check: outstanding pool buffers not accounted
+    /// for by any in-flight transmission. Non-zero means a leak.
+    pub fn pool_leaks(&self) -> u64 {
+        self.fabric.engine().lock().pool_leaks()
     }
 
     /// Engine statistics snapshot.
@@ -398,6 +444,7 @@ struct Worker {
     start: Instant,
     time_scale: f64,
     faults: Option<FaultSpec>,
+    chaos: Option<ChaosState>,
     rng: Xoshiro256StarStar,
 }
 
@@ -489,8 +536,11 @@ impl Worker {
                 .expect("engine invariant violated")
             {
                 progressed = true;
-                let dur =
-                    shaped_duration(&self.platform, rail, d.frame.wire_len(), self.time_scale);
+                let dur = chaos_scaled(
+                    shaped_duration(&self.platform, rail, d.frame.wire_len(), self.time_scale),
+                    &self.chaos,
+                    rail,
+                );
                 self.inflight[rail] = Some(InFlight {
                     ready_at: now + dur,
                     token: d.token,
@@ -506,7 +556,14 @@ impl Worker {
     }
 
     fn deliver(&mut self, rail: usize, frame: PacketFrame) {
+        let boost = chaos_drop_boost(&self.chaos, rail);
         let Some(spec) = &self.faults else {
+            // No fault spec: the chaos drop boost still applies (one rng
+            // draw, only when a chaos handle is installed and hot).
+            if boost > 0.0 && self.rng.chance(boost) {
+                self.shared.tx_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             self.push(rail, frame);
             return;
         };
@@ -517,6 +574,7 @@ impl Worker {
             spec,
             elapsed,
             rail,
+            boost,
             &mut self.rng,
             &mut self.held[rail],
             &self.shared.tx_dropped,
@@ -547,6 +605,29 @@ fn shaped_duration(platform: &Platform, rail: usize, bytes: usize, time_scale: f
     Duration::from_secs_f64((bytes as f64 / bw + lat) * time_scale)
 }
 
+/// Stretch a shaped duration by the chaos bandwidth multiplier: a rail
+/// degraded to a quarter of its bandwidth takes 4x the wire time.
+/// Identity when no chaos handle is installed or the rail is nominal.
+fn chaos_scaled(dur: Duration, chaos: &Option<ChaosState>, rail: usize) -> Duration {
+    match chaos {
+        Some(c) => {
+            let mult = c.bandwidth_mult(rail);
+            if mult == 1.0 || dur.is_zero() {
+                dur
+            } else {
+                // `ChaosState` clamps the multiplier to >= 0.01.
+                Duration::from_secs_f64(dur.as_secs_f64() / mult)
+            }
+        }
+        None => dur,
+    }
+}
+
+/// Current chaos drop boost for `rail` (0.0 without a handle).
+fn chaos_drop_boost(chaos: &Option<ChaosState>, rail: usize) -> f64 {
+    chaos.as_ref().map_or(0.0, |c| c.drop_boost(rail))
+}
+
 /// Apply the fault spec to one outgoing frame; survivors reach `push` in
 /// delivery order. Shared by the serial worker and the parallel TX
 /// workers so both runtimes exercise the identical injector (the rng
@@ -557,6 +638,7 @@ fn apply_faults(
     spec: &FaultSpec,
     elapsed: Duration,
     rail: usize,
+    drop_boost: f64,
     rng: &mut Xoshiro256StarStar,
     held: &mut Option<PacketFrame>,
     tx_dropped: &AtomicU64,
@@ -572,7 +654,10 @@ fn apply_faults(
         tx_dropped.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    if rng.chance(spec.drop_prob) {
+    // The chaos boost folds into the one existing drop draw so the rng
+    // sequence (and with it every seeded test) is unchanged when the
+    // boost is zero.
+    if rng.chance((spec.drop_prob + drop_boost).min(1.0)) {
         tx_dropped.fetch_add(1, Ordering::Relaxed);
         return;
     }
@@ -630,6 +715,7 @@ struct ParTxWorker {
     platform: Platform,
     time_scale: f64,
     faults: Option<FaultSpec>,
+    chaos: Option<ChaosState>,
     /// Reorder-injector hold slot for this rail.
     held: Option<PacketFrame>,
     rng: Xoshiro256StarStar,
@@ -666,7 +752,11 @@ impl ParTxWorker {
 
     fn inject(&mut self, d: nmad_core::TxDecision) {
         let bytes = d.frame.wire_len();
-        let dur = shaped_duration(&self.platform, self.rail, bytes, self.time_scale);
+        let dur = chaos_scaled(
+            shaped_duration(&self.platform, self.rail, bytes, self.time_scale),
+            &self.chaos,
+            self.rail,
+        );
         if dur > Duration::ZERO {
             std::thread::sleep(dur);
         }
@@ -687,8 +777,13 @@ impl ParTxWorker {
                 token: d.token,
             },
         );
+        let boost = chaos_drop_boost(&self.chaos, self.rail);
         match &self.faults {
             None => {
+                if boost > 0.0 && self.rng.chance(boost) {
+                    self.tx_dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 let _ = self.tx.send(d.frame);
             }
             Some(spec) => {
@@ -698,6 +793,7 @@ impl ParTxWorker {
                     spec,
                     elapsed,
                     self.rail,
+                    boost,
                     &mut self.rng,
                     &mut self.held,
                     &self.tx_dropped,
@@ -814,6 +910,7 @@ pub fn pair(config: FabricConfig) -> (Endpoint, Endpoint) {
         start,
         time_scale: config.time_scale,
         faults: config.faults.clone(),
+        chaos: config.chaos.clone(),
         rng: Xoshiro256StarStar::new(seed),
     };
 
@@ -897,6 +994,7 @@ fn pair_parallel(config: &FabricConfig, cfg_engine: EngineConfig) -> (Endpoint, 
                 platform: config.platform.clone(),
                 time_scale: config.time_scale,
                 faults: config.faults.clone(),
+                chaos: config.chaos.clone(),
                 held: None,
                 // Per-rail rng: deterministic, decorrelated across rails.
                 rng: Xoshiro256StarStar::new(
@@ -1317,6 +1415,153 @@ mod tests {
     fn is_subsequence(needle: &[RailState], haystack: &[RailState]) -> bool {
         let mut it = haystack.iter();
         needle.iter().all(|n| it.any(|h| h == n))
+    }
+
+    /// The chaos dials act while the fabric runs: a full drop boost
+    /// blackholes the wire, healing it lets the engine's own
+    /// retransmission recover — no restart, no rebuild.
+    #[test]
+    fn chaos_dials_apply_live() {
+        let mut cfg = FabricConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::AggregateEager),
+        );
+        cfg.engine.acked = true;
+        fast_health(&mut cfg.engine);
+        let chaos = ChaosState::new(2);
+        cfg.chaos = Some(chaos.clone());
+        let (a, b) = pair(cfg);
+        let c = a.conns()[0];
+        // Clean roundtrip at identity.
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(random_payload(512, 7))]);
+        assert!(s.wait_acked(T));
+        assert!(r.wait(T).is_some());
+        // Blackhole both rails mid-run.
+        chaos.set_drop_boost(0, 1.0);
+        chaos.set_drop_boost(1, 1.0);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(random_payload(512, 8))]);
+        assert!(
+            !s.wait_acked(Duration::from_millis(300)),
+            "a fully dropped wire cannot confirm delivery"
+        );
+        // Heal: the pending send recovers through retransmission alone.
+        chaos.heal_all();
+        assert!(s.wait_acked(Duration::from_secs(30)), "heal must unstick");
+        assert!(r.wait(T).is_some());
+        assert!(a.stats().retransmits > 0);
+        assert!(a.tx_dropped() > 0, "the boost must have eaten frames");
+    }
+
+    /// Reference-size split share of `rail` from the engine's live
+    /// tables, in permille.
+    fn split_share_permille(ep: &Endpoint, rail: usize) -> u16 {
+        let eng = ep.fabric.engine().lock();
+        let refs: Vec<&nmad_core::PerfTable> = eng.tables().iter().collect();
+        nmad_core::split_ratio_permille(&refs, 1 << 20)[rail]
+    }
+
+    /// Satellite scenario: a rail held Down for many RTOs under
+    /// continuous load. No request may get stuck, the rail must come
+    /// back via probing once the outage ends, and the online calibrator
+    /// must first strip the dead rail's split share (failover penalty)
+    /// and then let it re-earn that share from fresh samples.
+    #[test]
+    fn long_outage_under_load_re_earns_split_share() {
+        let mut cfg = FabricConfig::new(
+            platform::paper_platform(),
+            EngineConfig::with_strategy(StrategyKind::AdaptiveSplit),
+        );
+        cfg.engine.acked = true;
+        fast_health(&mut cfg.engine);
+        cfg.engine.calibration.enabled = true;
+        cfg.engine.calibration.rebuild_every = 4;
+        cfg.engine.calibration.min_samples = 4;
+        // ~150 initial-RTO periods, dozens of probe intervals.
+        let outage_end = Duration::from_millis(1500);
+        cfg.faults = Some(FaultSpec {
+            seed: 61,
+            outages: vec![RailOutage {
+                rail: 0,
+                down_at: Duration::from_millis(5),
+                up_at: Some(outage_end),
+            }],
+            ..FaultSpec::default()
+        });
+        let (a, b) = pair(cfg);
+        let c = a.conns()[0];
+        let share_nominal = split_share_permille(&a, 0);
+        assert!(share_nominal > 0, "rail 0 must start with a split share");
+
+        // Continuous load spanning the whole outage and a bit beyond.
+        // Every message is awaited: a request stuck forever fails here,
+        // not in some later diagnostic.
+        let start = Instant::now();
+        let mut share_min = share_nominal;
+        let mut i = 0u64;
+        while start.elapsed() < outage_end + Duration::from_millis(500) {
+            let r = b.recv(c);
+            let s = a.send(c, vec![Bytes::from(random_payload(256 << 10, 200 + i))]);
+            assert!(
+                s.wait_acked(Duration::from_secs(30)),
+                "message {i} stuck during the outage"
+            );
+            assert!(r.wait(T).is_some(), "message {i} not delivered");
+            share_min = share_min.min(split_share_permille(&a, 0));
+            i += 1;
+        }
+        let st = a.stats();
+        assert!(st.retransmits > 0, "outage must have forced retransmission");
+        assert!(st.rails[0].timeouts > 0, "dead rail must have been blamed");
+        assert!(
+            share_min < share_nominal,
+            "failover penalty must strip split share: nominal {share_nominal}, min {share_min}"
+        );
+
+        // The rail is reinstated via probing.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let hist = a.rail_history(0);
+            if is_subsequence(
+                &[
+                    RailState::Up,
+                    RailState::Suspect,
+                    RailState::Down,
+                    RailState::Probing,
+                    RailState::Up,
+                ],
+                &hist,
+            ) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "rail 0 never walked the recovery cycle: {hist:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(a.stats().rails[0].probes_sent > 0);
+
+        // Fresh load on the healed fabric: observed transfer times pull
+        // the penalized EWMA back and rail 0 re-earns its share (>= 80%
+        // of nominal).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let r = b.recv(c);
+            let s = a.send(c, vec![Bytes::from(random_payload(256 << 10, 900 + i))]);
+            assert!(s.wait_acked(Duration::from_secs(10)), "post-recovery stuck");
+            assert!(r.wait(T).is_some());
+            i += 1;
+            let share = split_share_permille(&a, 0);
+            if u32::from(share) * 10 >= u32::from(share_nominal) * 8 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "rail 0 never re-earned its split share: nominal {share_nominal}, now {share}"
+            );
+        }
     }
 
     #[test]

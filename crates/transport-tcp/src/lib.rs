@@ -54,10 +54,11 @@ use nmad_core::driver::TxToken;
 use nmad_core::engine::Engine;
 use nmad_core::request::{RecvId, SendId};
 use nmad_core::{
-    Completion, EngineConfig, Event, EventKind, FlightRecorder, OutboxReceiver, ParallelHub,
-    WorkSignal,
+    ChaosState, Completion, EngineConfig, Event, EventKind, FlightRecorder, OutboxReceiver,
+    ParallelHub, WorkSignal,
 };
 use nmad_model::{Platform, RailId};
+use nmad_sim::Xoshiro256StarStar;
 use nmad_wire::reassembly::MessageAssembly;
 use nmad_wire::{ConnId, PacketFrame};
 use parking_lot::{Condvar, Mutex};
@@ -88,6 +89,13 @@ pub struct TcpConfig {
     pub engine: EngineConfig,
     /// Logical channels opened at construction on both endpoints.
     pub conns: usize,
+    /// Optional live chaos dials. The TX path reads them per frame:
+    /// `drop_boost` discards outgoing frames before the socket write
+    /// (the frame is length-prefixed, so the stream stays aligned) and,
+    /// on the parallel pipeline, `bandwidth_mult < 1` paces writes by
+    /// the extra modelled wire time. The caller keeps a clone of the
+    /// handle and turns the dials while the endpoint runs.
+    pub chaos: Option<ChaosState>,
 }
 
 impl TcpConfig {
@@ -97,6 +105,7 @@ impl TcpConfig {
             platform,
             engine,
             conns: 1,
+            chaos: None,
         }
     }
 }
@@ -238,7 +247,11 @@ impl Endpoint {
             }
             // The hub queues without touching the engine lock and kicks
             // the scheduler itself.
-            Fabric::Parallel(h) => h.submit_send(conn, segments),
+            // Submission only errors after shutdown, and this endpoint
+            // owns the hub's lifetime.
+            Fabric::Parallel(h) => h
+                .submit_send(conn, segments)
+                .expect("endpoint not shut down"),
         };
         SendHandle {
             fabric: self.fabric.clone(),
@@ -254,7 +267,7 @@ impl Endpoint {
                 s.work.kick();
                 id
             }
-            Fabric::Parallel(h) => h.post_recv(conn),
+            Fabric::Parallel(h) => h.post_recv(conn).expect("endpoint not shut down"),
         };
         RecvHandle {
             fabric: self.fabric.clone(),
@@ -482,6 +495,9 @@ struct Worker {
     rails: Vec<RailIo>,
     /// Epoch for the engine's monotonic clock (timeouts, probes).
     start: Instant,
+    chaos: Option<ChaosState>,
+    /// Seeded draw for the chaos drop boost (unused at identity).
+    rng: Xoshiro256StarStar,
 }
 
 impl Worker {
@@ -544,11 +560,19 @@ impl Worker {
                     .expect("engine invariant violated")
                 {
                     progressed = true;
-                    self.rails[rail].enqueue(d.frame, d.token);
-                    // Try to push it out immediately.
-                    if let Some(token) = self.rails[rail].flush()? {
-                        eng.on_tx_done(RailId(rail), token)
+                    if chaos_drops(&self.chaos, rail, &mut self.rng) {
+                        // Chaos drop: the transmit "succeeds" locally but
+                        // the frame never reaches the wire — exactly a
+                        // lossy link, recoverable in acked mode only.
+                        eng.on_tx_done(RailId(rail), d.token)
                             .expect("token issued by this worker");
+                    } else {
+                        self.rails[rail].enqueue(d.frame, d.token);
+                        // Try to push it out immediately.
+                        if let Some(token) = self.rails[rail].flush()? {
+                            eng.on_tx_done(RailId(rail), token)
+                                .expect("token issued by this worker");
+                        }
                     }
                 }
             }
@@ -570,6 +594,11 @@ struct TxWorker {
     /// Per-thread recorder shard; deposited into the hub at exit and
     /// merged with the engine ring at export.
     shard: FlightRecorder,
+    chaos: Option<ChaosState>,
+    rng: Xoshiro256StarStar,
+    /// Nominal rail bandwidth (bytes/s) — the baseline the chaos
+    /// pacing stretches against.
+    link_bandwidth: f64,
 }
 
 impl TxWorker {
@@ -593,6 +622,18 @@ impl TxWorker {
     }
 
     fn inject(&mut self, d: nmad_core::TxDecision) {
+        if chaos_drops(&self.chaos, self.rail, &mut self.rng) {
+            // Dropped before the write: local completion, no wire bytes.
+            self.hub.push_completion(
+                self.rail,
+                Completion::TxDone {
+                    rail: self.rail,
+                    token: d.token,
+                },
+            );
+            return;
+        }
+        self.chaos_pace(d.frame.wire_len());
         match self.write_frame(&d.frame) {
             Ok(dur_ns) => {
                 self.shard.record(
@@ -650,6 +691,33 @@ impl TxWorker {
             }
         }
         Ok(t0.elapsed().as_nanos() as u64)
+    }
+
+    /// Sleep out the *extra* wire time a degraded rail would need for
+    /// `bytes`: at multiplier m < 1 the frame takes 1/m the nominal
+    /// time, and the socket write itself covers the nominal share.
+    fn chaos_pace(&self, bytes: usize) {
+        let Some(c) = &self.chaos else { return };
+        let mult = c.bandwidth_mult(self.rail);
+        if mult >= 1.0 || self.link_bandwidth <= 0.0 {
+            return;
+        }
+        let nominal = bytes as f64 / self.link_bandwidth;
+        let extra = nominal / mult - nominal;
+        std::thread::sleep(Duration::from_secs_f64(extra));
+    }
+}
+
+/// One seeded draw against the chaos drop boost (false at identity —
+/// no rng state is consumed when no handle is installed or the boost
+/// is zero).
+fn chaos_drops(chaos: &Option<ChaosState>, rail: usize, rng: &mut Xoshiro256StarStar) -> bool {
+    match chaos {
+        Some(c) => {
+            let boost = c.drop_boost(rail);
+            boost > 0.0 && rng.chance(boost)
+        }
+        None => false,
     }
 }
 
@@ -749,6 +817,8 @@ fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Resul
         shared: shared.clone(),
         rails,
         start: Instant::now(),
+        chaos: config.chaos.clone(),
+        rng: Xoshiro256StarStar::new(0x7C9),
     };
     let handle = std::thread::Builder::new()
         .name("nmad-tcp".into())
@@ -792,6 +862,9 @@ fn build_parallel(
             outbox,
             epoch,
             shard: FlightRecorder::with_capacity(record_capacity),
+            chaos: config.chaos.clone(),
+            rng: Xoshiro256StarStar::new(0x7C9 ^ (rail as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            link_bandwidth: config.platform.rails[rail].link_bandwidth,
         };
         workers.push(
             std::thread::Builder::new()
@@ -1042,6 +1115,44 @@ mod tests {
         // TCP does not lose frames: the adaptive timers must not have
         // fired spuriously on a healthy fabric.
         assert_eq!(a.stats().retransmits, 0);
+    }
+
+    /// The chaos drop boost makes even a reliable TCP wire lossy; acked
+    /// mode recovers through the engine's own retransmission, and
+    /// healing the dials returns the fabric to zero-loss behaviour.
+    #[test]
+    fn chaos_drop_boost_recovered_by_retransmission() {
+        let mut engine = EngineConfig::with_strategy(StrategyKind::Greedy);
+        engine.acked = true;
+        engine.health.initial_rto_ns = 20_000_000;
+        engine.health.min_rto_ns = 5_000_000;
+        let chaos = ChaosState::new(2);
+        let mut cfg = TcpConfig::new(platform::paper_platform(), engine);
+        cfg.chaos = Some(chaos.clone());
+        let (a, b) = pair_localhost(cfg).expect("localhost pair");
+        let c = a.conns()[0];
+        chaos.set_drop_boost(0, 0.5);
+        chaos.set_drop_boost(1, 0.5);
+        let n = 8;
+        let recvs: Vec<RecvHandle> = (0..n).map(|_| b.recv(c)).collect();
+        let sends: Vec<SendHandle> = (0..n)
+            .map(|i| a.send(c, vec![Bytes::from(random(400 + i * 31, i as u64))]))
+            .collect();
+        for (i, s) in sends.iter().enumerate() {
+            assert!(s.wait_acked(T), "message {i} never recovered");
+        }
+        for r in recvs {
+            assert!(r.wait(T).is_some());
+        }
+        assert!(
+            a.stats().retransmits > 0,
+            "a 50% drop boost must force retries"
+        );
+        chaos.heal_all();
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(random(4096, 99))]);
+        assert!(s.wait_acked(T));
+        assert!(r.wait(T).is_some());
     }
 
     #[test]

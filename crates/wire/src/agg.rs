@@ -178,6 +178,7 @@ impl AggregateBuilder {
             staged_bytes,
             zero_copy_bytes,
             container_len,
+            slab,
         }
     }
 }
@@ -194,6 +195,11 @@ pub struct AggregateParts {
     pub zero_copy_bytes: usize,
     /// Total container size on the wire.
     pub container_len: usize,
+    /// The frozen staging slab itself. The staged runs in `parts` are
+    /// slices of this allocation; holding it here lets the engine hand
+    /// the allocation back to its buffer pool once the frame completes
+    /// instead of abandoning the slab after every aggregate.
+    pub slab: Bytes,
 }
 
 /// Parse an aggregate container body back into its entries.

@@ -52,6 +52,15 @@ NMAD_CALIBRATION_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_calibration
 echo "==> parallel progress engine (ablate_parallel smoke sweep)"
 NMAD_PARALLEL_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_parallel
 
+# Chaos-soak gate: ~10 s of multi-tenant load over the parallel engine
+# while a seeded schedule drives an outage, drop storms and bandwidth
+# drift; exits nonzero on the SLO gates (p99/p999 ceilings, head->tail
+# throughput decay, pool-ledger leaks, stuck requests after the heal —
+# see DESIGN.md §11). The full minutes-long soak runs in the scheduled
+# CI job; the seed in BENCH_soak.json replays either.
+echo "==> chaos soak SLOs (ablate_soak smoke, ~15 s)"
+NMAD_SOAK_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_soak
+
 # Calibrate round-trip: the CLI must run the drift scenario and report a
 # converged split history (the degraded rail's share leaves the seed band).
 echo "==> nmad calibrate round-trip"
