@@ -10,25 +10,19 @@ fn main() {
         "running ablate_parallel ({} sweep, wire-paced wall-clock)...",
         if smoke { "smoke" } else { "full" }
     );
-    let mut report = nmad_bench::parallel::run(smoke);
-    // Wall-clock benches flake under transient background load: if ONLY
-    // the speedup gate trips (completion and rail coverage are
-    // deterministic), measure once more and keep the faster run. A real
-    // contention regression fails both attempts.
-    let timing_only = |r: &nmad_bench::parallel::ParallelReport| {
-        let v = nmad_bench::parallel::check(r);
-        !v.is_empty() && v.iter().all(|s| s.contains("speedup"))
-    };
-    if timing_only(&report) {
-        eprintln!(
-            "speedup gate tripped ({:.2}x); retrying once to rule out background load",
-            report.multi_rail_speedup
-        );
-        let second = nmad_bench::parallel::run(smoke);
-        if second.multi_rail_speedup > report.multi_rail_speedup {
-            report = second;
-        }
-    }
+    // Shared noise policy (see nmad_bench::report): if ONLY the speedup
+    // gate trips (completion and rail coverage are deterministic),
+    // measure once more and keep the faster run.
+    let report = nmad_bench::report::retry_once_on_timing(
+        "ablate_parallel",
+        nmad_bench::parallel::run(smoke),
+        |r| {
+            let v = nmad_bench::parallel::check(r);
+            !v.is_empty() && v.iter().all(|s| s.contains("speedup"))
+        },
+        || nmad_bench::parallel::run(smoke),
+        |second, first| second.multi_rail_speedup > first.multi_rail_speedup,
+    );
     println!("{}", nmad_bench::parallel::render(&report));
 
     let bytes = serde_json::to_vec_pretty(&report).expect("serializable");

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
+pub mod cycles;
 pub mod datapath;
 pub mod figures;
 pub mod loadgen;

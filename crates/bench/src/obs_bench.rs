@@ -23,6 +23,8 @@ use nmad_core::{EngineConfig, StrategyKind};
 use nmad_model::{platform, RailId};
 use serde::{ser, Serialize, Value};
 
+use crate::report::{lower_quartile_mean, mix};
+
 /// Maximum tolerated aggregate wall-clock overhead of recording, percent.
 pub const OVERHEAD_BUDGET_PCT: f64 = 5.0;
 
@@ -140,25 +142,6 @@ fn one_msg(a: &mut Engine, b: &mut Engine, payload: &Bytes) -> u64 {
     a.submit_send(0, vec![payload.clone()]);
     pump(a, b);
     start.elapsed().as_nanos() as u64
-}
-
-/// SplitMix64 finalizer: a deterministic bit mixer (no RNG state, no
-/// seed from the clock) used to decide per-sample leg order.
-fn mix(i: u64) -> u64 {
-    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Mean of the lowest quartile of `samples` (sorted in place). A single
-/// minimum is itself an extreme-value statistic and jitters; averaging
-/// the cleanest 25% of samples converges much faster while still
-/// rejecting every noise burst in the upper tail.
-fn lower_quartile_mean(samples: &mut [u64]) -> u64 {
-    samples.sort_unstable();
-    let keep = (samples.len() / 4).max(1);
-    samples[..keep].iter().sum::<u64>() / keep as u64
 }
 
 /// One ladder point: `samples` single-message timings per leg, finely

@@ -115,6 +115,66 @@ pub fn write_json(fig: &FigureResult) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+// ---------------------------------------------------------------------
+// Shared wall-clock noise policy
+//
+// Every wall-clock gate in this crate fights the same enemy: transient
+// background load on the measuring box. The defense is the same three
+// moves everywhere, so they live here once (obs_bench, ablate_parallel
+// and ablate_cycles all use them):
+//
+// 1. warm up, then take MANY short samples rather than few long windows;
+// 2. estimate with the lowest-quartile mean — noise is strictly
+//    additive, so the cleanest 25% of samples is the signal;
+// 3. if (and only if) a load-sensitive gate trips, re-measure once and
+//    keep the better run. Deterministic gates (ledgers, counts,
+//    coverage) are never retried.
+// ---------------------------------------------------------------------
+
+/// SplitMix64 finalizer: a deterministic bit mixer (no RNG state, no
+/// seed from the clock) used to derandomize per-sample decisions such
+/// as leg order, so periodic system noise (scheduler ticks, frequency
+/// scaling) cannot phase-lock onto one leg of a fixed alternation.
+pub fn mix(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mean of the lowest quartile of `samples` (sorted in place). A single
+/// minimum is itself an extreme-value statistic and jitters; averaging
+/// the cleanest 25% of samples converges much faster while still
+/// rejecting every noise burst in the upper tail.
+pub fn lower_quartile_mean(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    let keep = (samples.len() / 4).max(1);
+    samples[..keep].iter().sum::<u64>() / keep as u64
+}
+
+/// The shared one-retry policy for wall-clock gates: if
+/// `is_timing_flake` classifies `first`'s violations as timing-only,
+/// run the measurement once more and keep the run `better` prefers
+/// (`better(second, first)`). A real regression fails both attempts;
+/// deterministic gate failures must return `false` from
+/// `is_timing_flake` so they are never masked by a lucky rerun.
+pub fn retry_once_on_timing<R>(
+    name: &str,
+    first: R,
+    is_timing_flake: impl FnOnce(&R) -> bool,
+    rerun: impl FnOnce() -> R,
+    better: impl FnOnce(&R, &R) -> bool,
+) -> R {
+    if is_timing_flake(&first) {
+        eprintln!("{name}: timing gate tripped; retrying once to rule out background load");
+        let second = rerun();
+        if better(&second, &first) {
+            return second;
+        }
+    }
+    first
+}
+
 /// Render one panel as CSV: `size,<series...>` — ready for gnuplot or a
 /// spreadsheet.
 pub fn render_csv(series: &[Sweep], bandwidth: bool) -> String {
@@ -234,5 +294,38 @@ mod tests {
         assert_eq!(fmt_size(4), "4");
         assert_eq!(fmt_size(2048), "2K");
         assert_eq!(fmt_size(8 << 20), "8M");
+    }
+
+    #[test]
+    fn lower_quartile_mean_rejects_upper_tail() {
+        // 12 clean samples around 100 plus 4 noise bursts: the estimate
+        // must come from the clean floor, not the bursts.
+        let mut s = vec![100, 101, 99, 100, 102, 100, 98, 101, 100, 99, 100, 101, 900, 1500, 700, 2000];
+        let est = lower_quartile_mean(&mut s);
+        assert!((98..=101).contains(&est), "estimate {est} polluted by noise tail");
+        let mut one = vec![42];
+        assert_eq!(lower_quartile_mean(&mut one), 42);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(7), mix(7));
+        // Parity of consecutive mixes must not be constant (that would
+        // re-introduce the fixed alternation it exists to break).
+        let parities: Vec<u64> = (0..16).map(|i| mix(i) & 1).collect();
+        assert!(parities.contains(&0) && parities.contains(&1));
+    }
+
+    #[test]
+    fn retry_policy_keeps_better_run_only_on_timing_flakes() {
+        // Timing flake: rerun happens, better run wins.
+        let r = retry_once_on_timing("t", 10u64, |&r| r > 5, || 3u64, |&s, &f| s < f);
+        assert_eq!(r, 3);
+        // Rerun worse: first kept.
+        let r = retry_once_on_timing("t", 10u64, |&r| r > 5, || 20u64, |&s, &f| s < f);
+        assert_eq!(r, 10);
+        // Deterministic failure (not a timing flake): no rerun.
+        let r = retry_once_on_timing("t", 10u64, |_| false, || unreachable!(), |&s, &f| s < f);
+        assert_eq!(r, 10);
     }
 }

@@ -86,6 +86,14 @@ pub struct EngineConfig {
     /// Overload protection: queue bounds, per-tenant admission, pool
     /// watermark. All-zero (off) by default.
     pub overload: OverloadConfig,
+    /// Injections the transmit gate may keep in flight per rail. 1 (the
+    /// default) is the historical one-frame-per-rail behaviour,
+    /// bit-identical for every existing caller. Deeper pipelines let
+    /// the parallel scheduler queue several frames into a rail's SPSC
+    /// outbox between completions, which is what allows the TX worker
+    /// to drain a batch and coalesce it into a single `write_vectored`
+    /// (see DESIGN.md §12). Capped in practice by the outbox capacity.
+    pub rail_pipeline: usize,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +110,7 @@ impl Default for EngineConfig {
             calibration: CalibrationConfig::default(),
             parallel: false,
             overload: OverloadConfig::default(),
+            rail_pipeline: 1,
         }
     }
 }
@@ -117,6 +126,7 @@ impl EngineConfig {
 
     /// Sanity-check threshold ordering.
     pub fn validate(&self) {
+        assert!(self.rail_pipeline >= 1, "rail_pipeline must be at least 1");
         assert!(self.min_chunk > 0, "min_chunk must be positive");
         assert!(
             self.min_chunk <= self.rdv_threshold,

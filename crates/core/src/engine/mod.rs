@@ -36,7 +36,7 @@ use crate::driver::{TxDecision, TxItem, TxToken};
 use crate::error::EngineError;
 use crate::health::{HealthTracker, RailState, RailTelemetry, Transition};
 use crate::obs::{Event, EventKind, FlightRecorder};
-use crate::pool::BufferPool;
+use crate::pool::{Magazine, SharedPool};
 use crate::request::{Backlog, RecvId, SegKey, SegPhase, SendId};
 use crate::sampling::{default_ladder, split_ratio_permille, OnlineCalibrator, PerfTable};
 use crate::stats::EngineStats;
@@ -136,7 +136,13 @@ pub struct Engine {
     tables: Vec<PerfTable>,
     strategy: Option<Box<dyn Strategy>>,
     backlog: Backlog,
-    rail_busy: Vec<bool>,
+    /// Injections in flight per rail. The transmit gate admits work
+    /// while this sits below [`EngineConfig::rail_pipeline`]; depth 1
+    /// (the default) reproduces the historical one-frame-per-rail
+    /// behaviour bit for bit, deeper pipelines let the parallel
+    /// scheduler queue several frames into a rail's outbox so the TX
+    /// worker can coalesce them into one vectored write.
+    rail_inflight: Vec<u32>,
     /// Outbound control packets: `(conn, packet, rail pin)` FIFO. Most
     /// control traffic is unpinned (any usable rail); health probes and
     /// their pongs are pinned to the rail under test.
@@ -155,8 +161,10 @@ pub struct Engine {
     in_flight: HashMap<u64, InFlightTx>,
     tx_seq: Vec<u32>,
     stats: EngineStats,
-    /// Recycled head/slab buffers for the transmit hot path.
-    pool: BufferPool,
+    /// Recycled head/slab buffers for the transmit hot path: the
+    /// engine's own magazine over a shared pool (rail workers can carve
+    /// further magazines from [`Engine::pool_handle`]).
+    pool: Magazine,
     /// Reverse index SendId -> (conn, msg) for ack bookkeeping.
     send_key: HashMap<SendId, (ConnId, MsgId)>,
     /// Messages confirmed delivered by the peer (acked mode).
@@ -229,7 +237,7 @@ impl Engine {
             config,
             tables,
             backlog: Backlog::new(),
-            rail_busy: vec![false; n],
+            rail_inflight: vec![0; n],
             control_q: VecDeque::new(),
             send_data: HashMap::new(),
             sends: HashMap::new(),
@@ -244,7 +252,7 @@ impl Engine {
             in_flight: HashMap::new(),
             tx_seq: vec![0; n],
             stats: EngineStats::new(n),
-            pool: BufferPool::default(),
+            pool: SharedPool::default().magazine(16),
             send_key: HashMap::new(),
             acked: std::collections::HashSet::new(),
             now_ns: 0,
@@ -345,7 +353,20 @@ impl Engine {
 
     /// Whether `rail` currently has an injection in flight.
     pub fn rail_busy(&self, rail: RailId) -> bool {
-        self.rail_busy[rail.0]
+        self.rail_inflight[rail.0] > 0
+    }
+
+    /// Injections currently in flight on `rail` (bounded by
+    /// [`EngineConfig::rail_pipeline`]).
+    pub fn rail_inflight(&self, rail: RailId) -> u32 {
+        self.rail_inflight[rail.0]
+    }
+
+    /// Mirror the transport workers' syscall amortization counters into
+    /// the stats (like [`Engine::note_overload`], the counting happens
+    /// outside the engine lock; this stores a snapshot).
+    pub fn note_syscalls(&mut self, syscalls: crate::stats::SyscallStats) {
+        self.stats.syscalls = syscalls;
     }
 
     /// True when the engine has transmit work queued (control or backlog).
@@ -591,7 +612,7 @@ impl Engine {
     /// `None` when the rail should stay idle. On `Some`, the rail is
     /// marked busy until [`Engine::on_tx_done`].
     pub fn next_tx(&mut self, rail: RailId) -> Result<Option<TxDecision>, EngineError> {
-        if self.rail_busy[rail.0] {
+        if self.rail_inflight[rail.0] >= self.config.rail_pipeline as u32 {
             return Ok(None);
         }
         let usable = self.health.usable(rail);
@@ -626,12 +647,16 @@ impl Engine {
         let rail_ok: Vec<bool> = (0..self.rails.len())
             .map(|r| self.health.usable(RailId(r)))
             .collect();
+        // Strategies see "busy" as "at pipeline capacity": with depth 1
+        // this is exactly the old has-anything-in-flight flag.
+        let depth = self.config.rail_pipeline as u32;
+        let rail_at_cap: Vec<bool> = self.rail_inflight.iter().map(|&n| n >= depth).collect();
         let mut strategy = self.strategy.take().expect("strategy present");
         let op = {
             let mut ctx = StrategyCtx {
                 backlog: &mut self.backlog,
                 rails: &self.rails,
-                rail_busy: &self.rail_busy,
+                rail_busy: &rail_at_cap,
                 rail_ok: &rail_ok,
                 tables: &self.tables,
                 config: &self.config,
@@ -839,7 +864,17 @@ impl Engine {
         d.pool_hits = c.hits;
         d.pool_reclaims = c.reclaims;
         d.pool_reclaim_misses = c.reclaim_misses;
+        d.pool_magazine_hits = c.magazine_hits;
+        d.pool_magazine_refills = c.magazine_refills;
+        d.pool_magazine_flushes = c.magazine_flushes;
         d.pool_outstanding = self.pool.outstanding();
+    }
+
+    /// Handle on the shared buffer pool behind the engine's magazine,
+    /// so transport workers can carve their own magazines and recycle
+    /// buffers without crossing the engine lock.
+    pub fn pool_handle(&self) -> SharedPool {
+        self.pool.pool()
     }
 
     /// Pool buffers outside anyone's custody: taken from the pool but
@@ -982,7 +1017,7 @@ impl Engine {
                 control,
             },
         );
-        self.rail_busy[rail.0] = true;
+        self.rail_inflight[rail.0] += 1;
         TxDecision {
             token,
             frame,
@@ -1006,7 +1041,7 @@ impl Engine {
             .in_flight
             .remove(&token.0)
             .ok_or(EngineError::BadToken(token.0))?;
-        self.rail_busy[rail.0] = false;
+        self.rail_inflight[rail.0] = self.rail_inflight[rail.0].saturating_sub(1);
         self.obs.record(
             Event::new(self.now_ns, EventKind::TxDone)
                 .rail(rail.0)
@@ -1015,7 +1050,11 @@ impl Engine {
         );
         let ro = &mut self.stats.obs.rails[rail.0];
         ro.in_flight_bytes = ro.in_flight_bytes.saturating_sub(wire_len as u64);
-        ro.note_idle(self.now_ns);
+        // The busy gauge tracks "anything in flight": with a pipeline
+        // deeper than 1 the rail stays busy until the last frame lands.
+        if self.rail_inflight[rail.0] == 0 {
+            ro.note_idle(self.now_ns);
+        }
         if let Some(h) = head {
             // Succeeds when the runtime has dropped its frame (threaded
             // transports at completion); the in-process fabric's receiver

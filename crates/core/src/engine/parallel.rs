@@ -467,6 +467,45 @@ pub struct SchedScratch {
     last_overload: OverloadStats,
 }
 
+/// Lock-free syscall amortization tally: the transport's TX workers add
+/// (vectored-write calls, frames moved) pairs, RX workers add (read
+/// calls, frames carved). Lives on the hub because the workers must not
+/// take the engine lock on the hot path; the scheduler mirrors a
+/// snapshot into [`crate::stats::SyscallStats`] each pass.
+#[derive(Debug, Default)]
+pub struct SyscallCounters {
+    tx_calls: AtomicU64,
+    tx_frames: AtomicU64,
+    rx_calls: AtomicU64,
+    rx_frames: AtomicU64,
+}
+
+impl SyscallCounters {
+    /// Record one batch of TX work: `calls` kernel crossings moved
+    /// `frames` frames.
+    pub fn add_tx(&self, calls: u64, frames: u64) {
+        self.tx_calls.fetch_add(calls, Ordering::Relaxed);
+        self.tx_frames.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Record one batch of RX work: `calls` reads yielded `frames`
+    /// complete frames.
+    pub fn add_rx(&self, calls: u64, frames: u64) {
+        self.rx_calls.fetch_add(calls, Ordering::Relaxed);
+        self.rx_frames.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for stats mirroring.
+    pub fn snapshot(&self) -> crate::stats::SyscallStats {
+        crate::stats::SyscallStats {
+            tx_calls: self.tx_calls.load(Ordering::Relaxed),
+            tx_frames: self.tx_frames.load(Ordering::Relaxed),
+            rx_calls: self.rx_calls.load(Ordering::Relaxed),
+            rx_frames: self.rx_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Shared state of the parallel pipeline: the engine behind its (now
 /// short-held) mutex, the submission queue, per-rail completion queues,
 /// and the scheduler's wakeup signal. One hub per endpoint.
@@ -498,6 +537,10 @@ pub struct ParallelHub {
     /// Outstanding-pool-buffer gauge mirrored out of the engine by each
     /// scheduler pass, so the watermark check is a lock-free load.
     pool_outstanding: AtomicU64,
+    /// Syscall amortization counters fed by the transport's TX/RX
+    /// workers outside any lock; each scheduler pass snapshots them
+    /// into [`crate::stats::SyscallStats`] via `Engine::note_syscalls`.
+    pub syscalls: SyscallCounters,
     queue_rejections: AtomicU64,
     admission_rejections: AtomicU64,
     watermark_rejections: AtomicU64,
@@ -527,6 +570,7 @@ impl ParallelHub {
             overload,
             tenant_inflight: Mutex::new(HashMap::new()),
             pool_outstanding: AtomicU64::new(0),
+            syscalls: SyscallCounters::default(),
             queue_rejections: AtomicU64::new(0),
             admission_rejections: AtomicU64::new(0),
             watermark_rejections: AtomicU64::new(0),
@@ -813,6 +857,7 @@ impl ParallelHub {
             );
         }
         eng.note_overload(overload);
+        eng.note_syscalls(self.syscalls.snapshot());
         scratch.last_overload = overload;
         self.pool_outstanding
             .store(eng.stats().datapath.pool_outstanding, Ordering::Relaxed);

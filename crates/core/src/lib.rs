@@ -94,16 +94,16 @@ pub use config::{EngineConfig, OverloadConfig};
 pub use driver::{TxDecision, TxToken};
 pub use engine::parallel::{
     outbox, spsc, AppOp, Completion, MpscQueue, OutboxReceiver, OutboxSender, ParallelHub,
-    SchedPass, SchedScratch, SpscConsumer, SpscProducer, WorkSignal,
+    SchedPass, SchedScratch, SpscConsumer, SpscProducer, SyscallCounters, WorkSignal,
 };
 pub use engine::{Engine, OnPacketOutcome, ProgressOutcome};
 pub use error::{EngineError, SubmitError};
 pub use health::{HealthConfig, HealthTracker, RailState, RailTelemetry};
 pub use obs::{Event, EventKind, FlightRecorder, Log2Histogram};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, Magazine, PoolCounters, SharedPool};
 pub use request::{Backlog, RecvId, SendId};
 pub use sampling::{
     split_ratio_permille, CalibrationConfig, CalibrationSnapshot, OnlineCalibrator, PerfTable,
 };
-pub use stats::{DataPathStats, EngineStats, ObsStats, OverloadStats, RailObs};
+pub use stats::{DataPathStats, EngineStats, ObsStats, OverloadStats, RailObs, SyscallStats};
 pub use strategy::{Strategy, StrategyKind};

@@ -12,7 +12,21 @@
 //! receiver may legitimately still hold one, which is counted as a miss,
 //! not an error).
 
+//!
+//! Two deployment shapes share the counters and the ledger discipline:
+//!
+//! * [`BufferPool`] — the original single-owner pool (one `&mut` holder,
+//!   no locking). The deterministic simulator and unit tests use it.
+//! * [`SharedPool`] + [`Magazine`] — a lock-protected shared free list
+//!   fronted by per-worker *magazines* (thread-local buffer caches, the
+//!   slab-allocator sense of the word). A magazine serves `take` and
+//!   `reclaim` from its local stack without touching the shared lock;
+//!   only bounded batch refills/flushes cross it, so packet-head
+//!   allocation stops bouncing a cache line between rail workers.
+
 use bytes::{Bytes, BytesMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Counters the pool reports back to
 /// [`crate::stats::DataPathStats`].
@@ -26,6 +40,26 @@ pub struct PoolCounters {
     pub reclaims: u64,
     /// Reclaim attempts on still-shared buffers.
     pub reclaim_misses: u64,
+    /// Requests served from a magazine's local cache without taking the
+    /// shared lock (always 0 for a plain [`BufferPool`]).
+    pub magazine_hits: u64,
+    /// Batch refills that did take the shared lock.
+    pub magazine_refills: u64,
+    /// Batch flushes of excess local buffers back to the shared list.
+    pub magazine_flushes: u64,
+}
+
+impl PoolCounters {
+    /// Fraction of takes served lock-free from a magazine (0.0 when no
+    /// magazine is in play or nothing was taken yet).
+    pub fn magazine_hit_rate(&self) -> f64 {
+        let takes = self.hits + self.allocs;
+        if takes == 0 {
+            0.0
+        } else {
+            self.magazine_hits as f64 / takes as f64
+        }
+    }
 }
 
 /// A bounded free list of byte buffers.
@@ -110,6 +144,227 @@ impl BufferPool {
     }
 }
 
+// ----------------------------------------------------------------------
+// Shared pool + per-worker magazines
+// ----------------------------------------------------------------------
+
+/// Counters live as atomics so magazines on different threads update
+/// them without the free-list lock; `outstanding` is the process-wide
+/// leak ledger (magazine-cached buffers are *free*, not outstanding).
+#[derive(Debug, Default)]
+struct SharedCounters {
+    hits: AtomicU64,
+    allocs: AtomicU64,
+    reclaims: AtomicU64,
+    reclaim_misses: AtomicU64,
+    magazine_hits: AtomicU64,
+    magazine_refills: AtomicU64,
+    magazine_flushes: AtomicU64,
+    outstanding: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SharedState {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_buffers: usize,
+    counters: SharedCounters,
+}
+
+/// A cloneable handle on a lock-protected buffer free list. Workers
+/// don't use it directly — each carves a [`Magazine`] and goes through
+/// that, touching the shared lock only on bounded batch refill/flush.
+#[derive(Clone, Debug)]
+pub struct SharedPool {
+    inner: Arc<SharedState>,
+}
+
+impl Default for SharedPool {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+impl SharedPool {
+    /// Shared pool keeping at most `max_buffers` free buffers across the
+    /// central list (magazine caches are bounded separately).
+    pub fn new(max_buffers: usize) -> Self {
+        SharedPool {
+            inner: Arc::new(SharedState {
+                free: Mutex::new(Vec::new()),
+                max_buffers,
+                counters: SharedCounters::default(),
+            }),
+        }
+    }
+
+    /// Carve a per-worker magazine caching at most `cap` local buffers.
+    /// Refill and flush batches are `cap / 2` (at least 1), so a worker
+    /// amortizes one lock acquisition over many takes/reclaims.
+    pub fn magazine(&self, cap: usize) -> Magazine {
+        Magazine {
+            shared: Arc::clone(&self.inner),
+            local: Vec::with_capacity(cap),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Cumulative counters aggregated across all magazines.
+    pub fn counters(&self) -> PoolCounters {
+        let c = &self.inner.counters;
+        PoolCounters {
+            hits: c.hits.load(Ordering::Relaxed),
+            allocs: c.allocs.load(Ordering::Relaxed),
+            reclaims: c.reclaims.load(Ordering::Relaxed),
+            reclaim_misses: c.reclaim_misses.load(Ordering::Relaxed),
+            magazine_hits: c.magazine_hits.load(Ordering::Relaxed),
+            magazine_refills: c.magazine_refills.load(Ordering::Relaxed),
+            magazine_flushes: c.magazine_flushes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Buffers in someone's custody (taken, not yet reclaimed) across
+    /// all magazines — the leak ledger.
+    pub fn outstanding(&self) -> u64 {
+        self.inner.counters.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Buffers on the central free list (excludes magazine caches).
+    pub fn free_buffers(&self) -> usize {
+        self.inner.free.lock().expect("pool lock poisoned").len()
+    }
+}
+
+/// Per-worker front for a [`SharedPool`]: a bounded local stack of free
+/// buffers serving `take`/`reclaim` without the shared lock. Dropping a
+/// magazine flushes its cache back to the shared list, so the ledger
+/// stays exact: custody is only ever counted in `outstanding`, never in
+/// a cache.
+#[derive(Debug)]
+pub struct Magazine {
+    shared: Arc<SharedState>,
+    local: Vec<Vec<u8>>,
+    cap: usize,
+}
+
+impl Magazine {
+    fn batch(&self) -> usize {
+        (self.cap / 2).max(1)
+    }
+
+    /// Take a cleared buffer with at least `min_capacity` bytes of
+    /// capacity: local cache first, then a batch refill from the shared
+    /// list, then a counted fresh allocation.
+    pub fn take(&mut self, min_capacity: usize) -> BytesMut {
+        let c = &self.shared.counters;
+        c.outstanding.fetch_add(1, Ordering::Relaxed);
+        if let Some(idx) = self
+            .local
+            .iter()
+            .position(|b| b.capacity() >= min_capacity)
+        {
+            let mut buf = self.local.swap_remove(idx);
+            buf.clear();
+            c.magazine_hits.fetch_add(1, Ordering::Relaxed);
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            return BytesMut::from(buf);
+        }
+        // Local miss: one lock acquisition refills up to half a magazine,
+        // preferring a buffer that already fits this request.
+        let mut fitting: Option<Vec<u8>> = None;
+        {
+            let mut free = self.shared.free.lock().expect("pool lock poisoned");
+            if !free.is_empty() {
+                c.magazine_refills.fetch_add(1, Ordering::Relaxed);
+                if let Some(idx) = free.iter().position(|b| b.capacity() >= min_capacity) {
+                    fitting = Some(free.swap_remove(idx));
+                }
+                let room = self.batch().saturating_sub(fitting.is_some() as usize);
+                for _ in 0..room.min(free.len()) {
+                    self.local.push(free.pop().expect("len checked"));
+                }
+            }
+        }
+        if let Some(mut buf) = fitting {
+            buf.clear();
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            return BytesMut::from(buf);
+        }
+        c.allocs.fetch_add(1, Ordering::Relaxed);
+        BytesMut::with_capacity(min_capacity)
+    }
+
+    /// Try to recover the allocation behind `buf` into the local cache
+    /// (same uniqueness rule as [`BufferPool::reclaim`]); overflow past
+    /// the magazine bound flushes a batch to the shared list.
+    pub fn reclaim(&mut self, buf: Bytes) {
+        let c = &self.shared.counters;
+        let _ = c
+            .outstanding
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+        if buf.is_unique() {
+            c.reclaims.fetch_add(1, Ordering::Relaxed);
+            let v: Vec<u8> = buf.into();
+            self.local.push(v);
+            if self.local.len() > self.cap {
+                self.flush(self.batch());
+            }
+        } else {
+            c.reclaim_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Move up to `n` cached buffers back to the shared free list
+    /// (dropping overflow past the shared bound, like `BufferPool`).
+    fn flush(&mut self, n: usize) {
+        let c = &self.shared.counters;
+        c.magazine_flushes.fetch_add(1, Ordering::Relaxed);
+        let mut free = self.shared.free.lock().expect("pool lock poisoned");
+        for _ in 0..n {
+            let Some(b) = self.local.pop() else { break };
+            if free.len() < self.shared.max_buffers {
+                free.push(b);
+            }
+        }
+    }
+
+    /// Buffers cached locally (free, not outstanding).
+    pub fn cached(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Ledger + counter views, mirroring [`BufferPool`]'s API so the
+    /// engine can hold either.
+    pub fn outstanding(&self) -> u64 {
+        self.shared.counters.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative counters (shared across every magazine of the pool).
+    pub fn counters(&self) -> PoolCounters {
+        SharedPool {
+            inner: Arc::clone(&self.shared),
+        }
+        .counters()
+    }
+
+    /// A handle on the backing shared pool (to carve more magazines).
+    pub fn pool(&self) -> SharedPool {
+        SharedPool {
+            inner: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for Magazine {
+    fn drop(&mut self) {
+        // Hand every cached buffer back so the shared pool remains the
+        // sole owner of free memory; custody accounting is untouched
+        // (cached buffers were never outstanding).
+        self.flush(usize::MAX);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +432,106 @@ mod tests {
         let got = p.take(2048);
         assert!(got.capacity() >= 2048, "must pick the big free buffer");
         assert_eq!(p.counters().hits, 1);
+    }
+
+    #[test]
+    fn magazine_serves_locally_after_warmup() {
+        let pool = SharedPool::new(32);
+        let mut mag = pool.magazine(8);
+        // First round allocates; reclaims land in the local cache.
+        let bufs: Vec<_> = (0..4).map(|_| mag.take(64)).collect();
+        for b in bufs {
+            mag.reclaim(b.freeze());
+        }
+        assert_eq!(mag.counters().allocs, 4);
+        // Steady state: every take is a lock-free magazine hit.
+        for _ in 0..100 {
+            let b = mag.take(64);
+            mag.reclaim(b.freeze());
+        }
+        let c = mag.counters();
+        assert_eq!(c.magazine_hits, 100);
+        assert_eq!(c.allocs, 4, "no further allocations after warmup");
+        assert!(c.magazine_hit_rate() > 0.9, "rate {}", c.magazine_hit_rate());
+        assert_eq!(mag.outstanding(), 0, "ledger balanced");
+    }
+
+    #[test]
+    fn magazine_ledger_counts_custody_not_cache() {
+        let pool = SharedPool::new(32);
+        let mut mag = pool.magazine(4);
+        let a = mag.take(64);
+        let b = mag.take(64);
+        assert_eq!(pool.outstanding(), 2);
+        mag.reclaim(a.freeze());
+        assert_eq!(pool.outstanding(), 1, "cached buffer is free, not outstanding");
+        assert_eq!(mag.cached(), 1);
+        // Shared reclaim still closes the ledger entry.
+        let frozen = b.freeze();
+        let _other = frozen.clone();
+        mag.reclaim(frozen);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(mag.counters().reclaim_misses, 1);
+    }
+
+    #[test]
+    fn magazine_overflow_flushes_to_shared_and_drop_returns_cache() {
+        let pool = SharedPool::new(32);
+        {
+            let mut mag = pool.magazine(2);
+            let bufs: Vec<_> = (0..6).map(|_| mag.take(32)).collect();
+            for b in bufs {
+                mag.reclaim(b.freeze());
+            }
+            // cap 2 exceeded -> at least one batch flush crossed the lock.
+            assert!(mag.counters().magazine_flushes >= 1);
+            assert!(mag.cached() <= 2 + 1, "cache stays near its bound");
+        }
+        // Magazine dropped: everything is back on the shared list.
+        assert_eq!(pool.outstanding(), 0);
+        assert!(pool.free_buffers() >= 1);
+    }
+
+    #[test]
+    fn magazines_refill_from_shared_free_list() {
+        let pool = SharedPool::new(32);
+        // Populate the shared list through one magazine...
+        {
+            let mut feeder = pool.magazine(8);
+            let bufs: Vec<_> = (0..6).map(|_| feeder.take(128)).collect();
+            for b in bufs {
+                feeder.reclaim(b.freeze());
+            }
+        }
+        // ...and serve another from it without fresh allocations.
+        let mut mag = pool.magazine(8);
+        let b = mag.take(64);
+        let c = mag.counters();
+        assert_eq!(c.allocs, 6, "refill hit, no new allocation");
+        assert!(c.magazine_refills >= 1);
+        assert!(b.capacity() >= 64);
+        mag.reclaim(b.freeze());
+    }
+
+    #[test]
+    fn magazines_concurrent_ledger_exact() {
+        let pool = SharedPool::new(64);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mut mag = pool.magazine(8);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let b = mag.take(64 + (i % 7) * 16);
+                    mag.reclaim(b.freeze());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker ok");
+        }
+        assert_eq!(pool.outstanding(), 0, "ledger exact under contention");
+        let c = pool.counters();
+        assert_eq!(c.hits + c.allocs, 2000);
+        assert_eq!(c.reclaims + c.reclaim_misses, 2000);
     }
 }

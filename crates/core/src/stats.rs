@@ -67,6 +67,13 @@ pub struct DataPathStats {
     /// buffers still legitimately in custody (in-flight heads and slabs);
     /// at engine drop it must be zero (see `Engine::pool_leaks`).
     pub pool_outstanding: u64,
+    /// Buffer requests served from a per-worker magazine cache without
+    /// touching the shared pool lock (subset of `pool_hits`).
+    pub pool_magazine_hits: u64,
+    /// Magazine batch refills that crossed the shared pool lock.
+    pub pool_magazine_refills: u64,
+    /// Magazine batch flushes back to the shared free list.
+    pub pool_magazine_flushes: u64,
 }
 
 impl DataPathStats {
@@ -78,6 +85,65 @@ impl DataPathStats {
     /// Total payload bytes moved without copying.
     pub fn total_zero_copy_bytes(&self) -> u64 {
         self.tx_zero_copy_bytes + self.rx_zero_copy_bytes
+    }
+
+    /// Fraction of buffer takes served lock-free from a magazine.
+    pub fn magazine_hit_rate(&self) -> f64 {
+        let takes = self.pool_hits + self.hot_path_allocs;
+        if takes == 0 {
+            0.0
+        } else {
+            self.pool_magazine_hits as f64 / takes as f64
+        }
+    }
+}
+
+/// Syscall amortization counters for the threaded transports: how many
+/// kernel crossings the rail workers spent per frame moved. The batched
+/// TX path coalesces multiple outbox frames into one `write_vectored`
+/// and the RX path carves multiple frames out of one `read`, so both
+/// ratios drop below 1 under load (see the `ablate_cycles` gate).
+/// Maintained by the transport workers outside any lock and mirrored
+/// here via `Engine::note_syscalls`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyscallStats {
+    /// `write`/`write_vectored` calls issued by TX workers.
+    pub tx_calls: u64,
+    /// Frames those TX calls moved onto the wire.
+    pub tx_frames: u64,
+    /// `read` calls issued by RX workers (excluding would-block polls).
+    pub rx_calls: u64,
+    /// Frames decoded out of those reads.
+    pub rx_frames: u64,
+}
+
+impl SyscallStats {
+    /// TX syscalls per transmitted frame (0 when nothing was sent).
+    pub fn tx_per_packet(&self) -> f64 {
+        if self.tx_frames == 0 {
+            0.0
+        } else {
+            self.tx_calls as f64 / self.tx_frames as f64
+        }
+    }
+
+    /// RX syscalls per received frame (0 when nothing arrived).
+    pub fn rx_per_packet(&self) -> f64 {
+        if self.rx_frames == 0 {
+            0.0
+        } else {
+            self.rx_calls as f64 / self.rx_frames as f64
+        }
+    }
+
+    /// Overall syscalls per frame moved in either direction.
+    pub fn per_packet(&self) -> f64 {
+        let frames = self.tx_frames + self.rx_frames;
+        if frames == 0 {
+            0.0
+        } else {
+            (self.tx_calls + self.rx_calls) as f64 / frames as f64
+        }
     }
 }
 
@@ -217,6 +283,8 @@ pub struct EngineStats {
     pub duplicates_dropped: u64,
     /// Copy/allocation accounting for the scatter-gather datapath.
     pub datapath: DataPathStats,
+    /// Syscall amortization on the threaded transports (batched I/O).
+    pub syscalls: SyscallStats,
     /// Overload-protection rejections (backpressure and shedding).
     pub overload: OverloadStats,
     /// Histograms and per-rail gauges (always on, allocation-free).

@@ -37,6 +37,21 @@
 //! [`PacketFrame`] parts (no flattening), and arrivals are carved out of
 //! a `BytesMut` receive ring with `split_to`, handing each frame to
 //! [`nmad_core::Engine::on_frame`] as one refcounted slice.
+//!
+//! ## Syscall amortization (DESIGN.md §12)
+//!
+//! The parallel runtime batches kernel crossings on both directions:
+//! each TX worker wakeup drains up to `TX_BATCH` published decisions
+//! from its outbox and coalesces the whole batch — length prefixes and
+//! frame parts interleaved — into a single `write_vectored` gather list
+//! (partial writes resume across the *batch*, not per frame), and the
+//! RX workers grow their read chunk adaptively up to `READ_CHUNK_MAX`
+//! so one `read` carves many frames. The resulting syscalls-per-packet
+//! ratio is counted in [`nmad_core::SyscallStats`] and gated by the
+//! `ablate_cycles` bench. Batching on our side is also why TCP_NODELAY
+//! is unconditionally set on every rail socket (see `RailIo::new`):
+//! the transport coalesces on its own terms, so Nagle's algorithm could
+//! only add delayed-ACK latency to control frames, never save packets.
 
 #![warn(missing_docs)]
 // Copy-regression gate: see DESIGN.md "Datapath and copy discipline".
@@ -74,8 +89,21 @@ const IDLE_POLL: Duration = Duration::from_micros(50);
 const IO_TIMEOUT: Duration = Duration::from_millis(25);
 /// Parallel TX worker: upper bound on one outbox wait.
 const TX_IDLE_WAIT: Duration = Duration::from_millis(2);
-/// Bytes read from the socket per `read` call.
+/// Bytes read from the socket per `read` call (initial; the parallel RX
+/// worker grows its refill up to [`READ_CHUNK_MAX`] while the socket
+/// keeps saturating it, so one syscall feeds many frame decodes).
 const READ_CHUNK: usize = 64 * 1024;
+/// Upper bound on an adaptive RX refill.
+const READ_CHUNK_MAX: usize = 256 * 1024;
+/// Frames a parallel TX worker drains from its outbox per wakeup and
+/// coalesces into a single `write_vectored` (sendmmsg-style syscall
+/// amortization). Matches the outbox capacity: one wakeup can flush
+/// everything the scheduler managed to queue. Only pipelined engines
+/// ([`EngineConfig::rail_pipeline`] > 1) ever queue more than one.
+const TX_BATCH: usize = 8;
+/// Cap on gather-list length per vectored write: stays under every
+/// platform's IOV_MAX (the partial-write resume loop covers the rest).
+const MAX_IOVECS: usize = 256;
 
 /// Transport configuration.
 #[derive(Clone)]
@@ -357,6 +385,48 @@ fn gather_slices<'a>(
     }
 }
 
+/// Batched counterpart of [`gather_slices`]: one gather list covering
+/// the concatenation `prefix₀+frame₀, prefix₁+frame₁, …` starting at
+/// byte `skip` of the whole batch, capped at `max_slices` entries (the
+/// partial-write resume loop rebuilds from the new offset, so a capped
+/// list just means another `write_vectored` — never corruption).
+fn gather_batch_slices<'a>(
+    prefixes: &'a [[u8; LEN_PREFIX]],
+    frames: &'a [PacketFrame],
+    mut skip: usize,
+    slices: &mut Vec<IoSlice<'a>>,
+    max_slices: usize,
+) {
+    slices.clear();
+    for (prefix, frame) in prefixes.iter().zip(frames) {
+        let frame_total = LEN_PREFIX + frame.wire_len();
+        if skip >= frame_total {
+            skip -= frame_total;
+            continue;
+        }
+        if skip < LEN_PREFIX {
+            slices.push(IoSlice::new(&prefix[skip..]));
+            skip = 0;
+            if slices.len() >= max_slices {
+                return;
+            }
+        } else {
+            skip -= LEN_PREFIX;
+        }
+        for part in frame.parts() {
+            if skip >= part.len() {
+                skip -= part.len();
+                continue;
+            }
+            slices.push(IoSlice::new(&part[skip..]));
+            skip = 0;
+            if slices.len() >= max_slices {
+                return;
+            }
+        }
+    }
+}
+
 /// Carve complete length-prefixed frames off the front of `rx_buf`.
 fn carve_frames(rx_buf: &mut BytesMut, frames: &mut Vec<PacketFrame>) -> std::io::Result<()> {
     while rx_buf.len() >= LEN_PREFIX {
@@ -393,11 +463,24 @@ struct RailIo {
     tx_off: usize,
     /// Tx token to report once the pending frame fully drains.
     pending_token: Option<TxToken>,
+    /// Syscall amortization tallies (mirrored into
+    /// [`nmad_core::SyscallStats`] by the progress thread).
+    syscalls: nmad_core::SyscallStats,
 }
 
 impl RailIo {
     fn new(stream: TcpStream) -> std::io::Result<Self> {
         stream.set_nonblocking(true)?;
+        // TCP_NODELAY on every rail socket, both runtimes, both ends
+        // (listen/accept and connect both land here or in
+        // `build_parallel`): the engine's control frames — rendezvous
+        // grants, delivery acks, health probes — are a few dozen bytes,
+        // and Nagle would hold them behind in-flight data until the
+        // peer's delayed ACK fired. That inflates measured SRTT by up to
+        // 40 ms, trips retransmission timers, and serializes the
+        // rendezvous handshake. The engine already coalesces small
+        // frames on its own terms (aggregation + batched vectored
+        // writes), so Nagle only adds latency without saving packets.
         stream.set_nodelay(true)?;
         Ok(RailIo {
             stream,
@@ -406,6 +489,7 @@ impl RailIo {
             tx_prefix: [0; LEN_PREFIX],
             tx_off: 0,
             pending_token: None,
+            syscalls: nmad_core::SyscallStats::default(),
         })
     }
 
@@ -420,7 +504,10 @@ impl RailIo {
                     self.rx_buf.truncate(old);
                     break; // peer closed; frames already buffered still count
                 }
-                Ok(n) => self.rx_buf.truncate(old + n),
+                Ok(n) => {
+                    self.rx_buf.truncate(old + n);
+                    self.syscalls.rx_calls += 1;
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     self.rx_buf.truncate(old);
                     break;
@@ -437,6 +524,7 @@ impl RailIo {
         }
         let mut frames = Vec::new();
         carve_frames(&mut self.rx_buf, &mut frames)?;
+        self.syscalls.rx_frames += frames.len() as u64;
         Ok(frames)
     }
 
@@ -470,8 +558,10 @@ impl RailIo {
                     ))
                 }
                 Ok(n) => {
+                    self.syscalls.tx_calls += 1;
                     self.tx_off += n;
                     if self.tx_off >= total {
+                        self.syscalls.tx_frames += 1;
                         self.tx_frame = None;
                         self.tx_off = 0;
                     }
@@ -577,6 +667,17 @@ impl Worker {
                 }
             }
         }
+
+        // Mirror the per-rail syscall tallies into the engine's stats so
+        // `nmad cycles` and the bench gates see the serial runtime too.
+        let mut sys = nmad_core::SyscallStats::default();
+        for rail in &self.rails {
+            sys.tx_calls += rail.syscalls.tx_calls;
+            sys.tx_frames += rail.syscalls.tx_frames;
+            sys.rx_calls += rail.syscalls.rx_calls;
+            sys.rx_frames += rail.syscalls.rx_frames;
+        }
+        eng.note_syscalls(sys);
         Ok(progressed)
     }
 }
@@ -603,9 +704,22 @@ struct TxWorker {
 
 impl TxWorker {
     fn run(mut self) {
+        let mut batch: Vec<nmad_core::TxDecision> = Vec::with_capacity(TX_BATCH);
         loop {
             match self.outbox.pop_wait(TX_IDLE_WAIT) {
-                Some(d) => self.inject(d),
+                Some(d) => {
+                    // One wakeup drains whatever the scheduler queued
+                    // (bounded): the whole batch goes out in one
+                    // coalesced vectored write below.
+                    batch.push(d);
+                    while batch.len() < TX_BATCH {
+                        match self.outbox.pop() {
+                            Some(d) => batch.push(d),
+                            None => break,
+                        }
+                    }
+                    self.inject_batch(&mut batch);
+                }
                 None => {
                     if self.hub.is_shutdown() {
                         break;
@@ -616,36 +730,29 @@ impl TxWorker {
         // Clean shutdown drains the outbox: decisions already published
         // still go out so the peer's reassembly isn't left dangling.
         while let Some(d) = self.outbox.pop() {
-            self.inject(d);
+            batch.push(d);
+            if batch.len() >= TX_BATCH {
+                self.inject_batch(&mut batch);
+            }
+        }
+        if !batch.is_empty() {
+            self.inject_batch(&mut batch);
         }
         self.hub.deposit_shard(self.shard.events());
     }
 
-    fn inject(&mut self, d: nmad_core::TxDecision) {
-        if chaos_drops(&self.chaos, self.rail, &mut self.rng) {
-            // Dropped before the write: local completion, no wire bytes.
-            self.hub.push_completion(
-                self.rail,
-                Completion::TxDone {
-                    rail: self.rail,
-                    token: d.token,
-                },
-            );
-            return;
-        }
-        self.chaos_pace(d.frame.wire_len());
-        match self.write_frame(&d.frame) {
-            Ok(dur_ns) => {
-                self.shard.record(
-                    Event::new(
-                        self.epoch.elapsed().as_nanos() as u64,
-                        EventKind::WorkerWrite,
-                    )
-                    .rail(self.rail)
-                    .seq(d.token.0)
-                    .size((LEN_PREFIX + d.frame.wire_len()) as u64)
-                    .aux(dur_ns),
-                );
+    /// Transmit a drained batch as one coalesced vectored write and
+    /// report per-frame completions. Chaos-dropped frames are filtered
+    /// out first (they complete locally without wire bytes); the stream
+    /// stays aligned because every surviving frame is length-prefixed.
+    fn inject_batch(&mut self, batch: &mut Vec<nmad_core::TxDecision>) {
+        let mut wire: Vec<PacketFrame> = Vec::with_capacity(batch.len());
+        let mut tokens: Vec<TxToken> = Vec::with_capacity(batch.len());
+        let mut pace_bytes = 0usize;
+        for d in batch.drain(..) {
+            if chaos_drops(&self.chaos, self.rail, &mut self.rng) {
+                // Dropped before the write: local completion, no wire
+                // bytes, no pacing.
                 self.hub.push_completion(
                     self.rail,
                     Completion::TxDone {
@@ -653,6 +760,38 @@ impl TxWorker {
                         token: d.token,
                     },
                 );
+                continue;
+            }
+            pace_bytes += d.frame.wire_len();
+            tokens.push(d.token);
+            wire.push(d.frame);
+        }
+        if wire.is_empty() {
+            return;
+        }
+        self.chaos_pace(pace_bytes);
+        match self.write_batch(&wire) {
+            Ok((dur_ns, calls)) => {
+                self.hub.syscalls.add_tx(calls, wire.len() as u64);
+                let now = self.epoch.elapsed().as_nanos() as u64;
+                for (frame, token) in wire.iter().zip(&tokens) {
+                    self.shard.record(
+                        Event::new(now, EventKind::WorkerWrite)
+                            .rail(self.rail)
+                            .seq(token.0)
+                            .size((LEN_PREFIX + frame.wire_len()) as u64)
+                            // Wall time of the whole coalesced write —
+                            // shared by every frame it carried.
+                            .aux(dur_ns),
+                    );
+                    self.hub.push_completion(
+                        self.rail,
+                        Completion::TxDone {
+                            rail: self.rail,
+                            token: *token,
+                        },
+                    );
+                }
             }
             Err(_) => {
                 self.hub.io_errors.fetch_add(1, Ordering::Relaxed);
@@ -660,16 +799,21 @@ impl TxWorker {
         }
     }
 
-    /// Blocking gather write of one frame, tracking partial progress.
-    /// Returns the wall time spent in the write.
-    fn write_frame(&mut self, frame: &PacketFrame) -> std::io::Result<u64> {
-        let prefix = (frame.wire_len() as u32).to_le_bytes();
-        let total = LEN_PREFIX + frame.wire_len();
+    /// Blocking gather write of a frame batch, resuming partial writes
+    /// across frame boundaries. Returns the wall time spent and the
+    /// number of `write_vectored` calls that moved bytes.
+    fn write_batch(&mut self, frames: &[PacketFrame]) -> std::io::Result<(u64, u64)> {
+        let prefixes: Vec<[u8; LEN_PREFIX]> = frames
+            .iter()
+            .map(|f| (f.wire_len() as u32).to_le_bytes())
+            .collect();
+        let total: usize = frames.iter().map(|f| LEN_PREFIX + f.wire_len()).sum();
         let mut off = 0usize;
+        let mut calls = 0u64;
         let mut slices: Vec<IoSlice<'_>> = Vec::new();
         let t0 = Instant::now();
         while off < total {
-            gather_slices(&prefix, frame, off, &mut slices);
+            gather_batch_slices(&prefixes, frames, off, &mut slices, MAX_IOVECS);
             match self.stream.write_vectored(&slices) {
                 Ok(0) => {
                     return Err(std::io::Error::new(
@@ -677,7 +821,10 @@ impl TxWorker {
                         "socket refused bytes",
                     ))
                 }
-                Ok(n) => off += n,
+                Ok(n) => {
+                    calls += 1;
+                    off += n;
+                }
                 // SO_SNDTIMEO expiry: keep pushing — a partially written
                 // frame must complete or the peer's stream corrupts —
                 // but give up once shutdown is requested.
@@ -690,7 +837,7 @@ impl TxWorker {
                 Err(e) => return Err(e),
             }
         }
-        Ok(t0.elapsed().as_nanos() as u64)
+        Ok((t0.elapsed().as_nanos() as u64, calls))
     }
 
     /// Sleep out the *extra* wire time a degraded rail would need for
@@ -736,18 +883,31 @@ impl RxWorker {
     fn run(mut self) {
         let mut rx_buf = BytesMut::new();
         let mut frames = Vec::new();
+        // Adaptive refill: while the socket keeps filling the whole
+        // chunk there is a backlog in the kernel — grow the next read
+        // (up to a bound) so one syscall feeds more frame decodes.
+        // Shrink back once reads come up short.
+        let mut chunk = READ_CHUNK;
         loop {
             if self.hub.is_shutdown() {
                 break;
             }
             let old = rx_buf.len();
-            rx_buf.resize(old + READ_CHUNK, 0);
+            rx_buf.resize(old + chunk, 0);
             match self.stream.read(&mut rx_buf[old..]) {
                 Ok(0) => {
                     rx_buf.truncate(old);
                     break; // peer closed for good
                 }
-                Ok(n) => rx_buf.truncate(old + n),
+                Ok(n) => {
+                    rx_buf.truncate(old + n);
+                    self.hub.syscalls.add_rx(1, 0);
+                    chunk = if n == chunk {
+                        (chunk * 2).min(READ_CHUNK_MAX)
+                    } else {
+                        READ_CHUNK
+                    };
+                }
                 Err(e)
                     if e.kind() == ErrorKind::WouldBlock
                         || e.kind() == ErrorKind::TimedOut
@@ -768,6 +928,7 @@ impl RxWorker {
                 self.hub.io_errors.fetch_add(1, Ordering::Relaxed);
                 break;
             }
+            self.hub.syscalls.add_rx(0, frames.len() as u64);
             for frame in frames.drain(..) {
                 self.shard.record(
                     Event::new(self.epoch.elapsed().as_nanos() as u64, EventKind::WorkerRx)
@@ -1328,5 +1489,107 @@ mod tests {
         );
         // Merged stream is timestamp-ordered.
         assert!(tx_events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    mod batch_props {
+        use super::super::{gather_batch_slices, LEN_PREFIX};
+        use bytes::Bytes;
+        use nmad_wire::{PacketFrame, PartList};
+        use proptest::prelude::*;
+        use std::io::IoSlice;
+
+        /// Arbitrary scatter-gather frame: a head plus 0–4 body parts,
+        /// any of which may be empty or a single byte (the awkward
+        /// shapes the gather logic must skip or tail-slice correctly).
+        fn arb_frame() -> impl Strategy<Value = PacketFrame> {
+            (
+                prop::collection::vec(any::<u8>(), 0..40),
+                prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 0..4),
+            )
+                .prop_map(|(head, parts)| {
+                    let mut list = PartList::new();
+                    for p in parts {
+                        list.push(Bytes::from(p));
+                    }
+                    PacketFrame::from_parts(Bytes::from(head), list)
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The batched gather list, consumed under arbitrary partial
+            /// writes and iovec caps, yields a byte stream identical to
+            /// writing each frame separately (`prefix ++ frame` flattened
+            /// in order) — the legacy one-frame-per-write image.
+            #[test]
+            fn batched_gather_matches_sequential_writes(
+                frames in prop::collection::vec(arb_frame(), 1..6),
+                writes in prop::collection::vec(1usize..48, 1..64),
+                max_slices in 1usize..8,
+            ) {
+                let prefixes: Vec<[u8; LEN_PREFIX]> = frames
+                    .iter()
+                    .map(|f| (f.wire_len() as u32).to_le_bytes())
+                    .collect();
+                let total: usize =
+                    frames.iter().map(|f| LEN_PREFIX + f.wire_len()).sum();
+
+                // Reference: sequential single-frame writes.
+                let mut expect = Vec::with_capacity(total);
+                for (p, f) in prefixes.iter().zip(&frames) {
+                    expect.extend_from_slice(p);
+                    expect.extend_from_slice(&f.to_bytes());
+                }
+
+                // Batched path: each simulated `write_vectored` consumes
+                // `n` bytes of the gather list rebuilt at the current
+                // offset, exactly like `write_batch`'s resume loop.
+                let mut got = Vec::with_capacity(total);
+                let mut off = 0usize;
+                let mut slices: Vec<IoSlice> = Vec::new();
+                let mut wi = 0usize;
+                while off < total {
+                    gather_batch_slices(&prefixes, &frames, off, &mut slices, max_slices);
+                    prop_assert!(!slices.is_empty(), "empty gather list before end of batch");
+                    let avail: usize = slices.iter().map(|s| s.len()).sum();
+                    let n = writes[wi % writes.len()].min(avail);
+                    wi += 1;
+                    let mut left = n;
+                    for s in &slices {
+                        if left == 0 {
+                            break;
+                        }
+                        let take = left.min(s.len());
+                        got.extend_from_slice(&s[..take]);
+                        left -= take;
+                    }
+                    off += n;
+                }
+                prop_assert_eq!(got, expect);
+            }
+
+            /// With no iovec cap, one gather list covers the whole batch
+            /// remainder from any offset — i.e. an unconstrained kernel
+            /// could finish the batch in a single syscall.
+            #[test]
+            fn uncapped_gather_covers_remainder(
+                frames in prop::collection::vec(arb_frame(), 1..6),
+                off_frac in 0.0f64..1.0,
+            ) {
+                let prefixes: Vec<[u8; LEN_PREFIX]> = frames
+                    .iter()
+                    .map(|f| (f.wire_len() as u32).to_le_bytes())
+                    .collect();
+                let total: usize =
+                    frames.iter().map(|f| LEN_PREFIX + f.wire_len()).sum();
+                let off = ((total as f64) * off_frac) as usize;
+                prop_assume!(off < total);
+                let mut slices: Vec<IoSlice> = Vec::new();
+                gather_batch_slices(&prefixes, &frames, off, &mut slices, usize::MAX);
+                let avail: usize = slices.iter().map(|s| s.len()).sum();
+                prop_assert_eq!(avail, total - off);
+            }
+        }
     }
 }

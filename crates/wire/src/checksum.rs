@@ -1,18 +1,40 @@
-//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//! CRC-32 (IEEE 802.3 polynomial), three kernels behind one streaming API.
 //!
 //! Used to protect packet payloads on the real threaded transport and to
 //! let failure-injection tests corrupt packets detectably. Implemented
 //! locally (the polynomial is public domain) to stay within the allowed
 //! dependency set.
+//!
+//! Kernels, selected once at first use and cached as a function pointer:
+//!
+//! * [`Kernel::Scalar`] — classic one-byte-at-a-time table loop. Kept as
+//!   the portable reference every other kernel must match bit for bit,
+//!   and as the baseline the `ablate_cycles` bench compares against.
+//! * [`Kernel::Slice16`] — slicing-by-16: 16 interleaved 256-entry
+//!   tables built at compile time, consuming 16 bytes per iteration with
+//!   no data dependency between the table lookups.
+//! * [`Kernel::Simd`] — x86_64 PCLMUL folding (the Intel "Fast CRC
+//!   Computation Using PCLMULQDQ" scheme) behind
+//!   `is_x86_feature_detected!`. All `unsafe` is confined to the
+//!   [`simd`] submodule; everywhere else is safe Rust.
+//!
+//! The streaming `update`/`crc32_init`/`crc32_finish` surface is
+//! unchanged from the scalar-only version, so the vectored encoders in
+//! `frame.rs` (CRC streamed across `PacketFrame` parts) are untouched.
+#![deny(clippy::missing_inline_in_public_items)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-/// 256-entry lookup table, built at compile time.
-const TABLE: [u32; 256] = build_table();
+/// 16 interleaved 256-entry lookup tables, built at compile time.
+/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k]` advances
+/// a byte that sits `k` positions deeper in the 16-byte block.
+const TABLES: [[u32; 256]; 16] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 16] {
+    let mut t = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -25,35 +47,345 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        t[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
+// ----------------------------------------------------------------------
+// Kernel selection
+// ----------------------------------------------------------------------
+
+/// Which CRC kernel computes [`update`]. All kernels produce
+/// bit-identical output (proptest-enforced); they differ only in speed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Byte-at-a-time table loop (portable reference).
+    Scalar,
+    /// Slicing-by-16, 16 bytes per iteration (portable).
+    Slice16,
+    /// PCLMUL folding (x86_64 with sse4.1+pclmulqdq only).
+    Simd,
+}
+
+impl Kernel {
+    /// Stable lowercase name (matches the CLI `--kernel` values).
+    #[inline]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Slice16 => "slice16",
+            Kernel::Simd => "simd",
+        }
+    }
+
+    /// Parse a `--kernel` value.
+    #[inline]
+    pub fn parse(s: &str) -> Option<Kernel> {
+        match s {
+            "scalar" => Some(Kernel::Scalar),
+            "slice16" => Some(Kernel::Slice16),
+            "simd" => Some(Kernel::Simd),
+            _ => None,
+        }
+    }
+
+    /// Whether this kernel can run on the current CPU.
+    #[inline]
+    pub fn is_available(self) -> bool {
+        match self {
+            Kernel::Scalar | Kernel::Slice16 => true,
+            Kernel::Simd => simd::available(),
+        }
+    }
+}
+
+/// Every kernel the current CPU supports, fastest last.
+#[inline]
+pub fn available_kernels() -> Vec<Kernel> {
+    let mut v = vec![Kernel::Scalar, Kernel::Slice16];
+    if Kernel::Simd.is_available() {
+        v.push(Kernel::Simd);
+    }
+    v
+}
+
+type UpdateFn = fn(u32, &[u8]) -> u32;
+
+/// Kernel entry points, indexed by `Kernel as usize`. `update_simd` is
+/// only ever activated after feature detection succeeds.
+const KERNEL_FNS: [UpdateFn; 3] = [update_scalar, update_slice16, update_simd];
+
+/// Active kernel index + 1; 0 means "not resolved yet". Resolution (CPU
+/// feature detection) happens exactly once; after that [`update`] costs
+/// one relaxed load and an indirect call through the resolved function
+/// pointer — never a per-call feature probe.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+#[cold]
+fn resolve() -> usize {
+    let best = if Kernel::Simd.is_available() {
+        Kernel::Simd
+    } else {
+        Kernel::Slice16
+    };
+    // Racing resolvers pick the same answer; first store wins is fine.
+    let idx = best as usize + 1;
+    let _ = ACTIVE.compare_exchange(0, idx, Ordering::Relaxed, Ordering::Relaxed);
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn dispatch() -> UpdateFn {
+    let mut idx = ACTIVE.load(Ordering::Relaxed);
+    if idx == 0 {
+        idx = resolve();
+    }
+    KERNEL_FNS[idx - 1]
+}
+
+/// The kernel [`update`] currently dispatches to (resolving it if this
+/// is the first checksum touch of the process).
+#[inline]
+pub fn active_kernel() -> Kernel {
+    let mut idx = ACTIVE.load(Ordering::Relaxed);
+    if idx == 0 {
+        idx = resolve();
+    }
+    match idx - 1 {
+        0 => Kernel::Scalar,
+        1 => Kernel::Slice16,
+        _ => Kernel::Simd,
+    }
+}
+
+/// Force the dispatched kernel (A/B runs: `nmad datapath --kernel`,
+/// `ablate_cycles`). Returns `false` — and changes nothing — when the
+/// kernel is unavailable on this CPU. Process-global.
+#[inline]
+pub fn set_kernel(k: Kernel) -> bool {
+    if !k.is_available() {
+        return false;
+    }
+    ACTIVE.store(k as usize + 1, Ordering::Relaxed);
+    true
+}
+
+// ----------------------------------------------------------------------
+// Streaming API (kernel-dispatched)
+// ----------------------------------------------------------------------
+
 /// CRC-32 of `data`.
+#[inline]
 pub fn crc32(data: &[u8]) -> u32 {
     update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
 }
 
 /// Streaming update: feed chunks through `state` (start from
 /// [`crc32_init`], finish with [`crc32_finish`]).
+#[inline]
 pub fn update(state: u32, data: &[u8]) -> u32 {
-    let mut crc = state;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    dispatch()(state, data)
+}
+
+/// [`update`] through an explicitly chosen kernel (bench A/B legs;
+/// normal callers use [`update`]). Falls back to slicing-by-16 when the
+/// requested kernel is unavailable on this CPU.
+#[inline]
+pub fn update_with(kernel: Kernel, state: u32, data: &[u8]) -> u32 {
+    match kernel {
+        Kernel::Scalar => update_scalar(state, data),
+        Kernel::Slice16 => update_slice16(state, data),
+        Kernel::Simd => update_simd(state, data),
     }
-    crc
 }
 
 /// Initial streaming state.
+#[inline]
 pub fn crc32_init() -> u32 {
     0xFFFF_FFFF
 }
 
 /// Finalize a streaming state.
+#[inline]
 pub fn crc32_finish(state: u32) -> u32 {
     state ^ 0xFFFF_FFFF
+}
+
+// ----------------------------------------------------------------------
+// Kernels
+// ----------------------------------------------------------------------
+
+fn update_scalar(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+fn update_slice16(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    let mut chunks = data.chunks_exact(16);
+    for c in &mut chunks {
+        let c: &[u8; 16] = c.try_into().expect("chunks_exact(16)");
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        crc = TABLES[15][(lo & 0xFF) as usize]
+            ^ TABLES[14][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[13][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[12][(lo >> 24) as usize]
+            ^ TABLES[11][c[4] as usize]
+            ^ TABLES[10][c[5] as usize]
+            ^ TABLES[9][c[6] as usize]
+            ^ TABLES[8][c[7] as usize]
+            ^ TABLES[7][c[8] as usize]
+            ^ TABLES[6][c[9] as usize]
+            ^ TABLES[5][c[10] as usize]
+            ^ TABLES[4][c[11] as usize]
+            ^ TABLES[3][c[12] as usize]
+            ^ TABLES[2][c[13] as usize]
+            ^ TABLES[1][c[14] as usize]
+            ^ TABLES[0][c[15] as usize];
+    }
+    update_scalar(crc, chunks.remainder())
+}
+
+/// PCLMUL folding over the largest 16-byte-aligned prefix (needs at
+/// least 64 bytes to fill the four fold lanes); the tail continues
+/// through slicing-by-16 from the folded state. Falls back entirely to
+/// slicing-by-16 when the CPU lacks the features or the input is short.
+fn update_simd(state: u32, data: &[u8]) -> u32 {
+    if data.len() < 64 || !simd::available() {
+        return update_slice16(state, data);
+    }
+    let split = data.len() & !15;
+    // SAFETY: `available()` checked sse4.1+pclmulqdq; the prefix is a
+    // non-empty multiple of 16 bytes of at least 64 bytes.
+    let folded = unsafe { simd::fold_pclmul(state, &data[..split]) };
+    update_slice16(folded, &data[split..])
+}
+
+/// The one `unsafe` corner: PCLMUL carry-less-multiply folding for the
+/// reflected IEEE polynomial, after Intel's white paper (V. Gopal et
+/// al., "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ
+/// Instruction") and the widely used folding constants for 0x04C11DB7.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_clmulepi64_si128, _mm_cvtsi32_si128, _mm_extract_epi32,
+        _mm_loadu_si128, _mm_set_epi32, _mm_set_epi64x, _mm_srli_si128, _mm_xor_si128,
+    };
+
+    // x^(4·128+32) mod P, x^(4·128-32) mod P — fold 512 bits at a time.
+    const K1: i64 = 0x1_5444_2bd4;
+    const K2: i64 = 0x1_c6e4_1596;
+    // x^(128+32) mod P, x^(128-32) mod P — fold 128 bits at a time.
+    const K3: i64 = 0x1_7519_97d0;
+    const K4: i64 = 0x0_ccaa_009e;
+    // x^64 mod P — reduce 64 bits to 32.
+    const K5: i64 = 0x1_63cd_6124;
+    // Barrett reduction constants: P(x) and µ = floor(x^64 / P(x)).
+    const P_X: i64 = 0x1_db71_0641;
+    const U_PRIME: i64 = 0x1_f701_1641;
+
+    pub fn available() -> bool {
+        is_x86_feature_detected!("sse4.1") && is_x86_feature_detected!("pclmulqdq")
+    }
+
+    /// Fold `a` down by 128 bits and absorb `b`:
+    /// `a·x^shift mod P ⊕ b`, with the two halves of `a` multiplied by
+    /// the two keys packed in `keys`.
+    #[inline]
+    unsafe fn fold(a: __m128i, b: __m128i, keys: __m128i) -> __m128i {
+        let lo = _mm_clmulepi64_si128(a, keys, 0x00);
+        let hi = _mm_clmulepi64_si128(a, keys, 0x11);
+        _mm_xor_si128(_mm_xor_si128(b, lo), hi)
+    }
+
+    #[inline]
+    unsafe fn load(data: &mut &[u8]) -> __m128i {
+        let v = _mm_loadu_si128(data.as_ptr() as *const __m128i);
+        *data = &data[16..];
+        v
+    }
+
+    /// Streaming-state-in, streaming-state-out PCLMUL fold.
+    ///
+    /// # Safety
+    /// Caller guarantees sse4.1+pclmulqdq are present, `data.len()` is a
+    /// multiple of 16 and at least 64.
+    #[target_feature(enable = "sse4.1", enable = "pclmulqdq")]
+    pub unsafe fn fold_pclmul(state: u32, mut data: &[u8]) -> u32 {
+        debug_assert!(data.len() >= 64 && data.len().is_multiple_of(16));
+        // Four independent 128-bit fold lanes hide the PCLMUL latency.
+        let mut x3 = load(&mut data);
+        let mut x2 = load(&mut data);
+        let mut x1 = load(&mut data);
+        let mut x0 = load(&mut data);
+        // The streaming state is the raw (pre-conditioned) CRC register:
+        // XOR it straight into the first lane's low 32 bits.
+        x3 = _mm_xor_si128(x3, _mm_cvtsi32_si128(state as i32));
+
+        let k1k2 = _mm_set_epi64x(K2, K1);
+        while data.len() >= 64 {
+            x3 = fold(x3, load(&mut data), k1k2);
+            x2 = fold(x2, load(&mut data), k1k2);
+            x1 = fold(x1, load(&mut data), k1k2);
+            x0 = fold(x0, load(&mut data), k1k2);
+        }
+
+        let k3k4 = _mm_set_epi64x(K4, K3);
+        let mut x = fold(x3, x2, k3k4);
+        x = fold(x, x1, k3k4);
+        x = fold(x, x0, k3k4);
+        while data.len() >= 16 {
+            x = fold(x, load(&mut data), k3k4);
+        }
+
+        // 128 -> 64 bits.
+        let x = _mm_xor_si128(
+            _mm_clmulepi64_si128(x, k3k4, 0x10),
+            _mm_srli_si128(x, 8),
+        );
+        // 64 -> 32 bits.
+        let mask32 = _mm_set_epi32(0, 0, 0, !0);
+        let x = _mm_xor_si128(
+            _mm_clmulepi64_si128(_mm_and_si128(x, mask32), _mm_set_epi64x(0, K5), 0x00),
+            _mm_srli_si128(x, 4),
+        );
+        // Barrett reduction back into a 32-bit register value.
+        let pu = _mm_set_epi64x(U_PRIME, P_X);
+        let t1 = _mm_clmulepi64_si128(_mm_and_si128(x, mask32), pu, 0x10);
+        let t2 = _mm_clmulepi64_si128(_mm_and_si128(t1, mask32), pu, 0x00);
+        _mm_extract_epi32(_mm_xor_si128(x, t2), 1) as u32
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod simd {
+    pub fn available() -> bool {
+        false
+    }
+
+    /// Unreachable on non-x86_64 (`available()` is false); present so
+    /// `update_simd` compiles unconditionally.
+    ///
+    /// # Safety
+    /// Never called.
+    pub unsafe fn fold_pclmul(_state: u32, _data: &[u8]) -> u32 {
+        unreachable!("SIMD CRC kernel is x86_64-only")
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +417,79 @@ mod tests {
         let clean = crc32(&data);
         data[17] ^= 0x10;
         assert_ne!(crc32(&data), clean);
+    }
+
+    /// Deterministic pseudo-random bytes (SplitMix64 stream).
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut i = 0u64;
+        while out.len() < len {
+            let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            out.extend_from_slice(&z.to_le_bytes());
+            i += 1;
+        }
+        out.truncate(len);
+        out
+    }
+
+    #[test]
+    fn kernels_agree_on_awkward_lengths() {
+        // Straddle every alignment regime: empty, sub-block, exactly the
+        // SIMD minimum, off-by-one around fold boundaries, large.
+        for &len in &[
+            0usize, 1, 3, 15, 16, 17, 31, 48, 63, 64, 65, 79, 80, 127, 128, 129, 255, 1024, 4096,
+            65537,
+        ] {
+            let data = noise(len, 0xDEAD_BEEF ^ len as u64);
+            let want = update_with(Kernel::Scalar, crc32_init(), &data);
+            assert_eq!(
+                update_with(Kernel::Slice16, crc32_init(), &data),
+                want,
+                "slice16 diverges at len {len}"
+            );
+            assert_eq!(
+                update_with(Kernel::Simd, crc32_init(), &data),
+                want,
+                "simd diverges at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_agree_streaming_from_nonzero_state() {
+        let data = noise(1000, 42);
+        for &split in &[0usize, 1, 13, 64, 999, 1000] {
+            let (a, b) = data.split_at(split);
+            let want = update_scalar(update_scalar(crc32_init(), a), b);
+            for k in [Kernel::Slice16, Kernel::Simd] {
+                let st = update_with(k, crc32_init(), a);
+                assert_eq!(update_with(k, st, b), want, "{} split {split}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn forced_kernel_round_trip() {
+        let data = noise(300, 7);
+        let want = update_scalar(crc32_init(), &data);
+        for k in available_kernels() {
+            assert!(set_kernel(k), "{} advertised but not settable", k.name());
+            assert_eq!(active_kernel(), k);
+            assert_eq!(update(crc32_init(), &data), want);
+        }
+        // Leave the process on the auto-resolved best kernel.
+        let best = *available_kernels().last().expect("nonempty");
+        set_kernel(best);
+    }
+
+    #[test]
+    fn kernel_parse_names() {
+        for k in [Kernel::Scalar, Kernel::Slice16, Kernel::Simd] {
+            assert_eq!(Kernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::parse("avx1024"), None);
     }
 }

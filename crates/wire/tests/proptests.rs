@@ -4,6 +4,7 @@ use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
 
 use nmad_wire::agg::{parse_aggregate, AggregateBuilder, AggregateEntry};
+use nmad_wire::checksum::{self, Kernel};
 use nmad_wire::frame::encode_parts_frame;
 use nmad_wire::header::{
     AckPacket, ChunkPacket, EagerPacket, Packet, PacketKind, RdvAck, RdvRequest, SamplePacket,
@@ -327,5 +328,60 @@ proptest! {
         raw.extend_from_slice(&0u16.to_le_bytes()); // reserved
         raw.extend_from_slice(&body);
         let _ = Packet::decode(&raw);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every CRC kernel the CPU supports (slicing-by-16 and, where
+    /// detected, the PCLMUL fold) computes bit-identical checksums to the
+    /// scalar reference over arbitrary bytes fed through arbitrary
+    /// streaming splits — duplicate cut points deliberately produce empty
+    /// parts. This is the contract that lets [`checksum::update`]
+    /// dispatch to whichever kernel the CPU supports.
+    #[test]
+    fn crc_kernels_match_scalar_on_any_split(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        cuts in prop::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c % (data.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        // No dedup: repeated offsets become zero-length parts, which the
+        // streaming API must absorb without touching the state.
+        let reference =
+            checksum::crc32_finish(checksum::update_with(Kernel::Scalar, checksum::crc32_init(), &data));
+        for kernel in checksum::available_kernels() {
+            let mut state = checksum::crc32_init();
+            for w in offsets.windows(2) {
+                state = checksum::update_with(kernel, state, &data[w[0]..w[1]]);
+            }
+            prop_assert_eq!(
+                checksum::crc32_finish(state), reference,
+                "kernel {} diverged from scalar", kernel.name()
+            );
+        }
+    }
+
+    /// A 1-byte tail after the bulk body — the worst case for wide
+    /// kernels' remainder handling — plus a trailing empty part matches
+    /// the scalar whole-buffer answer for every kernel.
+    #[test]
+    fn crc_kernels_handle_one_byte_tails(data in prop::collection::vec(any::<u8>(), 1..1024)) {
+        let split = data.len() - 1;
+        let reference =
+            checksum::crc32_finish(checksum::update_with(Kernel::Scalar, checksum::crc32_init(), &data));
+        for kernel in checksum::available_kernels() {
+            let mut state = checksum::crc32_init();
+            state = checksum::update_with(kernel, state, &data[..split]);
+            state = checksum::update_with(kernel, state, &data[split..]);
+            state = checksum::update_with(kernel, state, &[]);
+            prop_assert_eq!(
+                checksum::crc32_finish(state), reference,
+                "kernel {} mishandled a 1-byte tail", kernel.name()
+            );
+        }
     }
 }

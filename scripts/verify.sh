@@ -61,6 +61,14 @@ NMAD_PARALLEL_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_parallel
 echo "==> chaos soak SLOs (ablate_soak smoke, ~15 s)"
 NMAD_SOAK_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_soak
 
+# Per-packet cycles gate: the ablate_cycles smoke sweep measures the
+# checksum kernels (slice16 >= 3x scalar, SIMD >= 8x where detected),
+# syscalls per packet under the batched parallel TCP fabric (< 0.5 TX),
+# the pool-magazine hit rate (>= 90%) and the end-to-end scalar-vs-SIMD
+# per-message CPU cost (see DESIGN.md §12).
+echo "==> per-packet cycles (ablate_cycles smoke sweep)"
+NMAD_CYCLES_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_cycles
+
 # Calibrate round-trip: the CLI must run the drift scenario and report a
 # converged split history (the degraded rail's share leaves the seed band).
 echo "==> nmad calibrate round-trip"
