@@ -394,7 +394,9 @@ fn one_msg(a: &mut Engine, b: &mut Engine, payload: &Bytes) -> u64 {
 /// vs. the best available kernel, finely interleaved (`ablate_obs`
 /// noise discipline). Restores the best kernel before returning.
 fn measure_per_packet(size: usize, samples: usize) -> PerPacketPoint {
-    let fast = *checksum::available_kernels().last().expect("scalar always available");
+    let fast = *checksum::available_kernels()
+        .last()
+        .expect("scalar always available");
     let (mut a_s, mut b_s) = engine_pair(StrategyKind::AdaptiveSplit, true);
     let (mut a_f, mut b_f) = engine_pair(StrategyKind::AdaptiveSplit, true);
     let payload = Bytes::from(noise_buf(size));
@@ -525,11 +527,7 @@ pub fn render(report: &CyclesReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{:>8} {:>10} {:>9}", "kernel", "GiB/s", "speedup");
     for p in &report.kernels {
-        let _ = writeln!(
-            out,
-            "{:>8} {:>10.2} {:>8.1}x",
-            p.kernel, p.gib_s, p.speedup
-        );
+        let _ = writeln!(out, "{:>8} {:>10.2} {:>8.1}x", p.kernel, p.gib_s, p.speedup);
     }
     if !report.simd_available {
         let _ = writeln!(out, "(pclmul kernel unavailable on this CPU)");
@@ -661,10 +659,7 @@ mod tests {
     fn magazine_workload_reuses_buffers() {
         let m = measure_magazine(16, 8);
         assert!(m.takes > 0, "workload must touch the pool");
-        assert!(
-            m.hit_rate > 0.5,
-            "steady-state reuse must dominate: {m:?}"
-        );
+        assert!(m.hit_rate > 0.5, "steady-state reuse must dominate: {m:?}");
     }
 
     #[test]

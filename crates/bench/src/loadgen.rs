@@ -321,6 +321,169 @@ pub fn render_preview(rows: &[SchedulePreview]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Trace replay: a recorded flight-recorder stream as a traffic source
+// ---------------------------------------------------------------------
+
+/// One replayed submit: offset from the start of the trace, payload
+/// size, and the tenant it maps to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayEvent {
+    /// Nanoseconds since the first submit in the trace.
+    pub t_ns: u64,
+    /// Submitted bytes.
+    pub size: u64,
+    /// Index into [`ReplayTrace::tenants`].
+    pub tenant: usize,
+}
+
+/// A deterministic traffic source reconstructed from a flight-recorder
+/// JSONL trace (`nmad trace --format jsonl`): the `submit` events'
+/// sizes and inter-arrival gaps, replayed verbatim.
+///
+/// Tenant mapping: a rail-attributed event maps to tenant `rail<K>`;
+/// `submit` events are engine-wide (rail `null` — the rail decision
+/// happens later, at split time), so they fall back to the recording
+/// actor, tenant `node<K>`. Tenants are numbered in order of first
+/// appearance, so the mapping is stable across re-parses of the same
+/// trace.
+#[derive(Clone, Debug)]
+pub struct ReplayTrace {
+    /// Replayable submits, ordered by time, re-based to the first.
+    pub events: Vec<ReplayEvent>,
+    /// Tenant display names, indexed by [`ReplayEvent::tenant`].
+    pub tenants: Vec<String>,
+    /// Lines that were not replayable submits (other event kinds,
+    /// blank or malformed lines).
+    pub skipped: usize,
+    /// Events the recorder ring dropped before the trace was exported
+    /// (from the stream's leading overflow marker, if any): the replay
+    /// is faithful to what survived, not to the full run.
+    pub truncated_by: u64,
+}
+
+impl ReplayTrace {
+    /// Parse a flight-recorder JSONL stream. Unparseable or non-submit
+    /// lines are counted, not fatal; a stream with no submits at all is
+    /// an error (there is nothing to replay).
+    pub fn parse(jsonl: &str) -> Result<ReplayTrace, String> {
+        let mut raw: Vec<(u64, u64, String)> = Vec::new();
+        let mut skipped = 0usize;
+        let mut truncated_by = 0u64;
+        for line in jsonl.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                skipped += 1;
+                continue;
+            }
+            let Ok(v) = serde_json::from_str::<Value>(line) else {
+                skipped += 1;
+                continue;
+            };
+            if v.get("overflow").and_then(Value::as_bool) == Some(true) {
+                truncated_by += v.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+                continue;
+            }
+            if v.get("kind").and_then(Value::as_str) != Some("submit") {
+                skipped += 1;
+                continue;
+            }
+            let (Some(ts), Some(size)) = (
+                v.get("ts_ns").and_then(Value::as_u64),
+                v.get("size").and_then(Value::as_u64),
+            ) else {
+                skipped += 1;
+                continue;
+            };
+            let tenant = match v.get("rail").and_then(Value::as_u64) {
+                Some(r) => format!("rail{r}"),
+                None => format!(
+                    "node{}",
+                    v.get("actor").and_then(Value::as_u64).unwrap_or(0)
+                ),
+            };
+            raw.push((ts, size, tenant));
+        }
+        if raw.is_empty() {
+            return Err("trace contains no submit events to replay".into());
+        }
+        raw.sort_by_key(|&(ts, _, _)| ts);
+        let t0 = raw[0].0;
+        let mut tenants: Vec<String> = Vec::new();
+        let events = raw
+            .into_iter()
+            .map(|(ts, size, name)| {
+                let tenant = match tenants.iter().position(|t| *t == name) {
+                    Some(i) => i,
+                    None => {
+                        tenants.push(name);
+                        tenants.len() - 1
+                    }
+                };
+                ReplayEvent {
+                    t_ns: ts - t0,
+                    size,
+                    tenant,
+                }
+            })
+            .collect();
+        Ok(ReplayTrace {
+            events,
+            tenants,
+            skipped,
+            truncated_by,
+        })
+    }
+
+    /// Trace span from first to last submit.
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.events.last().map_or(0, |e| e.t_ns))
+    }
+
+    /// Total replayed payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.size).sum()
+    }
+
+    /// Per-tenant schedule summary, same shape as the synthetic
+    /// generator's [`preview`] so `nmad loadgen` renders both alike.
+    pub fn preview(&self) -> Vec<SchedulePreview> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut events = 0usize;
+                let mut total = 0u64;
+                let mut max_size = 0u64;
+                let mut gap_sum = 0.0f64;
+                let mut gap_max = 0.0f64;
+                let mut prev_t: Option<u64> = None;
+                for e in self.events.iter().filter(|e| e.tenant == i) {
+                    events += 1;
+                    total += e.size;
+                    max_size = max_size.max(e.size);
+                    if let Some(p) = prev_t {
+                        let gap = (e.t_ns - p) as f64 / 1e3;
+                        gap_sum += gap;
+                        gap_max = gap_max.max(gap);
+                    }
+                    prev_t = Some(e.t_ns);
+                }
+                SchedulePreview {
+                    name: name.clone(),
+                    mode: "replay".to_string(),
+                    events,
+                    total_bytes: total,
+                    mean_size: total as f64 / events.max(1) as f64,
+                    max_size,
+                    mean_gap_us: gap_sum / (events.saturating_sub(1)).max(1) as f64,
+                    max_gap_us: gap_max,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,5 +573,89 @@ mod tests {
         for t in &spec.tenants {
             assert!(table.contains(t.name), "{table}");
         }
+    }
+
+    fn sample_trace() -> String {
+        // The exact shape `nmad trace --format jsonl` emits, with an
+        // overflow marker, submits from two actors, one rail-attributed
+        // submit, and non-submit noise lines.
+        [
+            r#"{"overflow":true,"dropped":12,"resume_ts_ns":1000}"#,
+            r#"{"ts_ns":1000,"kind":"submit","cat":"api","actor":0,"rail":null,"seq":1,"size":4096,"aux":1}"#,
+            r#"{"ts_ns":1500,"kind":"tx_post","cat":"tx","actor":0,"rail":0,"seq":1,"size":4096,"aux":0}"#,
+            r#"{"ts_ns":2500,"kind":"submit","cat":"api","actor":1,"rail":null,"seq":2,"size":64,"aux":1}"#,
+            r#"{"ts_ns":4000,"kind":"submit","cat":"api","actor":0,"rail":null,"seq":3,"size":1024,"aux":1}"#,
+            r#"{"ts_ns":5000,"kind":"submit","cat":"api","actor":0,"rail":1,"seq":4,"size":256,"aux":1}"#,
+            "not json at all",
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn replay_parses_submits_and_maps_tenants() {
+        let t = ReplayTrace::parse(&sample_trace()).expect("parses");
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.tenants, vec!["node0", "node1", "rail1"]);
+        assert_eq!(t.truncated_by, 12);
+        assert_eq!(t.skipped, 2, "tx_post and the garbage line");
+        // Re-based to the first submit, order preserved.
+        assert_eq!(
+            t.events[0],
+            ReplayEvent {
+                t_ns: 0,
+                size: 4096,
+                tenant: 0
+            }
+        );
+        assert_eq!(
+            t.events[1],
+            ReplayEvent {
+                t_ns: 1500,
+                size: 64,
+                tenant: 1
+            }
+        );
+        assert_eq!(
+            t.events[3],
+            ReplayEvent {
+                t_ns: 4000,
+                size: 256,
+                tenant: 2
+            }
+        );
+        assert_eq!(t.duration(), Duration::from_nanos(4000));
+        assert_eq!(t.total_bytes(), 4096 + 64 + 1024 + 256);
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_previews_like_the_generator() {
+        let a = ReplayTrace::parse(&sample_trace()).unwrap();
+        let b = ReplayTrace::parse(&sample_trace()).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.tenants, b.tenants);
+        let rows = a.preview();
+        assert_eq!(rows.len(), 3);
+        let node0 = &rows[0];
+        assert_eq!(node0.mode, "replay");
+        assert_eq!(node0.events, 2);
+        assert_eq!(node0.total_bytes, 4096 + 1024);
+        // node0 submits at 0 and 3000ns -> one 3.0us gap.
+        assert!(
+            (node0.mean_gap_us - 3.0).abs() < 1e-9,
+            "{}",
+            node0.mean_gap_us
+        );
+        let table = render_preview(&rows);
+        assert!(
+            table.contains("node0") && table.contains("rail1"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn replay_rejects_traces_without_submits() {
+        assert!(ReplayTrace::parse("").is_err());
+        let only_tx = r#"{"ts_ns":1,"kind":"tx_post","cat":"tx","actor":0,"rail":0,"seq":1,"size":10,"aux":0}"#;
+        assert!(ReplayTrace::parse(only_tx).is_err());
     }
 }

@@ -300,9 +300,14 @@ mod tests {
     fn lower_quartile_mean_rejects_upper_tail() {
         // 12 clean samples around 100 plus 4 noise bursts: the estimate
         // must come from the clean floor, not the bursts.
-        let mut s = vec![100, 101, 99, 100, 102, 100, 98, 101, 100, 99, 100, 101, 900, 1500, 700, 2000];
+        let mut s = vec![
+            100, 101, 99, 100, 102, 100, 98, 101, 100, 99, 100, 101, 900, 1500, 700, 2000,
+        ];
         let est = lower_quartile_mean(&mut s);
-        assert!((98..=101).contains(&est), "estimate {est} polluted by noise tail");
+        assert!(
+            (98..=101).contains(&est),
+            "estimate {est} polluted by noise tail"
+        );
         let mut one = vec![42];
         assert_eq!(lower_quartile_mean(&mut one), 42);
     }

@@ -29,7 +29,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use nmad_core::{ChaosState, EngineConfig, StrategyKind, SubmitError};
+use nmad_core::{
+    ChaosState, EngineConfig, StrategyKind, SubmitError, TelemetryConfig, WatchdogConfig,
+};
 use nmad_model::platform;
 use nmad_sim::Xoshiro256StarStar;
 use nmad_transport_mem::{pair, Endpoint, FabricConfig, FaultSpec, RailOutage};
@@ -163,6 +165,15 @@ pub struct SoakSpec {
     pub max_decay_pct: f64,
     /// Budget for draining outstanding requests after the load phase.
     pub drain_deadline: Duration,
+    /// Whether the chaos schedule applies. A clean run (false) has no
+    /// outage, no dial turns and no background fault probabilities —
+    /// it exercises the watchdog's false-positive contract: zero
+    /// alerts, or the gate fails.
+    pub chaos: bool,
+    /// Continuous-telemetry window interval. `Duration::ZERO` disables
+    /// the telemetry pipeline and the watchdog entirely (the pre-PR-7
+    /// soak behaviour).
+    pub telemetry_window: Duration,
 }
 
 impl SoakSpec {
@@ -182,6 +193,8 @@ impl SoakSpec {
             p999_ceiling: Duration::from_millis(5_000),
             max_decay_pct: 10.0,
             drain_deadline: Duration::from_secs(30),
+            chaos: true,
+            telemetry_window: Duration::from_millis(250),
         }
     }
 
@@ -193,6 +206,19 @@ impl SoakSpec {
             drain_deadline: Duration::from_secs(120),
             ..SoakSpec::smoke(seed)
         }
+    }
+}
+
+/// Watchdog thresholds scaled to the soak's shaped fabric (the
+/// defaults are sized for real links, not a time-scaled mem fabric):
+/// lower retransmit floor so a drop storm on sub-second windows trips
+/// the rule, everything else on the quiet-side defaults. The clean
+/// soak runs the same config and must fire nothing.
+fn soak_watchdog() -> WatchdogConfig {
+    WatchdogConfig {
+        enabled: true,
+        retransmit_floor: 6,
+        ..WatchdogConfig::default()
     }
 }
 
@@ -311,6 +337,56 @@ pub struct SoakReport {
     pub p999_ceiling_us: u64,
     /// Gate: max decay, percent.
     pub max_decay_pct: f64,
+    /// Whether the chaos schedule was applied (false = clean run,
+    /// exercising the watchdog's zero-false-positive contract).
+    pub chaos: bool,
+    /// Telemetry window interval, seconds (0 = telemetry off).
+    pub telemetry_window_s: f64,
+    /// Telemetry windows closed on the sender by the end of the drain.
+    pub telemetry_windows: u64,
+    /// Watchdog alerts fired on the sender, in firing order.
+    pub alerts: Vec<AlertOutcome>,
+    /// Watchdog verdict (`None` = watchdog off).
+    pub watchdog_clean: Option<bool>,
+    /// First rail-0 outage start, seconds into the run (-1 when clean).
+    pub outage_down_s: f64,
+    /// First rail-1 drop storm, seconds into the run (-1 when clean).
+    pub storm_at_s: f64,
+    /// Full JSONL telemetry time series from the sender — written as
+    /// its own artifact by callers, not serialized into the gate JSON.
+    pub telemetry_jsonl: Option<String>,
+    /// Machine-readable watchdog verdict (same policy as the series).
+    pub verdict_json: Option<String>,
+}
+
+/// One watchdog alert, flattened for the report.
+#[derive(Clone, Debug)]
+pub struct AlertOutcome {
+    /// Rule label (`retransmit_storm`, ...).
+    pub kind: String,
+    /// Telemetry window ordinal that tripped it.
+    pub window: u64,
+    /// Engine-clock fire time, seconds into the run.
+    pub t_s: f64,
+    /// Offending rail, when rail-scoped.
+    pub rail: Option<u64>,
+    /// Measured value.
+    pub value: f64,
+    /// EWMA baseline at fire time.
+    pub baseline: f64,
+}
+
+impl Serialize for AlertOutcome {
+    fn to_value(&self) -> Value {
+        ser::object([
+            ("kind", ser::v(&self.kind)),
+            ("window", ser::v(&self.window)),
+            ("t_s", ser::v(&self.t_s)),
+            ("rail", ser::v(&self.rail)),
+            ("value", ser::v(&self.value)),
+            ("baseline", ser::v(&self.baseline)),
+        ])
+    }
 }
 
 impl Serialize for SoakReport {
@@ -346,6 +422,13 @@ impl Serialize for SoakReport {
             ("p99_ceiling_us", ser::v(&self.p99_ceiling_us)),
             ("p999_ceiling_us", ser::v(&self.p999_ceiling_us)),
             ("max_decay_pct", ser::v(&self.max_decay_pct)),
+            ("chaos", ser::v(&self.chaos)),
+            ("telemetry_window_s", ser::v(&self.telemetry_window_s)),
+            ("telemetry_windows", ser::v(&self.telemetry_windows)),
+            ("alerts", ser::v(&self.alerts)),
+            ("watchdog_clean", ser::v(&self.watchdog_clean)),
+            ("outage_down_s", ser::v(&self.outage_down_s)),
+            ("storm_at_s", ser::v(&self.storm_at_s)),
         ])
     }
 }
@@ -369,7 +452,9 @@ fn soak_health(engine: &mut EngineConfig) {
 /// Run one soak. Blocks for `duration` plus however much of the drain
 /// budget the tail needs.
 pub fn run(spec: &SoakSpec) -> SoakReport {
-    let schedule = ChaosSchedule::generate(spec.seed, spec.duration);
+    let schedule = spec
+        .chaos
+        .then(|| ChaosSchedule::generate(spec.seed, spec.duration));
     let chaos = ChaosState::new(2);
 
     let mut engine = EngineConfig::with_strategy(StrategyKind::AdaptiveSplit);
@@ -381,19 +466,32 @@ pub fn run(spec: &SoakSpec) -> SoakReport {
     engine.overload.max_submission_depth = 4096;
     engine.overload.max_tenant_inflight = 32;
     engine.overload.pool_watermark = 1 << 15;
+    let telemetry_on = spec.telemetry_window > Duration::ZERO;
+    if telemetry_on {
+        // The aggregator tails the recorder ring; size it so a fold per
+        // scheduler pass never misses events.
+        engine.record_capacity = engine.record_capacity.max(1 << 15);
+        engine.telemetry = TelemetryConfig {
+            window_ns: spec.telemetry_window.as_nanos() as u64,
+            windows: 512,
+        };
+        engine.watchdog = soak_watchdog();
+    }
 
     let mut cfg = FabricConfig::new(platform::paper_platform(), engine);
     cfg.conns = spec.traffic.tenants.len();
     cfg.time_scale = spec.time_scale;
     cfg.chaos = Some(chaos.clone());
-    cfg.faults = Some(FaultSpec {
-        corrupt_prob: schedule.corrupt_prob,
-        dup_prob: schedule.dup_prob,
-        reorder_prob: schedule.reorder_prob,
-        seed: spec.seed,
-        outages: schedule.outages.clone(),
-        ..FaultSpec::default()
-    });
+    if let Some(schedule) = &schedule {
+        cfg.faults = Some(FaultSpec {
+            corrupt_prob: schedule.corrupt_prob,
+            dup_prob: schedule.dup_prob,
+            reorder_prob: schedule.reorder_prob,
+            seed: spec.seed,
+            outages: schedule.outages.clone(),
+            ..FaultSpec::default()
+        });
+    }
 
     let (a, b) = pair(cfg);
     let conns = a.conns().to_vec();
@@ -402,18 +500,22 @@ pub fn run(spec: &SoakSpec) -> SoakReport {
 
     let runs: Vec<TenantRun> = thread::scope(|s| {
         // Chaos driver: walk the dial timeline, then heal.
-        s.spawn(|| {
-            for ev in &schedule.dials {
-                sleep_until(start, ev.at);
-                match ev.kind {
-                    DialKind::Bandwidth(m) => chaos.set_bandwidth_mult(ev.rail, m),
-                    DialKind::DropBoost(p) => chaos.set_drop_boost(ev.rail, p),
+        if let Some(schedule) = &schedule {
+            let chaos = &chaos;
+            let dial_count = &dial_count;
+            s.spawn(move || {
+                for ev in &schedule.dials {
+                    sleep_until(start, ev.at);
+                    match ev.kind {
+                        DialKind::Bandwidth(m) => chaos.set_bandwidth_mult(ev.rail, m),
+                        DialKind::DropBoost(p) => chaos.set_drop_boost(ev.rail, p),
+                    }
+                    dial_count.fetch_add(1, Ordering::Relaxed);
                 }
-                dial_count.fetch_add(1, Ordering::Relaxed);
-            }
-            sleep_until(start, schedule.heal_at);
-            chaos.heal_all();
-        });
+                sleep_until(start, schedule.heal_at);
+                chaos.heal_all();
+            });
+        }
 
         let handles: Vec<_> = spec
             .traffic
@@ -487,6 +589,37 @@ pub fn run(spec: &SoakSpec) -> SoakReport {
         })
         .collect();
 
+    // Telemetry + watchdog verdicts off the sender (the endpoint the
+    // chaos bites: retransmits and failovers are sender-side calls).
+    let telemetry_jsonl = a.telemetry_jsonl();
+    let verdict_json = a.watchdog_verdict();
+    let telemetry_windows = a.telemetry_latest().map_or(0, |w| w.ordinal + 1);
+    let alerts: Vec<AlertOutcome> = a
+        .alerts()
+        .iter()
+        .map(|al| AlertOutcome {
+            kind: al.kind.label().to_string(),
+            window: al.window,
+            t_s: al.ts_ns as f64 / 1e9,
+            rail: al.rail.map(|r| r as u64),
+            value: al.value,
+            baseline: al.baseline,
+        })
+        .collect();
+    let watchdog_clean = telemetry_on.then_some(alerts.is_empty());
+    let outage_down_s = schedule
+        .as_ref()
+        .and_then(|s| s.outages.first())
+        .map_or(-1.0, |o| o.down_at.as_secs_f64());
+    let storm_at_s = schedule
+        .as_ref()
+        .and_then(|s| {
+            s.dials
+                .iter()
+                .find(|d| matches!(d.kind, DialKind::DropBoost(_)))
+        })
+        .map_or(-1.0, |d| d.at.as_secs_f64());
+
     SoakReport {
         seed: spec.seed,
         duration_s: spec.duration.as_secs_f64(),
@@ -510,11 +643,20 @@ pub fn run(spec: &SoakSpec) -> SoakReport {
         pool_leaks_b: b.pool_leaks(),
         stuck: runs.iter().map(|r| r.stuck).sum(),
         dial_events: dial_count.load(Ordering::Relaxed) as usize,
-        outage_count: schedule.outages.len(),
-        heal_at_s: schedule.heal_at.as_secs_f64(),
+        outage_count: schedule.as_ref().map_or(0, |s| s.outages.len()),
+        heal_at_s: schedule.as_ref().map_or(0.0, |s| s.heal_at.as_secs_f64()),
         p99_ceiling_us: spec.p99_ceiling.as_micros() as u64,
         p999_ceiling_us: spec.p999_ceiling.as_micros() as u64,
         max_decay_pct: spec.max_decay_pct,
+        chaos: spec.chaos,
+        telemetry_window_s: spec.telemetry_window.as_secs_f64(),
+        telemetry_windows,
+        alerts,
+        watchdog_clean,
+        outage_down_s,
+        storm_at_s,
+        telemetry_jsonl,
+        verdict_json,
     }
 }
 
@@ -676,8 +818,52 @@ pub fn check(r: &SoakReport) -> Vec<String> {
             ));
         }
     }
-    if r.retransmits == 0 && r.tx_dropped == 0 {
+    if r.chaos && r.retransmits == 0 && r.tx_dropped == 0 {
         v.push("chaos never bit: zero retransmits and zero injected drops".to_string());
+    }
+    // Watchdog contract. Chaos run: the injected incidents must be
+    // *reported*, promptly — an alert blaming rail 0 within two windows
+    // of the outage landing, and a retransmit-storm alert blaming
+    // rail 1 within two windows of the first drop storm. Clean run:
+    // nothing may fire at all. (The detection gates are load-sensitive,
+    // hence "timing" for the retry-once policy; a false positive on a
+    // clean fabric is deterministic and never retried.)
+    if let Some(clean) = r.watchdog_clean {
+        let w = r.telemetry_window_s;
+        // Alert timestamps are engine-clock (fabric epoch); injection
+        // times are relative to the load start a few ms later. One
+        // window of slack on the early side absorbs the skew.
+        let within = |t: f64, inject: f64| t >= inject - w && t <= inject + 2.0 * w;
+        if !r.chaos {
+            if !clean {
+                v.push(format!(
+                    "clean run fired {} watchdog alert(s): {:?}",
+                    r.alerts.len(),
+                    r.alerts.iter().map(|a| a.kind.as_str()).collect::<Vec<_>>()
+                ));
+            }
+        } else {
+            if !r
+                .alerts
+                .iter()
+                .any(|a| a.rail == Some(0) && within(a.t_s, r.outage_down_s))
+            {
+                v.push(format!(
+                    "timing: no watchdog alert blamed rail 0 within 2 windows of the outage at {:.2}s (alerts: {:?})",
+                    r.outage_down_s,
+                    r.alerts
+                ));
+            }
+            if !r.alerts.iter().any(|a| {
+                a.kind == "retransmit_storm" && a.rail == Some(1) && within(a.t_s, r.storm_at_s)
+            }) {
+                v.push(format!(
+                    "timing: no retransmit-storm alert blamed rail 1 within 2 windows of the drop storm at {:.2}s (alerts: {:?})",
+                    r.storm_at_s,
+                    r.alerts
+                ));
+            }
+        }
     }
     if r.p99_us > r.p99_ceiling_us {
         v.push(format!(
@@ -749,6 +935,29 @@ pub fn render(r: &SoakReport) -> String {
         "ledgers: pool leaks {}/{} | stuck {}",
         r.pool_leaks_a, r.pool_leaks_b, r.stuck
     );
+    if let Some(clean) = r.watchdog_clean {
+        let _ = writeln!(
+            out,
+            "watchdog: {} | {} telemetry windows of {:.0} ms | outage at {:.2}s, storm at {:.2}s",
+            if clean { "clean" } else { "alerts fired" },
+            r.telemetry_windows,
+            r.telemetry_window_s * 1e3,
+            r.outage_down_s,
+            r.storm_at_s
+        );
+        for a in &r.alerts {
+            let _ = writeln!(
+                out,
+                "  alert {:>17} at {:>7.2}s window {:>3} rail {:>4} value {:>12.1} baseline {:>10.1}",
+                a.kind,
+                a.t_s,
+                a.window,
+                a.rail.map_or("-".to_string(), |x| x.to_string()),
+                a.value,
+                a.baseline
+            );
+        }
+    }
     out
 }
 
@@ -818,5 +1027,67 @@ mod tests {
         // The report replays: serialization carries the seed.
         let json = serde_json::to_string(&r).expect("serializable");
         assert!(json.contains("\"seed\""));
+    }
+
+    /// The watchdog correctness gate in miniature: the rail-0 outage
+    /// and the rail-1 drop storm must each be reported within two
+    /// telemetry windows of injection.
+    #[test]
+    fn chaos_soak_watchdog_reports_the_injected_incidents() {
+        let mut spec = SoakSpec::smoke(11);
+        spec.duration = Duration::from_secs(3);
+        spec.windows = 4;
+        spec.telemetry_window = Duration::from_millis(125);
+        let r = run(&spec);
+        assert!(r.telemetry_windows > 0, "{}", render(&r));
+        let w = r.telemetry_window_s;
+        let within = |t: f64, inject: f64| t >= inject - w && t <= inject + 2.0 * w;
+        assert!(
+            r.alerts
+                .iter()
+                .any(|a| a.rail == Some(0) && within(a.t_s, r.outage_down_s)),
+            "rail-0 outage at {:.2}s unreported: {}",
+            r.outage_down_s,
+            render(&r)
+        );
+        assert!(
+            r.alerts.iter().any(|a| a.kind == "retransmit_storm"
+                && a.rail == Some(1)
+                && within(a.t_s, r.storm_at_s)),
+            "rail-1 drop storm at {:.2}s unreported: {}",
+            r.storm_at_s,
+            render(&r)
+        );
+        let verdict = r.verdict_json.as_deref().expect("watchdog verdict");
+        assert!(verdict.contains("\"clean\":false"), "{verdict}");
+        // The time series went along for the ride.
+        let jsonl = r.telemetry_jsonl.as_deref().expect("telemetry series");
+        assert!(jsonl.lines().count() as u64 >= r.telemetry_windows.min(8));
+    }
+
+    /// The false-positive half of the contract: a clean fabric under
+    /// the same load and the same thresholds fires nothing.
+    #[test]
+    fn clean_soak_fires_no_alerts() {
+        let mut spec = SoakSpec::smoke(11);
+        spec.duration = Duration::from_secs(2);
+        spec.windows = 4;
+        spec.chaos = false;
+        spec.telemetry_window = Duration::from_millis(125);
+        let r = run(&spec);
+        assert_eq!(r.watchdog_clean, Some(true), "{}", render(&r));
+        assert!(r.alerts.is_empty(), "{}", render(&r));
+        assert!(r.telemetry_windows > 0, "telemetry never closed a window");
+        let verdict = r.verdict_json.as_deref().expect("watchdog verdict");
+        assert!(verdict.contains("\"clean\":true"), "{verdict}");
+        assert_eq!(r.outage_count, 0);
+        assert_eq!(r.tx_dropped, 0, "clean run must inject nothing");
+        // check() must agree: no watchdog violations on a clean run.
+        for v in check(&r) {
+            assert!(
+                !v.contains("watchdog") && !v.contains("alert"),
+                "clean-run watchdog violation: {v}"
+            );
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::health::HealthConfig;
+use crate::obs::{TelemetryConfig, WatchdogConfig};
 use crate::sampling::CalibrationConfig;
 use crate::strategy::StrategyKind;
 
@@ -94,6 +95,16 @@ pub struct EngineConfig {
     /// to drain a batch and coalesce it into a single `write_vectored`
     /// (see DESIGN.md §12). Capped in practice by the outbox capacity.
     pub rail_pipeline: usize,
+    /// Continuous telemetry: fold the flight recorder into
+    /// fixed-interval windowed time series (see
+    /// [`crate::obs::TelemetryAggregator`]). Off by default; enabling it
+    /// requires a nonzero `record_capacity`, since the aggregator tails
+    /// the recorder ring.
+    pub telemetry: TelemetryConfig,
+    /// Online SLO watchdog over the telemetry windows (see
+    /// [`crate::obs::Watchdog`]). Off by default; enabling it requires
+    /// telemetry.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +122,8 @@ impl Default for EngineConfig {
             parallel: false,
             overload: OverloadConfig::default(),
             rail_pipeline: 1,
+            telemetry: TelemetryConfig::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -136,6 +149,20 @@ impl EngineConfig {
         );
         self.health.validate();
         self.calibration.validate();
+        self.telemetry.validate();
+        self.watchdog.validate();
+        if self.telemetry.enabled() {
+            assert!(
+                self.record_capacity > 0,
+                "telemetry folds the flight recorder: record_capacity must be nonzero"
+            );
+        }
+        if self.watchdog.enabled {
+            assert!(
+                self.telemetry.enabled(),
+                "the watchdog consumes telemetry windows: telemetry must be enabled"
+            );
+        }
     }
 }
 
@@ -158,6 +185,50 @@ mod tests {
         let c = EngineConfig::with_strategy(StrategyKind::Greedy);
         assert_eq!(c.strategy, StrategyKind::Greedy);
         assert_eq!(c.rdv_threshold, 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "record_capacity")]
+    fn telemetry_without_recorder_rejected() {
+        let c = EngineConfig {
+            telemetry: TelemetryConfig {
+                window_ns: 1_000_000,
+                windows: 8,
+            },
+            record_capacity: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn watchdog_without_telemetry_rejected() {
+        let c = EngineConfig {
+            watchdog: WatchdogConfig {
+                enabled: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn telemetry_with_recorder_validates() {
+        let c = EngineConfig {
+            telemetry: TelemetryConfig {
+                window_ns: 1_000_000,
+                windows: 8,
+            },
+            watchdog: WatchdogConfig {
+                enabled: true,
+                ..Default::default()
+            },
+            record_capacity: 1024,
+            ..Default::default()
+        };
+        c.validate();
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::config::EngineConfig;
 use crate::driver::{TxDecision, TxItem, TxToken};
 use crate::error::EngineError;
 use crate::health::{HealthTracker, RailState, RailTelemetry, Transition};
-use crate::obs::{Event, EventKind, FlightRecorder};
+use crate::obs::{Event, EventKind, FlightRecorder, TelemetryAggregator, Watchdog};
 use crate::pool::{Magazine, SharedPool};
 use crate::request::{Backlog, RecvId, SegKey, SegPhase, SendId};
 use crate::sampling::{default_ladder, split_ratio_permille, OnlineCalibrator, PerfTable};
@@ -181,9 +181,21 @@ pub struct Engine {
     /// Packet-lifecycle flight recorder (disabled unless
     /// [`EngineConfig::record_capacity`] is nonzero).
     obs: FlightRecorder,
+    /// Continuous telemetry: windowed aggregator tailing the recorder,
+    /// plus the optional SLO watchdog over its closed windows (present
+    /// iff [`EngineConfig::telemetry`] is enabled). Boxed so the common
+    /// telemetry-off engine doesn't carry the window ring inline.
+    telemetry: Option<Box<TelemetryState>>,
     /// Online recalibration of `tables` from observed transfer times
     /// (present iff [`crate::CalibrationConfig::enabled`]).
     calibrator: Option<OnlineCalibrator>,
+}
+
+/// Telemetry state folded inside the engine lock: the aggregator and
+/// (when enabled) the watchdog consuming its newly closed windows.
+struct TelemetryState {
+    agg: TelemetryAggregator,
+    dog: Option<Watchdog>,
 }
 
 /// Bookkeeping held between `next_tx` and `on_tx_done`: what the decision
@@ -229,11 +241,21 @@ impl Engine {
         let calibrator = config.calibration.enabled.then(|| {
             OnlineCalibrator::new(tables.clone(), default_ladder(), config.calibration.clone())
         });
+        let telemetry = config.telemetry.enabled().then(|| {
+            Box::new(TelemetryState {
+                agg: TelemetryAggregator::new(n, config.telemetry),
+                dog: config
+                    .watchdog
+                    .enabled
+                    .then(|| Watchdog::new(n, config.watchdog)),
+            })
+        });
         Engine {
             strategy: Some(config.strategy.build()),
             health: HealthTracker::new(config.health, n),
             obs: FlightRecorder::with_capacity(config.record_capacity),
             calibrator,
+            telemetry,
             config,
             tables,
             backlog: Backlog::new(),
@@ -272,6 +294,64 @@ impl Engine {
     /// workload phases).
     pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
         &mut self.obs
+    }
+
+    /// The continuous telemetry aggregator, when
+    /// [`EngineConfig::telemetry`] is enabled.
+    pub fn telemetry(&self) -> Option<&TelemetryAggregator> {
+        self.telemetry.as_deref().map(|t| &t.agg)
+    }
+
+    /// The SLO watchdog, when [`EngineConfig::watchdog`] is enabled.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.telemetry.as_deref().and_then(|t| t.dog.as_ref())
+    }
+
+    /// Fold new recorder events into the telemetry windows and run the
+    /// watchdog over any windows that closed. Called from
+    /// [`Engine::progress`] and from the parallel scheduler's amortized
+    /// section; cheap no-op when no events arrived and no window
+    /// boundary passed, free when telemetry is off.
+    ///
+    /// Newly fired alerts are recorded as [`EventKind::Alert`] events
+    /// into the flight-recorder ring, so they travel with every existing
+    /// exporter; the fold cursor has already moved past them, so each
+    /// alert event is folded back into the *next* window's `alerts`
+    /// count rather than the one that tripped it.
+    pub fn fold_telemetry(&mut self) {
+        // Take the state out of `self` so the fold can borrow the
+        // recorder and stats immutably alongside it (a move of a Box,
+        // not an allocation).
+        let Some(mut ts) = self.telemetry.take() else {
+            return;
+        };
+        let newly_closed = ts.agg.fold(&self.obs, self.now_ns, &self.stats) as usize;
+        if newly_closed > 0 {
+            if let TelemetryState {
+                agg,
+                dog: Some(dog),
+            } = &mut *ts
+            {
+                let fired_from = dog.alerts().len();
+                let kept = agg.windows().count();
+                // More windows may have closed than the ring retains
+                // (e.g. a long idle gap): observe the survivors.
+                for w in agg.windows().skip(kept.saturating_sub(newly_closed)) {
+                    dog.observe(w);
+                }
+                for a in &dog.alerts()[fired_from..] {
+                    let mut ev = Event::new(a.ts_ns, EventKind::Alert)
+                        .seq(a.window)
+                        .aux(a.kind.code())
+                        .size(a.value as u64);
+                    if let Some(r) = a.rail {
+                        ev = ev.rail(r);
+                    }
+                    self.obs.record(ev);
+                }
+            }
+        }
+        self.telemetry = Some(ts);
     }
 
     /// Advance the engine's observation clock without running any timer
@@ -344,11 +424,17 @@ impl Engine {
     pub fn note_sched_pass(&mut self, lock_hold_ns: u64, completions_drained: u64) {
         self.stats.obs.lock_hold_ns.record(lock_hold_ns);
         self.stats.obs.completion_batch.record(completions_drained);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.agg.note_sched_batch(completions_drained);
+        }
     }
 
     /// Record a per-rail outbox depth sample after a scheduler refill.
     pub fn note_outbox_depth(&mut self, depth: u64) {
         self.stats.obs.outbox_depth.record(depth);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.agg.note_outbox_depth(depth);
+        }
     }
 
     /// Whether `rail` currently has an injection in flight.
@@ -1484,11 +1570,20 @@ impl Engine {
             }
         }
         self.stats.retransmits += 1;
-        self.obs.record(
-            Event::new(self.now_ns, EventKind::Retransmit)
-                .seq(msg_id)
-                .aux(self.attempts.get(&id).map_or(0, |a| a.rto_ns)),
-        );
+        // Blame the first rail the expired attempt used so telemetry can
+        // attribute the storm (a drop storm on one rail must show up in
+        // that rail's window, not just the fabric total).
+        let mut ev = Event::new(self.now_ns, EventKind::Retransmit)
+            .seq(msg_id)
+            .aux(self.attempts.get(&id).map_or(0, |a| a.rto_ns));
+        if let Some(r) = self
+            .attempts
+            .get(&id)
+            .and_then(|a| a.rails_used.iter().position(|&u| u))
+        {
+            ev = ev.rail(r);
+        }
+        self.obs.record(ev);
         // Restart the attempt: Karn's rule forbids RTT samples from now on,
         // and the timer re-arms from scratch.
         if let Some(att) = self.attempts.get_mut(&id) {
@@ -1628,6 +1723,7 @@ impl Engine {
                 }
             }
         }
+        self.fold_telemetry();
         out
     }
 

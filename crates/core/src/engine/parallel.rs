@@ -861,6 +861,12 @@ impl ParallelHub {
         scratch.last_overload = overload;
         self.pool_outstanding
             .store(eng.stats().datapath.pool_outstanding, Ordering::Relaxed);
+        // Fold this pass's events (including the Shed/Backpressure
+        // deltas above) into the telemetry windows while the lock is
+        // still held. `progress` already folded once, but during
+        // shutdown drain it is skipped and this keeps the series alive.
+        eng.observe_clock(now_ns);
+        eng.fold_telemetry();
         drop(eng);
 
         if pass.drained > 0 || pass.published > 0 {

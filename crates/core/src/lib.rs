@@ -99,7 +99,10 @@ pub use engine::parallel::{
 pub use engine::{Engine, OnPacketOutcome, ProgressOutcome};
 pub use error::{EngineError, SubmitError};
 pub use health::{HealthConfig, HealthTracker, RailState, RailTelemetry};
-pub use obs::{Event, EventKind, FlightRecorder, Log2Histogram};
+pub use obs::{
+    Alert, AlertKind, Event, EventKind, FlightRecorder, Log2Histogram, SpanBreakdown,
+    TelemetryAggregator, TelemetryConfig, Watchdog, WatchdogConfig, Window,
+};
 pub use pool::{BufferPool, Magazine, PoolCounters, SharedPool};
 pub use request::{Backlog, RecvId, SendId};
 pub use sampling::{

@@ -9,6 +9,8 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::stats::EngineStats;
+
 use super::recorder::{Event, EventKind, NO_RAIL};
 
 /// Merge per-worker ring shards with the engine's ring into one
@@ -46,6 +48,25 @@ pub fn to_jsonl(events: &[Event]) -> String {
             e.seq, e.size, e.aux
         );
     }
+    out
+}
+
+/// [`to_jsonl`] with an explicit overflow marker: when the ring
+/// overwrote events before the snapshot was taken (`dropped` from
+/// [`super::FlightRecorder::dropped`]), the first line is a marker
+/// object naming the gap, so a consumer replaying the stream knows the
+/// series is truncated rather than silently starting late. With
+/// `dropped == 0` the output is byte-identical to [`to_jsonl`].
+pub fn to_jsonl_with_overflow(events: &[Event], dropped: u64) -> String {
+    let mut out = String::new();
+    if dropped > 0 {
+        let resume = events.first().map(|e| e.ts_ns).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{{\"overflow\":true,\"dropped\":{dropped},\"resume_ts_ns\":{resume}}}"
+        );
+    }
+    out.push_str(&to_jsonl(events));
     out
 }
 
@@ -171,6 +192,32 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
     out
 }
 
+/// [`to_chrome_trace`] with an overflow marker: a global instant named
+/// `ring_overflow` carrying the drop count, emitted at the first
+/// surviving timestamp. The trace stays structurally valid either way —
+/// a `TxDone` whose post was overwritten still renders as an instant,
+/// never as a dangling span.
+pub fn to_chrome_trace_with_overflow(events: &[Event], dropped: u64) -> String {
+    let mut out = to_chrome_trace(events);
+    if dropped > 0 {
+        let resume = events.first().map(|e| e.ts_ns).unwrap_or(0);
+        let tail = "]}";
+        debug_assert!(out.ends_with(tail));
+        out.truncate(out.len() - tail.len());
+        if !out.ends_with('[') {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":{},\"name\":\"ring_overflow\",\"cat\":\"obs\",\"args\":{{\"dropped\":{}}}}}",
+            us(resume),
+            dropped
+        );
+        out.push_str(tail);
+    }
+    out
+}
+
 fn emit_instant(out: &mut String, e: &Event) {
     let _ = write!(
         out,
@@ -250,6 +297,37 @@ pub fn summary(events: &[Event]) -> String {
     out
 }
 
+/// [`summary`] extended with the engine counters a trace alone cannot
+/// show: syscall amortization on the threaded transports and the pool
+/// magazine hit rate. `nmad trace --format summary` uses this when the
+/// endpoint's stats are at hand.
+pub fn summary_with_stats(events: &[Event], stats: &EngineStats) -> String {
+    let mut out = summary(events);
+    let sc = &stats.syscalls;
+    let _ = writeln!(
+        out,
+        "syscalls: {:.2}/pkt overall (tx {:.2}/pkt: {} calls/{} frames; rx {:.2}/pkt: {} calls/{} frames)",
+        sc.per_packet(),
+        sc.tx_per_packet(),
+        sc.tx_calls,
+        sc.tx_frames,
+        sc.rx_per_packet(),
+        sc.rx_calls,
+        sc.rx_frames
+    );
+    let dp = &stats.datapath;
+    let _ = writeln!(
+        out,
+        "magazine hit rate: {:.1}% ({} magazine hits / {} takes, {} refills, {} flushes)",
+        dp.magazine_hit_rate() * 100.0,
+        dp.pool_magazine_hits,
+        dp.pool_hits + dp.hot_path_allocs,
+        dp.pool_magazine_refills,
+        dp.pool_magazine_flushes
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +364,68 @@ mod tests {
         let s = summary(&sample_events());
         assert!(s.contains("split decisions"), "{s}");
         assert!(s.contains("50.0% of split"), "{s}");
+    }
+
+    #[test]
+    fn jsonl_overflow_marker_leads_the_stream() {
+        let evs = sample_events();
+        let s = to_jsonl_with_overflow(&evs, 17);
+        let mut lines = s.lines();
+        let marker = lines.next().unwrap();
+        assert!(marker.contains("\"overflow\":true"), "{marker}");
+        assert!(marker.contains("\"dropped\":17"), "{marker}");
+        assert!(marker.contains("\"resume_ts_ns\":100"), "{marker}");
+        assert_eq!(lines.count(), evs.len());
+        // No drops: byte-identical to the plain exporter.
+        assert_eq!(to_jsonl_with_overflow(&evs, 0), to_jsonl(&evs));
+    }
+
+    #[test]
+    fn chrome_overflow_marker_keeps_the_trace_balanced() {
+        let evs = sample_events();
+        let s = to_chrome_trace_with_overflow(&evs, 5);
+        assert!(s.ends_with("]}"), "{s}");
+        assert!(s.contains("\"name\":\"ring_overflow\""), "{s}");
+        assert!(s.contains("\"dropped\":5"), "{s}");
+        assert_eq!(
+            to_chrome_trace_with_overflow(&evs, 0),
+            to_chrome_trace(&evs)
+        );
+        // Empty snapshot with drops still renders a valid trace.
+        let empty = to_chrome_trace_with_overflow(&[], 3);
+        assert!(empty.contains("ring_overflow"), "{empty}");
+        assert!(empty.ends_with("]}"), "{empty}");
+        assert!(
+            !empty.contains("[,"),
+            "no leading comma corruption: {empty}"
+        );
+    }
+
+    #[test]
+    fn orphaned_tx_done_renders_as_instant_not_dangling_span() {
+        // The TxPost was overwritten in the ring; its TxDone must still
+        // export cleanly as an instant.
+        let evs = vec![Event::new(900, EventKind::TxDone).rail(0).seq(7).size(2100)];
+        let s = to_chrome_trace_with_overflow(&evs, 1);
+        assert!(s.contains("\"ph\":\"i\""), "{s}");
+        assert!(s.contains("tx_done"), "{s}");
+        assert!(!s.contains("\"ph\":\"X\""), "{s}");
+    }
+
+    #[test]
+    fn summary_with_stats_appends_syscalls_and_magazine() {
+        let mut stats = EngineStats::new(2);
+        stats.syscalls.tx_calls = 10;
+        stats.syscalls.tx_frames = 40;
+        stats.datapath.pool_hits = 100;
+        stats.datapath.pool_magazine_hits = 98;
+        let s = summary_with_stats(&sample_events(), &stats);
+        assert!(s.contains("tx 0.25/pkt"), "{s}");
+        assert!(s.contains("magazine hit rate: 98.0%"), "{s}");
+        assert!(
+            s.contains("split decisions"),
+            "still contains the base summary: {s}"
+        );
     }
 
     // Chrome-trace structural validity (parse + matched spans) is tested

@@ -14,12 +14,29 @@
 //! Exporters live on the cold path only: JSONL for ad-hoc grepping,
 //! Chrome `trace_event` JSON for `chrome://tracing`/Perfetto, and a
 //! human summary. See DESIGN.md "Observability".
+//!
+//! On top of the recorder sits the *continuous* telemetry layer (same
+//! discipline, live output): [`TelemetryAggregator`] folds the ring into
+//! fixed-interval windows, [`Watchdog`] runs EWMA-baseline SLO rules
+//! over them, and [`spans`] decomposes per-request critical paths. See
+//! DESIGN.md §8 "Observability: recorder + telemetry".
 #![deny(clippy::unnecessary_to_owned, clippy::redundant_clone)]
 
 mod export;
 mod hist;
 mod recorder;
+pub mod spans;
+mod telemetry;
+mod watchdog;
 
-pub use export::{merge_events, summary, to_chrome_trace, to_jsonl};
+pub use export::{
+    merge_events, summary, summary_with_stats, to_chrome_trace, to_chrome_trace_with_overflow,
+    to_jsonl, to_jsonl_with_overflow,
+};
 pub use hist::Log2Histogram;
 pub use recorder::{Event, EventKind, FlightRecorder, NO_RAIL};
+pub use spans::SpanBreakdown;
+pub use telemetry::{
+    to_prometheus, windows_jsonl, RailWindow, TelemetryAggregator, TelemetryConfig, Window,
+};
+pub use watchdog::{Alert, AlertKind, Watchdog, WatchdogConfig};

@@ -1,0 +1,714 @@
+//! Online SLO watchdog: EWMA-baseline rules over telemetry windows.
+//!
+//! The watchdog runs right where the windows close — inside the
+//! scheduler's amortized section — so a sick rail is *reported* while
+//! the run is still going, not discovered in a post-mortem dump. Four
+//! rules cover the regressions the multi-rail literature targets:
+//!
+//! * **latency regression** — window p99 ack RTT blows past its EWMA
+//!   baseline by a configured factor;
+//! * **rail share imbalance** — a rail that used to carry an
+//!   established share of the traffic collapses (the RailS/FlexLink
+//!   failure mode: one rail silently idle while the others saturate);
+//! * **retransmit storm** — the per-window retransmission count jumps
+//!   over `max(baseline × factor, floor)`;
+//! * **shed onset** — overload shedding surges relative to its own
+//!   baseline (absolute shedding is routine under open-loop load, so
+//!   only the *onset* is anomalous).
+//!
+//! Every rule warms up for a configured number of windows before it may
+//! fire, carries a per-rule cooldown so a sustained incident produces
+//! one alert rather than a storm of them, and appends to a bounded,
+//! preallocated alert log (the fold path stays allocation-free). Fired
+//! alerts are also recorded as [`crate::obs::EventKind::Alert`] events into the
+//! flight-recorder ring by the engine, so they travel with every
+//! existing exporter.
+
+use std::fmt::Write as _;
+
+use super::telemetry::Window;
+
+/// Which rule fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlertKind {
+    /// Window p99 latency regressed vs. its EWMA baseline.
+    LatencyRegression,
+    /// A rail's traffic share collapsed vs. its established baseline.
+    RailImbalance,
+    /// Retransmissions per window jumped over the storm threshold.
+    RetransmitStorm,
+    /// Overload shedding surged vs. its baseline.
+    ShedOnset,
+}
+
+impl AlertKind {
+    /// Stable numeric code, used as the `aux` word of the
+    /// [`crate::obs::EventKind::Alert`] event.
+    pub fn code(self) -> u64 {
+        match self {
+            AlertKind::LatencyRegression => 0,
+            AlertKind::RailImbalance => 1,
+            AlertKind::RetransmitStorm => 2,
+            AlertKind::ShedOnset => 3,
+        }
+    }
+
+    /// Inverse of [`AlertKind::code`].
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(AlertKind::LatencyRegression),
+            1 => Some(AlertKind::RailImbalance),
+            2 => Some(AlertKind::RetransmitStorm),
+            3 => Some(AlertKind::ShedOnset),
+            _ => None,
+        }
+    }
+
+    /// Short stable name for exporters and the CLI.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::LatencyRegression => "latency_regression",
+            AlertKind::RailImbalance => "rail_imbalance",
+            AlertKind::RetransmitStorm => "retransmit_storm",
+            AlertKind::ShedOnset => "shed_onset",
+        }
+    }
+}
+
+/// One fired rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alert {
+    /// Which rule.
+    pub kind: AlertKind,
+    /// Ordinal of the window that tripped it.
+    pub window: u64,
+    /// Engine-clock timestamp (the window's end).
+    pub ts_ns: u64,
+    /// Offending rail, when the rule is rail-scoped.
+    pub rail: Option<usize>,
+    /// The measured value that tripped the rule.
+    pub value: f64,
+    /// The EWMA baseline at fire time.
+    pub baseline: f64,
+}
+
+/// Watchdog thresholds. Defaults are deliberately generous — the
+/// watchdog's false-positive contract (a clean soak fires nothing) is a
+/// gated test, so every factor errs far to the quiet side.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WatchdogConfig {
+    /// Master switch; off costs nothing.
+    pub enabled: bool,
+    /// Windows each rule observes before it may fire (baselines still
+    /// learn during warmup).
+    pub warmup_windows: u64,
+    /// EWMA smoothing factor in `(0, 1]` (weight of the newest window).
+    pub alpha: f64,
+    /// Latency fires when window p99 > baseline × this factor...
+    pub latency_factor: f64,
+    /// ...and above this absolute floor, ns (suppresses regressions on
+    /// sub-millisecond noise).
+    pub latency_floor_ns: u64,
+    /// Minimum RTT samples in a window for the latency rule to judge it.
+    pub latency_min_samples: u64,
+    /// Retransmit storm fires when window retransmits >
+    /// `max(baseline × factor, floor)`.
+    pub retransmit_factor: f64,
+    /// Absolute retransmit floor per window (spurious RTO noise margin).
+    pub retransmit_floor: u64,
+    /// A rail's window share below this is a collapse...
+    pub share_collapse: f64,
+    /// ...but only if its baseline share was at least this established.
+    pub share_baseline_min: f64,
+    /// Total frames a window needs before the share rule judges it
+    /// (idle windows have no meaningful shares).
+    pub share_min_frames: u64,
+    /// Shed onset fires when window sheds >
+    /// `max(baseline × factor, floor)`.
+    pub shed_factor: f64,
+    /// Absolute shed floor per window.
+    pub shed_floor: u64,
+    /// Windows a rule stays quiet after firing (per kind, per rail for
+    /// the share rule).
+    pub cooldown_windows: u64,
+    /// Bounded alert log capacity (preallocated; overflow is counted).
+    pub max_alerts: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: false,
+            warmup_windows: 3,
+            alpha: 0.25,
+            latency_factor: 4.0,
+            latency_floor_ns: 5_000_000,
+            latency_min_samples: 8,
+            retransmit_factor: 4.0,
+            retransmit_floor: 24,
+            share_collapse: 0.05,
+            share_baseline_min: 0.25,
+            share_min_frames: 32,
+            shed_factor: 8.0,
+            shed_floor: 512,
+            cooldown_windows: 4,
+            max_alerts: 256,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Sanity-check the knobs.
+    pub fn validate(&self) {
+        if !self.enabled {
+            return;
+        }
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        assert!(self.latency_factor >= 1.0, "latency_factor must be >= 1");
+        assert!(
+            self.retransmit_factor >= 1.0,
+            "retransmit_factor must be >= 1"
+        );
+        assert!(self.shed_factor >= 1.0, "shed_factor must be >= 1");
+        assert!(
+            self.share_collapse < self.share_baseline_min,
+            "share_collapse must sit below share_baseline_min"
+        );
+        assert!(self.max_alerts > 0, "max_alerts must be positive");
+    }
+}
+
+const NEVER: u64 = u64::MAX;
+
+/// The watchdog state machine. One per engine; fed every closed window.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    observed: u64,
+    lat_ewma: f64,
+    lat_windows: u64,
+    retx_ewma: f64,
+    shed_ewma: f64,
+    share_ewma: Vec<f64>,
+    share_windows: u64,
+    alerts: Vec<Alert>,
+    dropped: u64,
+    /// Window ordinal each kind last fired at ([`NEVER`] = never).
+    last_kind: [u64; 4],
+    /// Per-rail cooldown for the share rule.
+    last_share: Vec<u64>,
+}
+
+impl Watchdog {
+    /// Watchdog for `n_rails` rails. The alert log is allocated here,
+    /// once.
+    pub fn new(n_rails: usize, cfg: WatchdogConfig) -> Self {
+        cfg.validate();
+        Watchdog {
+            observed: 0,
+            lat_ewma: 0.0,
+            lat_windows: 0,
+            retx_ewma: 0.0,
+            shed_ewma: 0.0,
+            share_ewma: vec![0.0; n_rails],
+            share_windows: 0,
+            alerts: Vec::with_capacity(cfg.max_alerts),
+            dropped: 0,
+            last_kind: [NEVER; 4],
+            last_share: vec![NEVER; n_rails],
+            cfg,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// Alerts fired so far (bounded log, oldest first).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Alerts that did not fit the bounded log.
+    pub fn dropped_alerts(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Windows observed so far.
+    pub fn windows_observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// True when no rule has fired.
+    pub fn is_clean(&self) -> bool {
+        self.alerts.is_empty() && self.dropped == 0
+    }
+
+    fn cooled(&self, slot: u64, ordinal: u64) -> bool {
+        slot == NEVER || ordinal >= slot + self.cfg.cooldown_windows
+    }
+
+    fn fire(&mut self, a: Alert) {
+        let idx = a.kind.code() as usize;
+        self.last_kind[idx] = a.window;
+        if let (AlertKind::RailImbalance, Some(r)) = (a.kind, a.rail) {
+            self.last_share[r] = a.window;
+        }
+        if self.alerts.len() < self.cfg.max_alerts {
+            self.alerts.push(a);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Run every rule over one newly closed window. Returns how many
+    /// alerts were appended to the log (the engine records that many
+    /// [`crate::obs::EventKind::Alert`] events). Allocation-free.
+    ///
+    /// Baselines are *anomaly-gated*: a window that trips a rule (or
+    /// would, were the rule not cooling down) does not feed that rule's
+    /// EWMA. Otherwise a long incident — say a rail-0 outage spanning
+    /// several windows — teaches the baseline that storms are normal,
+    /// and a genuinely new incident minutes later (the rail-1 drop
+    /// storm) slips under the inflated threshold. The cost is that a
+    /// *permanent* regime change keeps re-alerting every cooldown
+    /// until an operator adjusts the thresholds, which is the right
+    /// default for an SLO watchdog.
+    pub fn observe(&mut self, w: &Window) -> usize {
+        if !self.cfg.enabled {
+            return 0;
+        }
+        let before = self.alerts.len();
+        let armed = self.observed >= self.cfg.warmup_windows;
+        let a = self.cfg.alpha;
+
+        // Latency regression: judged only on windows with enough samples.
+        if w.latency.count() >= self.cfg.latency_min_samples {
+            if let Some(p99) = w.latency.approx_quantile(0.99) {
+                let p99f = p99 as f64;
+                let regressed = self.lat_windows >= self.cfg.warmup_windows
+                    && p99 > self.cfg.latency_floor_ns
+                    && p99f > self.lat_ewma * self.cfg.latency_factor;
+                if armed
+                    && regressed
+                    && self.cooled(
+                        self.last_kind[AlertKind::LatencyRegression.code() as usize],
+                        w.ordinal,
+                    )
+                {
+                    self.fire(Alert {
+                        kind: AlertKind::LatencyRegression,
+                        window: w.ordinal,
+                        ts_ns: w.end_ns,
+                        rail: None,
+                        value: p99f,
+                        baseline: self.lat_ewma,
+                    });
+                }
+                if self.lat_windows == 0 {
+                    self.lat_ewma = p99f;
+                } else if !(armed && regressed) {
+                    self.lat_ewma = a * p99f + (1.0 - a) * self.lat_ewma;
+                }
+                self.lat_windows += 1;
+            }
+        }
+
+        // Retransmit storm.
+        let retx = w.retransmits as f64;
+        let storm_threshold =
+            (self.retx_ewma * self.cfg.retransmit_factor).max(self.cfg.retransmit_floor as f64);
+        let storming = retx > storm_threshold;
+        if armed
+            && storming
+            && self.cooled(
+                self.last_kind[AlertKind::RetransmitStorm.code() as usize],
+                w.ordinal,
+            )
+        {
+            // Blame the rail carrying most of the storm, if any stands out.
+            let rail = w
+                .rails
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.retransmits)
+                .filter(|(_, r)| r.retransmits > 0)
+                .map(|(i, _)| i);
+            self.fire(Alert {
+                kind: AlertKind::RetransmitStorm,
+                window: w.ordinal,
+                ts_ns: w.end_ns,
+                rail,
+                value: retx,
+                baseline: self.retx_ewma,
+            });
+        }
+        if !(armed && storming) {
+            self.retx_ewma = a * retx + (1.0 - a) * self.retx_ewma;
+        }
+
+        // Rail share imbalance: judged only on windows with real traffic.
+        // Collapse alone is not enough — bursty workloads legitimately
+        // leave a rail idle for a window. A *dead* rail also shows
+        // distress (failover reroutes, retransmits of its lost frames),
+        // so the rule demands both.
+        let total_frames: u64 = w.rails.iter().map(|r| r.tx_frames).sum();
+        let total_bytes: u64 = w.rails.iter().map(|r| r.tx_bytes).sum();
+        if total_frames >= self.cfg.share_min_frames && total_bytes > 0 {
+            for (i, rw) in w.rails.iter().enumerate() {
+                let share = rw.tx_bytes as f64 / total_bytes as f64;
+                let distressed = rw.failovers > 0 || rw.retransmits > 0;
+                let collapsed = self.share_windows >= self.cfg.warmup_windows
+                    && self.share_ewma[i] >= self.cfg.share_baseline_min
+                    && share < self.cfg.share_collapse
+                    && distressed;
+                if armed && collapsed && self.cooled(self.last_share[i], w.ordinal) {
+                    self.fire(Alert {
+                        kind: AlertKind::RailImbalance,
+                        window: w.ordinal,
+                        ts_ns: w.end_ns,
+                        rail: Some(i),
+                        value: share,
+                        baseline: self.share_ewma[i],
+                    });
+                }
+                if self.share_windows == 0 {
+                    self.share_ewma[i] = share;
+                } else if !(armed && collapsed) {
+                    self.share_ewma[i] = a * share + (1.0 - a) * self.share_ewma[i];
+                }
+            }
+            self.share_windows += 1;
+        }
+
+        // Shed onset.
+        let sheds = w.sheds as f64;
+        let shed_threshold =
+            (self.shed_ewma * self.cfg.shed_factor).max(self.cfg.shed_floor as f64);
+        let shedding = sheds > shed_threshold;
+        if armed
+            && shedding
+            && self.cooled(
+                self.last_kind[AlertKind::ShedOnset.code() as usize],
+                w.ordinal,
+            )
+        {
+            self.fire(Alert {
+                kind: AlertKind::ShedOnset,
+                window: w.ordinal,
+                ts_ns: w.end_ns,
+                rail: None,
+                value: sheds,
+                baseline: self.shed_ewma,
+            });
+        }
+        if !(armed && shedding) {
+            self.shed_ewma = a * sheds + (1.0 - a) * self.shed_ewma;
+        }
+
+        self.observed += 1;
+        self.alerts.len() - before
+    }
+
+    /// Machine-readable verdict: the contract `nmad soak` and
+    /// `verify.sh` check. Hand-written JSON (static labels only), same
+    /// discipline as the other exporters.
+    pub fn verdict_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"clean\":{},\"windows_observed\":{},\"alerts_fired\":{},\"alerts_dropped\":{},\"alerts\":[",
+            self.is_clean(),
+            self.observed,
+            self.alerts.len() as u64 + self.dropped,
+            self.dropped
+        );
+        for (i, a) in self.alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"window\":{},\"ts_ns\":{},\"rail\":",
+                a.kind.label(),
+                a.window,
+                a.ts_ns
+            );
+            match a.rail {
+                Some(r) => {
+                    let _ = write!(out, "{r}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"value\":{:.3},\"baseline\":{:.3}}}",
+                a.value, a.baseline
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::telemetry::{RailWindow, Window};
+
+    fn cfg() -> WatchdogConfig {
+        WatchdogConfig {
+            enabled: true,
+            warmup_windows: 2,
+            retransmit_floor: 10,
+            shed_floor: 50,
+            latency_floor_ns: 1_000,
+            latency_min_samples: 4,
+            share_min_frames: 10,
+            ..WatchdogConfig::default()
+        }
+    }
+
+    fn window(ordinal: u64, n_rails: usize) -> Window {
+        Window {
+            ordinal,
+            start_ns: ordinal * 1_000,
+            end_ns: (ordinal + 1) * 1_000,
+            rails: vec![RailWindow::default(); n_rails],
+            ..Window::default()
+        }
+    }
+
+    fn balanced(ordinal: u64) -> Window {
+        let mut w = window(ordinal, 2);
+        for r in &mut w.rails {
+            r.tx_frames = 50;
+            r.tx_bytes = 1 << 20;
+        }
+        w
+    }
+
+    #[test]
+    fn disabled_watchdog_never_fires() {
+        let mut d = Watchdog::new(2, WatchdogConfig::default());
+        let mut w = window(0, 2);
+        w.retransmits = 1_000_000;
+        assert_eq!(d.observe(&w), 0);
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn retransmit_storm_fires_after_warmup_with_cooldown() {
+        let mut d = Watchdog::new(2, cfg());
+        // Warmup: storms during warmup only feed the baseline.
+        let mut w0 = balanced(0);
+        w0.retransmits = 2;
+        assert_eq!(d.observe(&w0), 0);
+        let mut w1 = balanced(1);
+        w1.retransmits = 1;
+        assert_eq!(d.observe(&w1), 0);
+        // Storm.
+        let mut w2 = balanced(2);
+        w2.retransmits = 500;
+        w2.rails[1].retransmits = 400;
+        assert_eq!(d.observe(&w2), 1);
+        let a = d.alerts()[0];
+        assert_eq!(a.kind, AlertKind::RetransmitStorm);
+        assert_eq!(a.rail, Some(1));
+        assert_eq!(a.window, 2);
+        // Sustained storm stays quiet through the cooldown.
+        let mut w3 = balanced(3);
+        w3.retransmits = 600;
+        assert_eq!(d.observe(&w3), 0);
+        assert_eq!(d.alerts().len(), 1);
+    }
+
+    #[test]
+    fn quiet_traffic_never_trips_the_storm_floor() {
+        let mut d = Watchdog::new(2, cfg());
+        for i in 0..20 {
+            let mut w = balanced(i);
+            w.retransmits = 3; // below the floor of 10, always
+            d.observe(&w);
+        }
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn rail_share_collapse_fires_for_the_dead_rail() {
+        let mut d = Watchdog::new(2, cfg());
+        for i in 0..4 {
+            assert_eq!(d.observe(&balanced(i)), 0);
+        }
+        // Rail 0 dies: all traffic shifts to rail 1, and the failover
+        // shows up as distress on the dead rail.
+        let mut w = window(4, 2);
+        w.rails[0].tx_frames = 0;
+        w.rails[0].tx_bytes = 0;
+        w.rails[0].failovers = 1;
+        w.rails[1].tx_frames = 100;
+        w.rails[1].tx_bytes = 2 << 20;
+        assert_eq!(d.observe(&w), 1);
+        let a = d.alerts()[0];
+        assert_eq!(a.kind, AlertKind::RailImbalance);
+        assert_eq!(a.rail, Some(0));
+        assert!(a.baseline > 0.4, "baseline share was ~0.5: {}", a.baseline);
+    }
+
+    #[test]
+    fn quiet_rail_without_distress_is_not_a_collapse() {
+        let mut d = Watchdog::new(2, cfg());
+        for i in 0..4 {
+            assert_eq!(d.observe(&balanced(i)), 0);
+        }
+        // A bursty workload leaves rail 0 idle for one window — no
+        // failovers, no retransmits. That is traffic shape, not death.
+        let mut w = window(4, 2);
+        w.rails[0].tx_frames = 0;
+        w.rails[0].tx_bytes = 0;
+        w.rails[1].tx_frames = 100;
+        w.rails[1].tx_bytes = 2 << 20;
+        assert_eq!(d.observe(&w), 0);
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn idle_windows_do_not_trip_the_share_rule() {
+        let mut d = Watchdog::new(2, cfg());
+        for i in 0..4 {
+            d.observe(&balanced(i));
+        }
+        // An idle window (below share_min_frames) must not look like a
+        // collapse of both rails.
+        let w = window(4, 2);
+        assert_eq!(d.observe(&w), 0);
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn latency_regression_needs_samples_and_floor() {
+        let mut d = Watchdog::new(2, cfg());
+        for i in 0..4 {
+            let mut w = balanced(i);
+            for _ in 0..10 {
+                w.latency.record(2_000);
+            }
+            assert_eq!(d.observe(&w), 0);
+        }
+        // A 10x p99 jump above the floor fires.
+        let mut w = balanced(4);
+        for _ in 0..10 {
+            w.latency.record(20_000);
+        }
+        assert_eq!(d.observe(&w), 1);
+        assert_eq!(d.alerts()[0].kind, AlertKind::LatencyRegression);
+        // A jump on too few samples is ignored.
+        let mut d2 = Watchdog::new(2, cfg());
+        for i in 0..4 {
+            let mut w = balanced(i);
+            for _ in 0..10 {
+                w.latency.record(2_000);
+            }
+            d2.observe(&w);
+        }
+        let mut w = balanced(4);
+        w.latency.record(1_000_000);
+        assert_eq!(d2.observe(&w), 0);
+    }
+
+    #[test]
+    fn shed_onset_is_relative_to_baseline() {
+        let mut d = Watchdog::new(2, cfg());
+        // Routine shedding establishes a baseline without firing.
+        for i in 0..6 {
+            let mut w = balanced(i);
+            w.sheds = 100;
+            assert_eq!(d.observe(&w), 0, "steady shedding is not an onset");
+        }
+        // A surge fires.
+        let mut w = balanced(6);
+        w.sheds = 5_000;
+        assert_eq!(d.observe(&w), 1);
+        assert_eq!(d.alerts()[0].kind, AlertKind::ShedOnset);
+    }
+
+    #[test]
+    fn verdict_json_is_machine_readable() {
+        let mut d = Watchdog::new(2, cfg());
+        for i in 0..3 {
+            d.observe(&balanced(i));
+        }
+        let mut w = balanced(3);
+        w.retransmits = 500;
+        d.observe(&w);
+        let v = d.verdict_json();
+        assert!(v.contains("\"clean\":false"), "{v}");
+        assert!(v.contains("\"kind\":\"retransmit_storm\""), "{v}");
+        assert!(v.contains("\"windows_observed\":4"), "{v}");
+        let clean = Watchdog::new(2, cfg()).verdict_json();
+        assert!(clean.contains("\"clean\":true"), "{clean}");
+        assert!(clean.ends_with("\"alerts\":[]}"), "{clean}");
+    }
+
+    #[test]
+    fn alert_log_is_bounded() {
+        let mut c = cfg();
+        c.max_alerts = 2;
+        c.cooldown_windows = 1;
+        let mut d = Watchdog::new(2, c);
+        for i in 0..10 {
+            let mut w = balanced(i);
+            // Grow 10x per window so the storm keeps outrunning its own
+            // EWMA (which is at most the previous window's value).
+            w.retransmits = 10u64.pow(i as u32 + 1);
+            d.observe(&w);
+        }
+        assert_eq!(d.alerts().len(), 2);
+        assert!(d.dropped_alerts() > 0);
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn incident_windows_do_not_poison_the_baseline() {
+        let mut d = Watchdog::new(2, cfg());
+        for i in 0..3 {
+            let mut w = balanced(i);
+            w.retransmits = 2;
+            d.observe(&w);
+        }
+        // A 4-window storm (one alert, then cooldown) must not teach
+        // the EWMA that storms are normal...
+        for i in 3..7 {
+            let mut w = balanced(i);
+            w.retransmits = 1_000;
+            d.observe(&w);
+        }
+        assert_eq!(d.alerts().len(), 1);
+        // ...so after a calm window, a much smaller fresh storm still
+        // reads as one, against the pre-incident baseline.
+        let mut w7 = balanced(7);
+        w7.retransmits = 2;
+        assert_eq!(d.observe(&w7), 0);
+        let mut w8 = balanced(8);
+        w8.retransmits = 300;
+        assert_eq!(d.observe(&w8), 1, "baseline inflated by the incident");
+        assert!(d.alerts()[1].baseline < 10.0, "{}", d.alerts()[1].baseline);
+    }
+
+    #[test]
+    fn alert_kind_codes_round_trip() {
+        for k in [
+            AlertKind::LatencyRegression,
+            AlertKind::RailImbalance,
+            AlertKind::RetransmitStorm,
+            AlertKind::ShedOnset,
+        ] {
+            assert_eq!(AlertKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(AlertKind::from_code(99), None);
+    }
+}

@@ -257,11 +257,7 @@ impl Magazine {
     pub fn take(&mut self, min_capacity: usize) -> BytesMut {
         let c = &self.shared.counters;
         c.outstanding.fetch_add(1, Ordering::Relaxed);
-        if let Some(idx) = self
-            .local
-            .iter()
-            .position(|b| b.capacity() >= min_capacity)
-        {
+        if let Some(idx) = self.local.iter().position(|b| b.capacity() >= min_capacity) {
             let mut buf = self.local.swap_remove(idx);
             buf.clear();
             c.magazine_hits.fetch_add(1, Ordering::Relaxed);
@@ -452,7 +448,11 @@ mod tests {
         let c = mag.counters();
         assert_eq!(c.magazine_hits, 100);
         assert_eq!(c.allocs, 4, "no further allocations after warmup");
-        assert!(c.magazine_hit_rate() > 0.9, "rate {}", c.magazine_hit_rate());
+        assert!(
+            c.magazine_hit_rate() > 0.9,
+            "rate {}",
+            c.magazine_hit_rate()
+        );
         assert_eq!(mag.outstanding(), 0, "ledger balanced");
     }
 
@@ -464,7 +464,11 @@ mod tests {
         let b = mag.take(64);
         assert_eq!(pool.outstanding(), 2);
         mag.reclaim(a.freeze());
-        assert_eq!(pool.outstanding(), 1, "cached buffer is free, not outstanding");
+        assert_eq!(
+            pool.outstanding(),
+            1,
+            "cached buffer is free, not outstanding"
+        );
         assert_eq!(mag.cached(), 1);
         // Shared reclaim still closes the ledger entry.
         let frozen = b.freeze();

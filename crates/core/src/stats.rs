@@ -145,6 +145,19 @@ impl SyscallStats {
             (self.tx_calls + self.rx_calls) as f64 / frames as f64
         }
     }
+
+    /// Counter growth since an earlier snapshot, saturating at zero so a
+    /// counter reset (e.g. a restarted transport worker) yields an empty
+    /// delta rather than a wrapped one. This is how the telemetry
+    /// aggregator turns the cumulative totals into per-window rates.
+    pub fn delta_since(&self, prev: &SyscallStats) -> SyscallStats {
+        SyscallStats {
+            tx_calls: self.tx_calls.saturating_sub(prev.tx_calls),
+            tx_frames: self.tx_frames.saturating_sub(prev.tx_frames),
+            rx_calls: self.rx_calls.saturating_sub(prev.rx_calls),
+            rx_frames: self.rx_frames.saturating_sub(prev.rx_frames),
+        }
+    }
 }
 
 /// Per-rail observability gauges and histograms.

@@ -404,6 +404,49 @@ impl Endpoint {
             Fabric::Parallel(p) => p.hub.merged_events(),
         }
     }
+
+    /// Fold pending recorder events into the telemetry windows and
+    /// render the Prometheus text exposition. `None` unless the
+    /// endpoint was built with `EngineConfig::telemetry` enabled.
+    pub fn telemetry_prometheus(&self) -> Option<String> {
+        let mut eng = self.fabric.engine().lock();
+        eng.fold_telemetry();
+        let stats = eng.stats().clone();
+        eng.telemetry()
+            .map(|agg| nmad_core::obs::to_prometheus(agg, &stats))
+    }
+
+    /// The telemetry time series as JSONL, one closed window per line
+    /// (oldest first, at most the configured ring depth).
+    pub fn telemetry_jsonl(&self) -> Option<String> {
+        let mut eng = self.fabric.engine().lock();
+        eng.fold_telemetry();
+        eng.telemetry().map(nmad_core::obs::windows_jsonl)
+    }
+
+    /// Snapshot of the most recently closed telemetry window.
+    pub fn telemetry_latest(&self) -> Option<nmad_core::Window> {
+        let mut eng = self.fabric.engine().lock();
+        eng.fold_telemetry();
+        eng.telemetry().and_then(|agg| agg.latest().cloned())
+    }
+
+    /// Watchdog alerts fired so far (empty without a watchdog).
+    pub fn alerts(&self) -> Vec<nmad_core::Alert> {
+        let mut eng = self.fabric.engine().lock();
+        eng.fold_telemetry();
+        eng.watchdog()
+            .map(|d| d.alerts().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Machine-readable watchdog verdict. `None` unless the endpoint
+    /// was built with `EngineConfig::watchdog` enabled.
+    pub fn watchdog_verdict(&self) -> Option<String> {
+        let mut eng = self.fabric.engine().lock();
+        eng.fold_telemetry();
+        eng.watchdog().map(|d| d.verdict_json())
+    }
 }
 
 impl Drop for Endpoint {

@@ -354,10 +354,7 @@ mod simd {
         }
 
         // 128 -> 64 bits.
-        let x = _mm_xor_si128(
-            _mm_clmulepi64_si128(x, k3k4, 0x10),
-            _mm_srli_si128(x, 8),
-        );
+        let x = _mm_xor_si128(_mm_clmulepi64_si128(x, k3k4, 0x10), _mm_srli_si128(x, 8));
         // 64 -> 32 bits.
         let mask32 = _mm_set_epi32(0, 0, 0, !0);
         let x = _mm_xor_si128(

@@ -82,9 +82,24 @@ echo "$cal_out" | grep -q "live tables" \
 # validator accepts (parses, phase fields present, B/E balanced).
 echo "==> nmad trace emit + validate"
 trace_tmp="$(mktemp /tmp/nmad_trace.XXXXXX.json)"
-trap 'rm -f "$trace_tmp"' EXIT
+wd_tmp="$(mktemp /tmp/nmad_verdict.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$wd_tmp"' EXIT
 cargo run -q -p nmad-cli -- trace --size 1048576 --out "$trace_tmp"
 cargo run -q -p nmad-cli -- trace --validate "$trace_tmp"
+
+# Watchdog smoke: the detection contract from DESIGN.md §8. A seeded
+# chaos soak (drop storm on rail 1 mid-run) must report a
+# retransmit-storm alert in its machine verdict, and the same pipeline
+# run clean must stay silent (the false-positive contract).
+echo "==> watchdog smoke (chaos fires retransmit-storm, clean run stays silent)"
+cargo run -q -p nmad-cli -- soak --seed 11 --duration 3 --window 125 \
+    --out-verdict "$wd_tmp" >/dev/null
+grep -q '"kind":"retransmit_storm"' "$wd_tmp" \
+    || { echo "chaos soak verdict has no retransmit-storm alert:"; cat "$wd_tmp"; exit 1; }
+cargo run -q -p nmad-cli -- soak --seed 11 --duration 2 --no-chaos --window 125 \
+    --out-verdict "$wd_tmp" >/dev/null
+grep -q '"clean":true' "$wd_tmp" \
+    || { echo "clean soak verdict is not clean:"; cat "$wd_tmp"; exit 1; }
 
 echo "==> cargo fmt --check"
 cargo fmt --check 2>/dev/null || echo "    (rustfmt unavailable or diffs; non-fatal)"
