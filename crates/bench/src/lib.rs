@@ -27,6 +27,7 @@ pub mod obs_bench;
 pub mod parallel;
 pub mod report;
 pub mod soak;
+pub mod tournament;
 pub mod workload;
 
 pub use figures::FigureResult;

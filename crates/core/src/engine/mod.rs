@@ -40,7 +40,7 @@ use crate::pool::{Magazine, SharedPool};
 use crate::request::{Backlog, RecvId, SegKey, SegPhase, SendId};
 use crate::sampling::{default_ladder, split_ratio_permille, OnlineCalibrator, PerfTable};
 use crate::stats::EngineStats;
-use crate::strategy::{Strategy, StrategyCtx, TxOp};
+use crate::strategy::{RailFlight, Strategy, StrategyCtx, TxOp};
 
 /// Pool capacity for packet head buffers: envelope (24 bytes) plus the
 /// largest per-kind body header (chunk, 34 bytes), rounded up.
@@ -189,6 +189,9 @@ pub struct Engine {
     /// Online recalibration of `tables` from observed transfer times
     /// (present iff [`crate::CalibrationConfig::enabled`]).
     calibrator: Option<OnlineCalibrator>,
+    /// Per-rail EWMA of observed data-frame service time (ns), fed to
+    /// strategies via [`RailFlight`] so SRPT can predict completions.
+    ewma_service_ns: Vec<u64>,
 }
 
 /// Telemetry state folded inside the engine lock: the aggregator and
@@ -216,6 +219,8 @@ struct InFlightTx {
     posted_ns: u64,
     /// Control-only frame (excluded from calibration: latency-bound).
     control: bool,
+    /// Rail the frame was posted on (per-rail flight view, blame).
+    rail: usize,
 }
 
 impl Engine {
@@ -281,6 +286,7 @@ impl Engine {
             attempts: HashMap::new(),
             probe_sent: HashMap::new(),
             next_probe_id: 0,
+            ewma_service_ns: vec![0; n],
             rails,
         }
     }
@@ -737,6 +743,7 @@ impl Engine {
         // this is exactly the old has-anything-in-flight flag.
         let depth = self.config.rail_pipeline as u32;
         let rail_at_cap: Vec<bool> = self.rail_inflight.iter().map(|&n| n >= depth).collect();
+        let flight = self.flight_view();
         let mut strategy = self.strategy.take().expect("strategy present");
         let op = {
             let mut ctx = StrategyCtx {
@@ -748,6 +755,7 @@ impl Engine {
                 config: &self.config,
                 obs: &mut self.obs,
                 now_ns: self.now_ns,
+                flight: &flight,
             };
             strategy.next_tx(rail, &mut ctx)
         };
@@ -758,6 +766,32 @@ impl Engine {
             return Ok(None);
         };
         self.execute_op(rail, op).map(Some)
+    }
+
+    /// Snapshot the per-rail in-flight data-frame load for a strategy
+    /// decision. One pass over the (small, pipeline-bounded) in-flight
+    /// map; control frames are excluded — strategies reason about where
+    /// payload bytes are.
+    fn flight_view(&self) -> Vec<RailFlight> {
+        let mut flight: Vec<RailFlight> = (0..self.rails.len())
+            .map(|r| RailFlight {
+                sent_bytes: self.stats.rails[r].wire_bytes,
+                ewma_service_ns: self.ewma_service_ns[r],
+                ..RailFlight::default()
+            })
+            .collect();
+        for tx in self.in_flight.values() {
+            if tx.control {
+                continue;
+            }
+            let f = &mut flight[tx.rail];
+            f.inflight += 1;
+            f.inflight_bytes += tx.wire_len as u64;
+            if f.oldest_post_ns == 0 || tx.posted_ns < f.oldest_post_ns {
+                f.oldest_post_ns = tx.posted_ns;
+            }
+        }
+        flight
     }
 
     fn execute_op(&mut self, rail: RailId, op: TxOp) -> Result<TxDecision, EngineError> {
@@ -1101,6 +1135,7 @@ impl Engine {
                 wire_len,
                 posted_ns: self.now_ns,
                 control,
+                rail: rail.0,
             },
         );
         self.rail_inflight[rail.0] += 1;
@@ -1123,6 +1158,7 @@ impl Engine {
             wire_len,
             posted_ns,
             control,
+            rail: _,
         } = self
             .in_flight
             .remove(&token.0)
@@ -1152,6 +1188,20 @@ impl Engine {
             // Same deal for the aggregation staging slab.
             self.pool.reclaim(s);
             self.sync_pool_counters();
+        }
+        // Per-rail service-time EWMA: SRPT's straggler predictor. First
+        // sample seeds; after that a 3/4-old, 1/4-new blend tracks drift
+        // without chasing noise. Control frames excluded, same as below.
+        if !control {
+            let elapsed_ns = self.now_ns.saturating_sub(posted_ns);
+            if elapsed_ns > 0 {
+                let ewma = &mut self.ewma_service_ns[rail.0];
+                *ewma = if *ewma == 0 {
+                    elapsed_ns
+                } else {
+                    (*ewma * 3 + elapsed_ns) / 4
+                };
+            }
         }
         // Online calibration: a completed data injection is a live
         // transfer-time sample for this rail (control frames are excluded —
@@ -1570,18 +1620,43 @@ impl Engine {
             }
         }
         self.stats.retransmits += 1;
-        // Blame the first rail the expired attempt used so telemetry can
-        // attribute the storm (a drop storm on one rail must show up in
-        // that rail's window, not just the fabric total).
+        // Blame the rails that plausibly lost the expired attempt so
+        // telemetry can attribute the storm per rail (a drop storm on the
+        // second rail of a split attempt must show up in *that* rail's
+        // window, not the first rail's). Rails with positive evidence
+        // newer than the attempt are exonerated, mirroring the timeout
+        // path; when everything was exonerated (or nothing was used yet,
+        // e.g. a lost rendezvous request before any data went out), fall
+        // back to all used rails. The event carries the full blame set as
+        // a bitmask in `size` (unused for Retransmit) plus the first
+        // blamed rail in `rail` for single-rail consumers.
         let mut ev = Event::new(self.now_ns, EventKind::Retransmit)
             .seq(msg_id)
             .aux(self.attempts.get(&id).map_or(0, |a| a.rto_ns));
-        if let Some(r) = self
-            .attempts
-            .get(&id)
-            .and_then(|a| a.rails_used.iter().position(|&u| u))
-        {
-            ev = ev.rail(r);
+        if let Some(att) = self.attempts.get(&id) {
+            let used: Vec<usize> = att
+                .rails_used
+                .iter()
+                .enumerate()
+                .filter(|(_, &u)| u)
+                .map(|(r, _)| r)
+                .collect();
+            let started = att.started_ns;
+            let mut blamed: Vec<usize> = used
+                .iter()
+                .copied()
+                .filter(|&r| !self.health.ok_since(RailId(r), started))
+                .collect();
+            if blamed.is_empty() {
+                blamed = used;
+            }
+            if let Some(&first) = blamed.first() {
+                let mask: u64 = blamed
+                    .iter()
+                    .filter(|&&r| r < 64)
+                    .fold(0u64, |m, &r| m | (1 << r));
+                ev = ev.rail(first).size(mask);
+            }
         }
         self.obs.record(ev);
         // Restart the attempt: Karn's rule forbids RTT samples from now on,
@@ -2269,6 +2344,68 @@ mod tests {
         assert_eq!(tx.stats().retransmits, 1);
         let msg = rx.try_recv(recv).expect("delivered");
         assert_eq!(msg.segments[0], payload(2000, 7));
+    }
+
+    #[test]
+    fn retransmit_blames_the_lossy_rail_of_a_split_attempt() {
+        // A two-rail attempt where rail 0 demonstrably delivered (a later
+        // ack rode it) and rail 1 dropped its packet: the Retransmit event
+        // must blame rail 1 — not rail 0 just because it was used first.
+        let p = platform::paper_platform();
+        let mut cfg = EngineConfig::with_strategy(StrategyKind::Greedy);
+        cfg.acked = true;
+        cfg.record_capacity = 256;
+        let mut tx = Engine::new(cfg.clone(), p.rails.clone(), vec![]);
+        let mut rx = Engine::new(cfg, p.rails, vec![]);
+        let c = tx.conn_open();
+        rx.conn_open();
+        tx.progress(1_000);
+        rx.progress(1_000);
+
+        // Message B: two eager segments, one per rail. Rail 0's frame is
+        // delivered; rail 1's frame is lost.
+        let send_b = tx.submit_send(c, vec![payload(2000, 1), payload(2000, 2)]);
+        let recv_b = rx.post_recv(c);
+        let d0 = tx.next_tx(RailId(0)).unwrap().expect("seg on rail 0");
+        tx.on_tx_done(RailId(0), d0.token).unwrap();
+        rx.on_frame(RailId(0), &d0.frame).unwrap();
+        let d1 = tx.next_tx(RailId(1)).unwrap().expect("seg on rail 1");
+        tx.on_tx_done(RailId(1), d1.token).unwrap();
+        // (d1.frame dropped on the floor)
+        assert!(tx.send_complete(send_b));
+        assert!(!tx.send_acked(send_b));
+
+        // Message A: delivered over rail 0 after B's attempt started, so
+        // its ack is positive evidence exonerating rail 0.
+        tx.progress(2_000);
+        rx.progress(2_000);
+        let send_a = tx.submit_send(c, vec![payload(64, 9)]);
+        rx.post_recv(c);
+        let da = tx.next_tx(RailId(0)).unwrap().expect("small on rail 0");
+        tx.on_tx_done(RailId(0), da.token).unwrap();
+        rx.on_frame(RailId(0), &da.frame).unwrap();
+        let ack = rx.next_tx(RailId(0)).unwrap().expect("ack for A");
+        rx.on_tx_done(RailId(0), ack.token).unwrap();
+        tx.on_frame(RailId(0), &ack.frame).unwrap();
+        assert!(tx.send_acked(send_a));
+
+        // B's timer fires: the blame must land on rail 1 alone.
+        tx.progress(3_000);
+        assert!(tx.retransmit(send_b));
+        let retx: Vec<Event> = tx
+            .recorder()
+            .iter()
+            .filter(|e| e.kind == EventKind::Retransmit)
+            .copied()
+            .collect();
+        assert_eq!(retx.len(), 1);
+        assert_eq!(retx[0].rail, 1, "blame the rail that lost the packet");
+        assert_eq!(retx[0].size, 0b10, "mask holds only rail 1");
+
+        // And the message still recovers.
+        pump(&mut tx, &mut rx);
+        assert!(tx.send_acked(send_b));
+        assert!(rx.try_recv(recv_b).is_some());
     }
 
     #[test]

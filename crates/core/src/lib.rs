@@ -90,7 +90,7 @@ pub mod strategy;
 
 pub use api::{MessageBuilder, MessageReader};
 pub use chaos::ChaosState;
-pub use config::{EngineConfig, OverloadConfig};
+pub use config::{EngineConfig, OverloadConfig, ZooConfig};
 pub use driver::{TxDecision, TxToken};
 pub use engine::parallel::{
     outbox, spsc, AppOp, Completion, MpscQueue, OutboxReceiver, OutboxSender, ParallelHub,
@@ -109,4 +109,4 @@ pub use sampling::{
     split_ratio_permille, CalibrationConfig, CalibrationSnapshot, OnlineCalibrator, PerfTable,
 };
 pub use stats::{DataPathStats, EngineStats, ObsStats, OverloadStats, RailObs, SyscallStats};
-pub use strategy::{Strategy, StrategyKind};
+pub use strategy::{RailFlight, Strategy, StrategyKind};

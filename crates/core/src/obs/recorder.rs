@@ -32,6 +32,10 @@ pub enum EventKind {
     /// Strategy emitted a bounded chunk outside a full split plan
     /// (`seq` = send id, `size` = chunk bytes).
     DecideChunk,
+    /// Strategy re-striped a straggling/unhealthy rail's remaining
+    /// planned chunks onto the surviving rails (`rail` = the rail that
+    /// lost its plan, `aux` = chunks moved).
+    Restripe,
     /// A frame was handed to the NIC (`seq` = tx token, `size` = wire
     /// bytes, `aux` = 1 for control traffic).
     TxPost,
@@ -48,7 +52,9 @@ pub enum EventKind {
     /// (`aux` = RTT in ns).
     RttSample,
     /// A message was re-queued for retransmission (`seq` = send id,
-    /// `aux` = the RTO that fired, ns).
+    /// `aux` = the RTO that fired in ns, `rail` = first blamed rail,
+    /// `size` = bitmask of every blamed rail — a split attempt can
+    /// blame several).
     Retransmit,
     /// A retransmission timer blamed this rail (`seq` = send id).
     TimeoutBlame,
@@ -112,6 +118,7 @@ impl EventKind {
             EventKind::DecideAggregate => "decide_aggregate",
             EventKind::DecideSplit => "decide_split",
             EventKind::DecideChunk => "decide_chunk",
+            EventKind::Restripe => "restripe",
             EventKind::TxPost => "tx_post",
             EventKind::TxDone => "tx_done",
             EventKind::Rx => "rx",
@@ -146,6 +153,7 @@ impl EventKind {
             | EventKind::DecideAggregate
             | EventKind::DecideSplit
             | EventKind::DecideChunk
+            | EventKind::Restripe
             | EventKind::Calibrate => "decision",
             EventKind::TxPost | EventKind::TxDone => "tx",
             EventKind::Rx => "rx",

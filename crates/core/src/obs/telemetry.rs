@@ -411,7 +411,17 @@ impl TelemetryAggregator {
             }
             EventKind::Retransmit => {
                 self.current.retransmits += 1;
-                if let Some(r) = rail {
+                // `size` carries the blamed-rails bitmask (a split attempt
+                // can blame several rails); credit each blamed rail's
+                // window. Events without a mask (hand-built, or no rail
+                // was used yet) fall back to the single `rail` field.
+                if ev.size != 0 {
+                    for r in 0..self.current.rails.len().min(64) {
+                        if ev.size & (1 << r) != 0 {
+                            self.current.rails[r].retransmits += 1;
+                        }
+                    }
+                } else if let Some(r) = rail {
                     self.current.rails[r].retransmits += 1;
                 }
             }
@@ -748,6 +758,38 @@ mod tests {
         assert_eq!(w.rails[0].failovers, 1);
         assert_eq!(w.rails[0].probes, 1);
         assert_eq!(w.sheds, 3);
+    }
+
+    #[test]
+    fn retransmit_blame_mask_credits_every_rail() {
+        let mut a = agg(2);
+        let mut rec = FlightRecorder::with_capacity(64);
+        // A split attempt expired: both rails are blamed. The engine
+        // emits ONE Retransmit event whose `size` is the blame bitmask
+        // and whose `rail` is the first blamed rail; each blamed rail's
+        // window must be credited, but the fabric total counts messages,
+        // not blames.
+        rec.record(
+            Event::new(40, EventKind::Retransmit)
+                .rail(0)
+                .seq(2)
+                .size(0b11)
+                .aux(1_000),
+        );
+        // And a single-rail attempt blaming only rail 1: the mask and the
+        // `rail` field agree, counted once.
+        rec.record(
+            Event::new(50, EventKind::Retransmit)
+                .rail(1)
+                .seq(3)
+                .size(0b10)
+                .aux(1_000),
+        );
+        a.fold(&rec, 1_100, &stats());
+        let w = a.latest().unwrap();
+        assert_eq!(w.retransmits, 2, "two retransmitted messages");
+        assert_eq!(w.rails[0].retransmits, 1);
+        assert_eq!(w.rails[1].retransmits, 2, "rail 1 blamed by both");
     }
 
     #[test]

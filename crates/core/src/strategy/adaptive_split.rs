@@ -216,6 +216,7 @@ mod tests {
                 config: &self.config,
                 obs: &mut self.obs,
                 now_ns: 0,
+                flight: &[],
             }
         }
 
@@ -355,6 +356,7 @@ mod tests {
             config: &config,
             obs: &mut obs,
             now_ns: 0,
+            flight: &[],
         };
         assert_eq!(s.next_tx(RailId(0), &mut ctx), Some(TxOp::PlannedChunk));
         let l0 = backlog.take_planned(0).unwrap().len;

@@ -123,6 +123,7 @@ mod tests {
                 config: &self.config,
                 obs: &mut self.obs,
                 now_ns: 0,
+                flight: &[],
             }
         }
     }

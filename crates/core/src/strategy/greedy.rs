@@ -112,6 +112,7 @@ mod tests {
                 config: &self.config,
                 obs: &mut self.obs,
                 now_ns: 0,
+                flight: &[],
             }
         }
     }

@@ -14,11 +14,23 @@
 //! | [`greedy`] | §3.2 (Figs 4–5) | idle NIC takes the first available segment |
 //! | [`aggregate_eager`] | §3.3 (Fig 6) | aggregate small messages onto the lowest-latency rail, greedy for large |
 //! | [`adaptive_split`] | §3.4 (Fig 7) | + split large segments across idle rails by sampled ratios (or 50/50 for the iso-split reference) |
+//!
+//! Beyond the paper's stages, the zoo carries strategies from later
+//! multi-rail literature (see DESIGN.md "Strategy zoo"):
+//!
+//! | Module | Source | Policy |
+//! |---|---|---|
+//! | [`srpt`] | RailS | shortest-remaining-work first, straggler-aware re-striping |
+//! | [`idle_harvest`] | FlexLink | any primary strategy + idle rails steal overflow above a watermark |
+//! | [`latency_router`] | — | control-class smalls pinned to the lowest-latency rail, bulk split elsewhere |
 
 pub mod adaptive_split;
 pub mod aggregate_eager;
 pub mod greedy;
+pub mod idle_harvest;
+pub mod latency_router;
 pub mod single_rail;
+pub mod srpt;
 pub mod static_round_robin;
 
 use nmad_model::{NicModel, RailId};
@@ -48,6 +60,26 @@ pub enum TxOp {
     PlannedChunk,
 }
 
+/// Per-rail in-flight load snapshot handed to strategies each decision.
+///
+/// All fields refer to data traffic only (control frames are excluded):
+/// a strategy reasons about where payload bytes are, not about ACKs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RailFlight {
+    /// Frames currently posted and not yet completed on this rail.
+    pub inflight: u32,
+    /// Payload bytes carried by those frames.
+    pub inflight_bytes: u64,
+    /// Post timestamp of the oldest still-outstanding frame (engine
+    /// clock, ns); 0 when nothing is in flight.
+    pub oldest_post_ns: u64,
+    /// Cumulative payload bytes this rail has put on the wire.
+    pub sent_bytes: u64,
+    /// EWMA of observed per-frame service time on this rail (ns);
+    /// 0 until the first completion.
+    pub ewma_service_ns: u64,
+}
+
 /// Read/plan access the engine grants a strategy during one decision.
 pub struct StrategyCtx<'a> {
     /// The waiting packs.
@@ -73,6 +105,10 @@ pub struct StrategyCtx<'a> {
     pub obs: &'a mut FlightRecorder,
     /// Engine clock at the moment of the decision (timestamp for events).
     pub now_ns: u64,
+    /// Per-rail in-flight load view, indexed by rail id. May be shorter
+    /// than `rails` (notably in unit fixtures); out-of-range rails read
+    /// as idle via [`StrategyCtx::flight`].
+    pub flight: &'a [RailFlight],
 }
 
 impl StrategyCtx<'_> {
@@ -91,13 +127,31 @@ impl StrategyCtx<'_> {
             .collect()
     }
 
+    /// In-flight load snapshot for `rail` (idle default when the engine —
+    /// or a test fixture — supplied no entry for it).
+    pub fn flight(&self, rail: RailId) -> RailFlight {
+        self.flight.get(rail.0).copied().unwrap_or_default()
+    }
+
     /// The healthy rail with the lowest minimal-message latency (falls
-    /// back over all rails when none is healthy).
+    /// back over all rails when none is healthy). Latency ties are broken
+    /// by current load — idle over busy, fewer in-flight bytes, fewer
+    /// lifetime sent bytes — so identical rails share control traffic
+    /// instead of everything biasing onto rail 0.
     pub fn lowest_latency_rail(&self) -> RailId {
+        let load_key = |i: usize| {
+            let f = self.flight(RailId(i));
+            (
+                self.rails[i].analytic_pio_oneway(0),
+                self.rail_busy.get(i).copied().unwrap_or(false),
+                f.inflight_bytes,
+                f.sent_bytes,
+            )
+        };
         let best = (0..self.rails.len())
             .filter(|&i| self.rail_ok(RailId(i)))
-            .min_by_key(|&i| self.rails[i].analytic_pio_oneway(0));
-        best.or_else(|| (0..self.rails.len()).min_by_key(|&i| self.rails[i].analytic_pio_oneway(0)))
+            .min_by_key(|&i| load_key(i));
+        best.or_else(|| (0..self.rails.len()).min_by_key(|&i| load_key(i)))
             .map(RailId)
             .expect("engine always has rails")
     }
@@ -140,6 +194,15 @@ pub enum StrategyKind {
     /// Anti-pattern baseline for the `ablate_jit` bench: bind each segment
     /// to a rail round-robin at submission, ignoring NIC idleness.
     StaticRoundRobin,
+    /// RailS-style shortest-remaining-work-first with straggler-aware
+    /// re-striping of the laggard rail's remaining plan.
+    Srpt,
+    /// FlexLink-style idle-link harvesting wrapped around the adaptive
+    /// splitter: idle rails steal overflow chunks above a watermark.
+    IdleHarvest,
+    /// Latency-class router: small control-class messages pinned to the
+    /// lowest-latency healthy rail, bulk split across the rest.
+    LatencyRouter,
 }
 
 impl StrategyKind {
@@ -164,6 +227,11 @@ impl StrategyKind {
                 adaptive_split::SplitMode::Fixed(permille),
             )),
             StrategyKind::StaticRoundRobin => Box::new(static_round_robin::StaticRoundRobin::new()),
+            StrategyKind::Srpt => Box::new(srpt::Srpt::new()),
+            StrategyKind::IdleHarvest => Box::new(idle_harvest::IdleHarvest::new(Box::new(
+                adaptive_split::AdaptiveSplit::new(adaptive_split::SplitMode::Sampled),
+            ))),
+            StrategyKind::LatencyRouter => Box::new(latency_router::LatencyRouter::new()),
         }
     }
 
@@ -178,7 +246,28 @@ impl StrategyKind {
             StrategyKind::IsoSplit => "iso-split",
             StrategyKind::FixedSplit(_) => "fixed-split",
             StrategyKind::StaticRoundRobin => "static-round-robin",
+            StrategyKind::Srpt => "srpt",
+            StrategyKind::IdleHarvest => "idle-harvest",
+            StrategyKind::LatencyRouter => "latency-router",
         }
+    }
+
+    /// Every strategy in the zoo with representative parameters — the
+    /// tournament roster and the proptest harness both iterate this.
+    pub fn zoo() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::SingleRail(0),
+            StrategyKind::SingleRailAggregating(0),
+            StrategyKind::Greedy,
+            StrategyKind::AggregateEager,
+            StrategyKind::AdaptiveSplit,
+            StrategyKind::IsoSplit,
+            StrategyKind::FixedSplit(500),
+            StrategyKind::StaticRoundRobin,
+            StrategyKind::Srpt,
+            StrategyKind::IdleHarvest,
+            StrategyKind::LatencyRouter,
+        ]
     }
 }
 
@@ -230,19 +319,96 @@ mod tests {
         );
         assert_eq!(StrategyKind::AdaptiveSplit.build().name(), "adaptive-split");
         assert_eq!(StrategyKind::IsoSplit.build().name(), "iso-split");
+        assert_eq!(StrategyKind::Srpt.build().name(), "srpt");
+        assert_eq!(StrategyKind::IdleHarvest.build().name(), "idle-harvest");
+        assert_eq!(StrategyKind::LatencyRouter.build().name(), "latency-router");
     }
 
     #[test]
     fn labels_are_unique() {
-        let kinds = [
-            StrategyKind::SingleRail(0),
-            StrategyKind::SingleRailAggregating(0),
-            StrategyKind::Greedy,
-            StrategyKind::AggregateEager,
-            StrategyKind::AdaptiveSplit,
-            StrategyKind::IsoSplit,
-        ];
+        let kinds = StrategyKind::zoo();
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn zoo_covers_every_label() {
+        // The zoo roster must build every strategy the engine can run.
+        for kind in StrategyKind::zoo() {
+            assert_eq!(kind.build().name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn lowest_latency_ties_break_by_load() {
+        use crate::sampling::default_ladder;
+        use nmad_model::platform;
+
+        // A symmetric fabric: two identical NICs. The old index-order
+        // tie-break put every aggregation batch on rail 0 forever; the
+        // load-aware tie-break must steer to the less-loaded rail.
+        let rails = vec![platform::quadrics_qm500(), platform::quadrics_qm500()];
+        let tables: Vec<PerfTable> = rails
+            .iter()
+            .map(|n| PerfTable::from_analytic(n, &default_ladder()))
+            .collect();
+        let config = EngineConfig::default();
+        let mut backlog = Backlog::new();
+        let mut obs = FlightRecorder::disabled();
+        let flight = [
+            RailFlight {
+                inflight: 1,
+                inflight_bytes: 4096,
+                oldest_post_ns: 1,
+                sent_bytes: 1 << 20,
+                ewma_service_ns: 0,
+            },
+            RailFlight::default(),
+        ];
+        let ctx = StrategyCtx {
+            backlog: &mut backlog,
+            rails: &rails,
+            rail_busy: &[false, false],
+            rail_ok: &[true, true],
+            tables: &tables,
+            config: &config,
+            obs: &mut obs,
+            now_ns: 0,
+            flight: &flight,
+        };
+        assert_eq!(
+            ctx.lowest_latency_rail(),
+            RailId(1),
+            "loaded rail 0 loses the tie"
+        );
+
+        // With no load information at all, index order remains the
+        // deterministic last resort.
+        let ctx2 = StrategyCtx {
+            backlog: &mut backlog,
+            rails: &rails,
+            rail_busy: &[false, false],
+            rail_ok: &[true, true],
+            tables: &tables,
+            config: &config,
+            obs: &mut obs,
+            now_ns: 0,
+            flight: &[],
+        };
+        assert_eq!(ctx2.lowest_latency_rail(), RailId(0));
+
+        // A busy-but-otherwise-equal rail also loses the tie.
+        let ctx3 = StrategyCtx {
+            backlog: &mut backlog,
+            rails: &rails,
+            rail_busy: &[true, false],
+            rail_ok: &[true, true],
+            tables: &tables,
+            config: &config,
+            obs: &mut obs,
+            now_ns: 0,
+            flight: &[],
+        };
+        assert_eq!(ctx3.lowest_latency_rail(), RailId(1));
     }
 }

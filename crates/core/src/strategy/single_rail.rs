@@ -109,6 +109,7 @@ mod tests {
             config: &config,
             obs: &mut obs,
             now_ns: 0,
+            flight: &[],
         };
         assert_eq!(s.next_tx(RailId(1), &mut ctx), None);
         assert!(s.next_tx(RailId(0), &mut ctx).is_some());
@@ -131,6 +132,7 @@ mod tests {
             config: &config,
             obs: &mut obs,
             now_ns: 0,
+            flight: &[],
         };
         assert_eq!(s.next_tx(RailId(0), &mut ctx), Some(TxOp::Eager(key(1, 0))));
     }
@@ -152,6 +154,7 @@ mod tests {
             config: &config,
             obs: &mut obs,
             now_ns: 0,
+            flight: &[],
         };
         assert_eq!(
             s.next_tx(RailId(0), &mut ctx),
@@ -175,6 +178,7 @@ mod tests {
             config: &config,
             obs: &mut obs,
             now_ns: 0,
+            flight: &[],
         };
         assert_eq!(s.next_tx(RailId(0), &mut ctx), Some(TxOp::Eager(key(1, 0))));
     }
@@ -197,6 +201,7 @@ mod tests {
             config: &config,
             obs: &mut obs,
             now_ns: 0,
+            flight: &[],
         };
         // Only the first fits: a lone segment ships as plain eager.
         assert_eq!(s.next_tx(RailId(0), &mut ctx), Some(TxOp::Eager(key(1, 0))));
@@ -220,6 +225,7 @@ mod tests {
             config: &config,
             obs: &mut obs,
             now_ns: 0,
+            flight: &[],
         };
         match s.next_tx(RailId(0), &mut ctx) {
             Some(TxOp::Chunk { key: k, .. }) => assert_eq!(k, key(1, 0)),
@@ -242,6 +248,7 @@ mod tests {
             config: &config,
             obs: &mut obs,
             now_ns: 0,
+            flight: &[],
         };
         assert_eq!(s.next_tx(RailId(0), &mut ctx), None);
     }

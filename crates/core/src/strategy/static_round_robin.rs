@@ -50,7 +50,16 @@ impl StaticRoundRobin {
         // Deterministic submit-order binding: sort by nothing — the two
         // scans above each follow submit order, but interleave; rebuild
         // order from the backlog's own iteration is enough for a baseline.
+        // The rotation skips out-of-service rails: static binding ignores
+        // *idleness*, not *health* — binding fresh work to a Down rail
+        // would just park it until retransmit+failover cleaned up.
+        let any_ok = ctx.rail_ok.iter().take(n).any(|&ok| ok);
         for key in fresh {
+            if any_ok {
+                while !ctx.rail_ok(RailId(self.next_rail)) {
+                    self.next_rail = (self.next_rail + 1) % n;
+                }
+            }
             self.assignment.insert(key, self.next_rail);
             self.next_rail = (self.next_rail + 1) % n;
         }
@@ -151,15 +160,20 @@ mod tests {
         }
 
         fn ctx<'a>(&'a mut self, busy: &'a [bool]) -> StrategyCtx<'a> {
+            self.ctx_with_health(busy, &[true, true])
+        }
+
+        fn ctx_with_health<'a>(&'a mut self, busy: &'a [bool], ok: &'a [bool]) -> StrategyCtx<'a> {
             StrategyCtx {
                 backlog: &mut self.backlog,
                 rails: &self.rails,
                 rail_busy: busy,
-                rail_ok: &[true, true],
+                rail_ok: ok,
                 tables: &self.tables,
                 config: &self.config,
                 obs: &mut self.obs,
                 now_ns: 0,
+                flight: &[],
             }
         }
     }
@@ -199,6 +213,44 @@ mod tests {
         // it is idle — the whole point of the anti-pattern.
         assert_eq!(s.next_tx(RailId(1), &mut f.ctx(&busy)), None);
         assert!(s.next_tx(RailId(0), &mut f.ctx(&busy)).is_some());
+    }
+
+    #[test]
+    fn fresh_bindings_skip_down_rails() {
+        let mut f = Fixture::new();
+        for m in 0..4 {
+            f.backlog.push(key(m, 0), 1, 64, SegPhase::EagerReady);
+        }
+        let mut s = StaticRoundRobin::new();
+        let busy = [false, false];
+        // Rail 0 is in outage: every fresh segment must bind to rail 1 —
+        // the rotation skips non-schedulable rails at decision time
+        // instead of parking work on the dead rail.
+        let ok = [false, true];
+        assert_eq!(
+            s.next_tx(RailId(0), &mut f.ctx_with_health(&busy, &ok)),
+            None
+        );
+        for m in 0..4 {
+            let op = s.next_tx(RailId(1), &mut f.ctx_with_health(&busy, &ok));
+            assert_eq!(op, Some(TxOp::Eager(key(m, 0))), "msg {m} serves on rail 1");
+            f.backlog.take_eager(key(m, 0)).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_rails_down_still_binds() {
+        // Degenerate case: with no healthy rail the rotation must not
+        // spin forever — it falls back to plain round-robin binding.
+        let mut f = Fixture::new();
+        f.backlog.push(key(0, 0), 1, 64, SegPhase::EagerReady);
+        let mut s = StaticRoundRobin::new();
+        let busy = [false, false];
+        let ok = [false, false];
+        // The engine never offers a Down rail, but the strategy itself
+        // must stay total: binding proceeds, serving just finds rail 0.
+        let op = s.next_tx(RailId(0), &mut f.ctx_with_health(&busy, &ok));
+        assert_eq!(op, Some(TxOp::Eager(key(0, 0))));
     }
 
     #[test]

@@ -69,6 +69,17 @@ NMAD_SOAK_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_soak
 echo "==> per-packet cycles (ablate_cycles smoke sweep)"
 NMAD_CYCLES_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_cycles
 
+# Strategy-tournament gate: every StrategyKind across the six load
+# regimes (uniform, heavy tail, MMPP bursts, drift, outage, small
+# flood); exits nonzero if any cell drops a message or a zoo claim
+# fails — SRPT holds the heavy tail, idle harvesting recovers measurable
+# bandwidth on the asymmetric flood, the latency router cuts the
+# small-message p99 (see DESIGN.md "Strategy zoo"). Writes
+# BENCH_strategies.json; the full grid runs via the ablate_strategies
+# bench in the scheduled CI job.
+echo "==> strategy tournament (nmad tournament --smoke --check)"
+cargo run -q -p nmad-cli -- tournament --smoke --check >/dev/null
+
 # Calibrate round-trip: the CLI must run the drift scenario and report a
 # converged split history (the degraded rail's share leaves the seed band).
 echo "==> nmad calibrate round-trip"
