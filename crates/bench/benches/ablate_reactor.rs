@@ -1,0 +1,68 @@
+//! Reactor-transport gate: a fixed epoll worker pool serving a 10k+
+//! connection echo herd, plus per-I/O-thread throughput against the
+//! thread-per-rail runtime at 2 rails. Run with
+//! `cargo bench -p nmad-bench --bench ablate_reactor`.
+//! Set `NMAD_REACTOR_SMOKE=1` for the ~seconds CI run (a few hundred
+//! connections); the full run drives the 10k claim.
+//! `NMAD_REACTOR_SEED=<n>` replays a recorded size stream.
+
+fn main() {
+    // Child-process hook: with NMAD_REACTOR_CLIENT set this process IS
+    // the client herd (exits inside).
+    if nmad_bench::reactor::client_main() {
+        return;
+    }
+    let client_exe = std::env::current_exe().ok();
+    let smoke = std::env::var("NMAD_REACTOR_SMOKE").is_ok_and(|v| v != "0");
+    let seed = std::env::var("NMAD_REACTOR_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(11);
+    let spec = if smoke {
+        nmad_bench::reactor::ReactorSpec::smoke(seed)
+    } else {
+        nmad_bench::reactor::ReactorSpec::full(seed)
+    };
+    eprintln!(
+        "running ablate_reactor ({} run, {} connections x {} round trips, seed {seed})...",
+        if smoke { "smoke" } else { "full" },
+        spec.conns,
+        spec.rounds
+    );
+    let first = nmad_bench::reactor::run(&spec, client_exe.as_deref());
+    // Latency and throughput gates ride the wall clock; the herd /
+    // shed / allocation gates are deterministic and never retried.
+    let report = nmad_bench::report::retry_once_on_timing(
+        "ablate_reactor",
+        first,
+        |r| {
+            let v = nmad_bench::reactor::check(r);
+            !v.is_empty() && v.iter().all(|s| s.starts_with("timing:"))
+        },
+        || nmad_bench::reactor::run(&spec, client_exe.as_deref()),
+        |second, _first| nmad_bench::reactor::check(second).is_empty(),
+    );
+    print!("{}", nmad_bench::reactor::render(&report));
+
+    let bytes = serde_json::to_vec_pretty(&report).expect("serializable");
+    nmad_bench::report::write_gate_json("reactor", &bytes);
+
+    let violations = nmad_bench::reactor::check(&report);
+    if !violations.is_empty() {
+        eprintln!("reactor gate violated:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    if report.supported {
+        eprintln!(
+            "reactor gate OK: {} conns on {} threads, p99 {} us, per-thread ratio {:.2} \
+             (BENCH_reactor.json)",
+            report.scale.sustained_conns,
+            report.scale.threads,
+            report.scale.p99_us,
+            report.perthread.per_thread_ratio()
+        );
+    }
+}

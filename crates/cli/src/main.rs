@@ -21,6 +21,11 @@ use nmad_runtime_sim::sweep::{bandwidth_sizes, latency_sizes};
 use nmad_runtime_sim::{run_pingpong, sample_platform, PingPongSpec};
 
 fn main() {
+    // Child-process hook for the reactor bench: with NMAD_REACTOR_CLIENT
+    // set this process is a client herd, not a CLI (exits inside).
+    if nmad_bench::reactor::client_main() {
+        return;
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => {}
@@ -70,13 +75,17 @@ fn usage() -> &'static str {
                                         bandwidth ladder) and export the packet\n\
                                         lifecycle; chrome output loads in\n\
                                         chrome://tracing / Perfetto\n\
-       metrics [--strategy S] [--size BYTES] [--messages N] [--parallel]\n\
+       metrics [--strategy S] [--size BYTES] [--messages N] [--parallel|--reactor]\n\
                                         per-rail latency/size/backlog histograms,\n\
                                         syscalls/packet and pool-magazine hit rate\n\
                                         from an acked pipeline run; --parallel\n\
                                         drives the sharded pipeline and adds\n\
                                         lock-hold/outbox-depth/batch histograms\n\
-                                        and per-rail worker utilization\n\
+                                        and per-rail worker utilization;\n\
+                                        --reactor drives real sockets through the\n\
+                                        epoll reactor and adds the event-loop\n\
+                                        telemetry (events/wake, ready depth,\n\
+                                        per-worker loop utilization)\n\
        spans [--strategy S] [--size BYTES] [--messages N]\n\
                                         per-request critical-path breakdown\n\
                                         (queue -> decide -> xfer -> ack) per\n\
@@ -106,6 +115,12 @@ fn usage() -> &'static str {
                                         --no-chaos runs clean (watchdog must\n\
                                         then stay silent); --out-* save the\n\
                                         telemetry series and machine verdict\n\
+       reactor [--connections N] [--full] [--seed N] [--check]\n\
+                                        readiness-driven reactor ablation: an\n\
+                                        epoll echo herd on a fixed worker pool\n\
+                                        plus per-I/O-thread throughput vs the\n\
+                                        thread-per-rail runtime; --check applies\n\
+                                        the 10k-connection gates\n\
        tournament [--seed N] [--smoke] [--check]\n\
                                         strategy-zoo tournament: every strategy\n\
                                         across six load regimes (uniform, heavy\n\
@@ -151,6 +166,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("calibrate") => cmd_calibrate(&args),
         Some("loadgen") => cmd_loadgen(&args),
         Some("soak") => cmd_soak(&args),
+        Some("reactor") => cmd_reactor(&args),
         Some("tournament") => cmd_tournament(&args),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
@@ -823,6 +839,9 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     if args.has("parallel") {
         return cmd_metrics_parallel(kind, size, messages);
     }
+    if args.has("reactor") {
+        return cmd_metrics_reactor(kind, size, messages);
+    }
     let w = record_workload(kind, vec![size; messages], true, 4096);
     let now_ns = w.now().0 / 1_000;
 
@@ -912,6 +931,75 @@ fn cmd_metrics_parallel(kind: StrategyKind, size: usize, messages: usize) -> Res
                 ro.in_flight_bytes,
             );
         }
+        print_syscall_and_magazine_lines(&s);
+    }
+    Ok(())
+}
+
+/// `metrics --reactor`: drive real sockets through the epoll reactor and
+/// report the event-loop telemetry alongside the scheduler histograms —
+/// events per wakeup, ready-queue depth, per-worker loop utilization,
+/// and the backpressure/shed/allocation tripwires.
+fn cmd_metrics_reactor(kind: StrategyKind, size: usize, messages: usize) -> Result<(), String> {
+    use std::time::Duration;
+
+    let plat = platform::paper_platform();
+    let mut engine = EngineConfig::with_strategy(kind);
+    engine.reactor = true;
+    let (a, b) = nmad_transport_tcp::pair_localhost(nmad_transport_tcp::TcpConfig::new(
+        plat.clone(),
+        engine,
+    ))
+    .map_err(|e| format!("reactor fabric: {e}"))?;
+    let conn = a.conns()[0];
+    println!(
+        "{} / {messages} x {size} B over the reactor TCP fabric\n",
+        kind.label()
+    );
+    let recvs: Vec<_> = (0..messages).map(|_| b.recv(conn)).collect();
+    let sends: Vec<_> = (0..messages)
+        .map(|i| a.send(conn, vec![Bytes::from(vec![i as u8; size])]))
+        .collect();
+    for (i, s) in sends.iter().enumerate() {
+        if !s.wait(Duration::from_secs(120)) {
+            return Err(format!("message {i} not sent within 120 s"));
+        }
+    }
+    for (i, r) in recvs.iter().enumerate() {
+        if r.wait(Duration::from_secs(120)).is_none() {
+            return Err(format!("message {i} not delivered"));
+        }
+    }
+
+    for (ep, name) in [(&a, "sender"), (&b, "receiver")] {
+        let s = ep.stats();
+        let r = &s.reactor;
+        println!(
+            "{name}: {} reactor worker(s), {} connection(s) registered",
+            r.workers, r.conns
+        );
+        println!(
+            "  {} polls, {} wakeups ({} scheduler kicks), {} events ({:.1}/wake)",
+            r.polls,
+            r.wakeups,
+            r.sched_wakes,
+            r.events,
+            r.mean_events_per_wake()
+        );
+        println!("  events/wake  {}", r.events_per_wake.render());
+        println!("  ready depth  {}", r.ready_depth.render());
+        for w in 0..r.workers as usize {
+            println!(
+                "  worker{w}: loop utilization {:>5.1}%",
+                100.0 * r.worker_utilization(w)
+            );
+        }
+        println!(
+            "  backpressure: {} write stalls; sheds: {} fd-limit; tripwire: {} hot-path allocs",
+            r.write_stalls, r.fd_shed, r.hot_path_allocs
+        );
+        println!("  lock hold ns {}", s.obs.lock_hold_ns.render());
+        println!("  outbox depth {}", s.obs.outbox_depth.render());
         print_syscall_and_magazine_lines(&s);
     }
     Ok(())
@@ -1360,6 +1448,56 @@ fn cmd_soak(args: &Args) -> Result<(), String> {
             "soak SLO gate OK: p99 {} us, {:+.1}% decay, 0 stuck, 0 leaks",
             report.p99_us, report.decay_pct
         );
+    }
+    Ok(())
+}
+
+/// `nmad reactor`: the readiness-driven reactor ablation from the CLI,
+/// mirroring `cargo bench --bench ablate_reactor` — an epoll echo herd
+/// against the fixed worker pool plus the per-I/O-thread throughput
+/// comparison. `--check` applies the gates (connection count, fd sheds,
+/// p99, zero hot-path allocations, per-thread ratio).
+fn cmd_reactor(args: &Args) -> Result<(), String> {
+    use nmad_bench::reactor::{check, render, run, ReactorSpec};
+    let seed: u64 = args.num("seed", 11)?;
+    let mut spec = if args.has("full") {
+        ReactorSpec::full(seed)
+    } else {
+        ReactorSpec::smoke(seed)
+    };
+    if args.flag("connections").is_some() {
+        let n: usize = args.num("connections", 0)?;
+        if n == 0 {
+            return Err("--connections must be at least 1".into());
+        }
+        spec.conns = n;
+    }
+    eprintln!(
+        "reactor ablation: {} connections x {} round trips (seed {seed})...",
+        spec.conns, spec.rounds
+    );
+    // This binary doubles as the client herd via the NMAD_REACTOR_CLIENT
+    // hook in main(), so fd-limited environments still reach the target.
+    let client_exe = std::env::current_exe().ok();
+    let report = run(&spec, client_exe.as_deref());
+    print!("{}", render(&report));
+    if args.has("check") {
+        let violations = check(&report);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("reactor gate violated: {v}");
+            }
+            return Err("reactor gate violated".into());
+        }
+        if report.supported {
+            println!(
+                "reactor gate OK: {} conns on {} threads, p99 {} us, per-thread ratio {:.2}",
+                report.scale.sustained_conns,
+                report.scale.threads,
+                report.scale.p99_us,
+                report.perthread.per_thread_ratio()
+            );
+        }
     }
     Ok(())
 }

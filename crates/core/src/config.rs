@@ -152,6 +152,24 @@ pub struct EngineConfig {
     /// Strategy-zoo knobs (SRPT re-striping, harvesting watermark,
     /// latency-router reserve window).
     pub zoo: ZooConfig,
+    /// Readiness-driven reactor transport: when set, the TCP fabric
+    /// multiplexes every rail/peer connection onto a fixed pool of
+    /// epoll workers (default `min(cores, 4)`, see `reactor_threads`)
+    /// behind the same [`crate::ParallelHub`] scheduler, instead of two
+    /// blocking threads per rail. Off by default so the serial and
+    /// thread-per-rail paths stay bit-identical. Implies `parallel`
+    /// (the hub's queues are the completion plumbing).
+    pub reactor: bool,
+    /// Worker threads in the reactor pool. 0 (the default) picks
+    /// `min(available cores, 4)`; nonzero pins the count (the
+    /// `ablate_reactor` scaling sweep sets it explicitly).
+    pub reactor_threads: usize,
+    /// Upper bound, in microseconds, on one idle poll of the *serial*
+    /// TCP worker (how long it parks on the work condvar before
+    /// re-checking rail readability). Historically hard-coded at 50 µs;
+    /// latency-sensitive deployments can tighten it, batch-oriented
+    /// ones can relax it to cut idle wakeups.
+    pub serial_idle_poll_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -172,6 +190,9 @@ impl Default for EngineConfig {
             telemetry: TelemetryConfig::default(),
             watchdog: WatchdogConfig::default(),
             zoo: ZooConfig::default(),
+            reactor: false,
+            reactor_threads: 0,
+            serial_idle_poll_us: 50,
         }
     }
 }
@@ -200,6 +221,10 @@ impl EngineConfig {
         self.telemetry.validate();
         self.watchdog.validate();
         self.zoo.validate();
+        assert!(
+            self.serial_idle_poll_us > 0,
+            "serial_idle_poll_us must be positive (the serial worker would spin)"
+        );
         if self.telemetry.enabled() {
             assert!(
                 self.record_capacity > 0,
@@ -227,6 +252,25 @@ mod tests {
         assert_eq!(c.agg_max_bytes, 16 * 1024);
         assert_eq!(c.min_chunk, 8 * 1024);
         assert!(c.overload.is_unlimited(), "overload limits default off");
+        assert!(
+            !c.reactor,
+            "reactor defaults off: existing paths bit-identical"
+        );
+        assert_eq!(c.reactor_threads, 0, "reactor pool auto-sizes by default");
+        assert_eq!(
+            c.serial_idle_poll_us, 50,
+            "historical serial idle-poll bound"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "serial_idle_poll_us")]
+    fn zero_idle_poll_rejected() {
+        let c = EngineConfig {
+            serial_idle_poll_us: 0,
+            ..Default::default()
+        };
+        c.validate();
     }
 
     #[test]

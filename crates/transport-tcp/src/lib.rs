@@ -78,12 +78,16 @@ use nmad_wire::reassembly::MessageAssembly;
 use nmad_wire::{ConnId, PacketFrame};
 use parking_lot::{Condvar, Mutex};
 
+pub mod reactor;
+
 /// Frame length prefix size.
 const LEN_PREFIX: usize = 4;
 /// Largest accepted frame (sanity bound against corrupt prefixes).
 const MAX_FRAME: usize = 64 << 20;
-/// Serial worker: upper bound on one idle poll (a kick ends it early).
-const IDLE_POLL: Duration = Duration::from_micros(50);
+// The serial worker's idle-poll upper bound — historically a hard-coded
+// 50 µs here — is now [`EngineConfig::serial_idle_poll_us`] (same
+// default), so latency-sensitive deployments tighten it per endpoint
+// instead of recompiling.
 /// Parallel workers: socket read/write timeout, which doubles as the
 /// shutdown-responsiveness bound for blocking I/O.
 const IO_TIMEOUT: Duration = Duration::from_millis(25);
@@ -183,8 +187,14 @@ pub struct Endpoint {
     /// Serial: the single progress thread. Parallel: per-rail TX/RX
     /// workers first, the scheduler last — joined in that order so the
     /// scheduler drains the workers' final completions before exiting.
+    /// Reactor: the scheduler only (rail I/O lives in the pool below).
     workers: Vec<JoinHandle<()>>,
     conns: Vec<ConnId>,
+    /// Reactor mode only: the epoll worker pool multiplexing this
+    /// endpoint's rail sockets. Declared after `workers` on purpose —
+    /// `Drop` joins the scheduler first (it drains the pool's last
+    /// completions), then field drop order shuts the pool down.
+    reactor: Option<reactor::ReactorPool>,
 }
 
 /// Handle to a send in flight.
@@ -303,9 +313,53 @@ impl Endpoint {
         }
     }
 
-    /// Engine statistics snapshot.
+    /// Engine statistics snapshot. In reactor mode the event-loop
+    /// telemetry is refreshed from the live counters (not just the last
+    /// scheduler pass's mirror).
     pub fn stats(&self) -> nmad_core::EngineStats {
-        self.fabric.engine().lock().stats().clone()
+        let mut stats = self.fabric.engine().lock().stats().clone();
+        if let Some(pool) = &self.reactor {
+            stats.reactor = pool.stats();
+        }
+        stats
+    }
+
+    /// Submit a send with the overload policy applied: refused with
+    /// [`nmad_core::SubmitError::WouldBlock`] when a queue bound,
+    /// admission quota or pool watermark is hit (see
+    /// [`nmad_core::OverloadConfig`]). On the serial runtime overload
+    /// limits don't apply (no shared submission queue) and this always
+    /// admits — same contract as the mem fabric.
+    pub fn try_send(
+        &self,
+        conn: ConnId,
+        segments: Vec<Bytes>,
+    ) -> Result<SendHandle, nmad_core::SubmitError> {
+        match &self.fabric {
+            Fabric::Serial(_) => Ok(self.send(conn, segments)),
+            Fabric::Parallel(h) => {
+                let id = h.try_submit_send(conn, segments)?;
+                Ok(SendHandle {
+                    fabric: self.fabric.clone(),
+                    id,
+                })
+            }
+        }
+    }
+
+    /// Overload-protection rejection counters (all zero on the serial
+    /// runtime, which admits unconditionally).
+    pub fn overload_stats(&self) -> nmad_core::OverloadStats {
+        match &self.fabric {
+            Fabric::Serial(_) => nmad_core::OverloadStats::default(),
+            Fabric::Parallel(h) => h.overload_stats(),
+        }
+    }
+
+    /// Reactor event-loop telemetry (`None` unless this endpoint runs
+    /// the reactor transport).
+    pub fn reactor_stats(&self) -> Option<nmad_core::ReactorStats> {
+        self.reactor.as_ref().map(|p| p.stats())
     }
 
     /// Packets rejected on receive (decode/CRC/reassembly errors).
@@ -631,6 +685,8 @@ struct Worker {
     chaos: Option<ChaosState>,
     /// Seeded draw for the chaos drop boost (unused at identity).
     rng: Xoshiro256StarStar,
+    /// Idle-poll upper bound, from [`EngineConfig::serial_idle_poll_us`].
+    idle_poll: Duration,
 }
 
 impl Worker {
@@ -653,7 +709,7 @@ impl Worker {
                 // Idle poll, ended early by a submission's kick — a send
                 // posted now is picked up immediately, not after the
                 // poll interval.
-                self.shared.work.wait(IDLE_POLL);
+                self.shared.work.wait(self.idle_poll);
             }
         }
     }
@@ -994,9 +1050,13 @@ impl RxWorker {
 fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Result<Endpoint> {
     let mut cfg_engine = config.engine.clone();
     cfg_engine.crc = true;
+    if cfg_engine.reactor {
+        return build_reactor(config, cfg_engine, streams);
+    }
     if cfg_engine.parallel {
         return build_parallel(config, cfg_engine, streams);
     }
+    let idle_poll_us = cfg_engine.serial_idle_poll_us;
     let shared = Arc::new(Shared {
         engine: Mutex::new(Engine::new(
             cfg_engine,
@@ -1023,6 +1083,7 @@ fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Resul
         start: Instant::now(),
         chaos: config.chaos.clone(),
         rng: Xoshiro256StarStar::new(0x7C9),
+        idle_poll: Duration::from_micros(idle_poll_us.max(1)),
     };
     let handle = std::thread::Builder::new()
         .name("nmad-tcp".into())
@@ -1031,6 +1092,7 @@ fn build_endpoint(config: &TcpConfig, streams: Vec<TcpStream>) -> std::io::Resul
         fabric: Fabric::Serial(shared),
         workers: vec![handle],
         conns,
+        reactor: None,
     })
 }
 
@@ -1100,6 +1162,48 @@ fn build_parallel(
         fabric: Fabric::Parallel(hub),
         workers,
         conns,
+        reactor: None,
+    })
+}
+
+/// Build the reactor runtime: every rail socket registered with the
+/// fixed epoll worker pool, completions flowing through the same
+/// [`ParallelHub`] scheduler as the thread-per-rail pipeline (which is
+/// why the app-facing API — waits, stats, backpressure — is identical).
+fn build_reactor(
+    config: &TcpConfig,
+    mut cfg_engine: EngineConfig,
+    streams: Vec<TcpStream>,
+) -> std::io::Result<Endpoint> {
+    // The hub's sharded queues are the completion plumbing either way;
+    // `parallel` also routes the engine's lock-discipline asserts.
+    cfg_engine.parallel = true;
+    let threads = reactor::worker_count(cfg_engine.reactor_threads);
+    let mut engine = Engine::new(cfg_engine, config.platform.rails.clone(), vec![]);
+    let mut conns = Vec::new();
+    for _ in 0..config.conns.max(1) {
+        conns.push(engine.conn_open());
+    }
+    let (hub, mut senders, receivers) = ParallelHub::new(engine);
+    let pool = reactor::ReactorPool::new(threads, nmad_core::SharedPool::new(256))?;
+    for (rail, (stream, outbox)) in streams.into_iter().zip(receivers).enumerate() {
+        let waker = pool.add_rail(stream, rail, hub.clone(), outbox, config.chaos.clone())?;
+        // Publishing TX work must wake the epoll worker that owns this
+        // rail's socket, not just the (unused) outbox condvar.
+        senders[rail].set_wake_hook(Arc::new(move || waker.wake()));
+    }
+    let telemetry = pool.handle();
+    hub.set_reactor_source(Box::new(move || telemetry.snapshot()));
+    let epoch = Instant::now();
+    let sched_hub = hub.clone();
+    let sched = std::thread::Builder::new()
+        .name("nmad-tcp-sched".into())
+        .spawn(move || sched_hub.run_scheduler(senders, epoch))?;
+    Ok(Endpoint {
+        fabric: Fabric::Parallel(hub),
+        workers: vec![sched],
+        conns,
+        reactor: Some(pool),
     })
 }
 
@@ -1532,6 +1636,189 @@ mod tests {
         );
         // Merged stream is timestamp-ordered.
         assert!(tx_events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    // ------------------------------------------------------------------
+    // Reactor transport over real sockets
+    // ------------------------------------------------------------------
+
+    fn fabric_reactor(kind: StrategyKind) -> (Endpoint, Endpoint) {
+        let mut engine = EngineConfig::with_strategy(kind);
+        engine.reactor = true;
+        pair_localhost(TcpConfig::new(platform::paper_platform(), engine)).expect("localhost pair")
+    }
+
+    #[test]
+    fn reactor_small_message() {
+        let (a, b) = fabric_reactor(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let payload = random(512, 51);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T));
+        assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        assert_eq!(b.rx_errors(), 0);
+        assert_eq!(a.io_errors(), 0);
+    }
+
+    #[test]
+    fn reactor_large_message_striped_over_two_sockets() {
+        let (a, b) = fabric_reactor(StrategyKind::AdaptiveSplit);
+        let c = a.conns()[0];
+        let payload = random(3 << 20, 52);
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(payload.clone())]);
+        assert!(s.wait(T));
+        assert_eq!(r.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        let st = a.stats();
+        assert!(
+            st.rails[0].payload_bytes > 0 && st.rails[1].payload_bytes > 0,
+            "large message must stripe across both sockets: {:?}",
+            st.rails
+        );
+    }
+
+    #[test]
+    fn reactor_many_pipelined_messages_in_order() {
+        let (a, b) = fabric_reactor(StrategyKind::AggregateEager);
+        let c = a.conns()[0];
+        let n = 40;
+        let recvs: Vec<RecvHandle> = (0..n).map(|_| b.recv(c)).collect();
+        for i in 0..n {
+            a.send(c, vec![Bytes::from(random(32 + i * 7, 200 + i as u64))]);
+        }
+        for (i, r) in recvs.into_iter().enumerate() {
+            let msg = r.wait(T).expect("recv");
+            assert_eq!(
+                msg.segments[0].as_ref(),
+                random(32 + i * 7, 200 + i as u64).as_slice(),
+                "message {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn reactor_bidirectional_traffic() {
+        let (a, b) = fabric_reactor(StrategyKind::Greedy);
+        let c = a.conns()[0];
+        let pa = random(100_000, 53);
+        let pb = random(120_000, 54);
+        let ra = a.recv(c);
+        let rb = b.recv(c);
+        let sa = a.send(c, vec![Bytes::from(pa.clone())]);
+        let sb = b.send(c, vec![Bytes::from(pb.clone())]);
+        assert!(sa.wait(T) && sb.wait(T));
+        assert_eq!(rb.wait(T).unwrap().segments[0].as_ref(), pa.as_slice());
+        assert_eq!(ra.wait(T).unwrap().segments[0].as_ref(), pb.as_slice());
+    }
+
+    /// Reactor telemetry reaches `EngineStats`: workers sized per
+    /// config, poll loop ran, and both rails were registered with the
+    /// event loop (conns gauge). Zero-alloc gate: the rail RX pump never
+    /// outgrew its pre-allocated buffer on this small exchange.
+    #[test]
+    fn reactor_telemetry_populated() {
+        let (a, b) = fabric_reactor(StrategyKind::Greedy);
+        let c = a.conns()[0];
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from(random(64_000, 55))]);
+        assert!(s.wait(T));
+        assert!(r.wait(T).is_some());
+        let rs = a.reactor_stats().expect("reactor endpoint");
+        assert_eq!(rs.workers as usize, reactor::worker_count(0));
+        assert!(rs.polls > 0, "event loop never polled");
+        assert!(rs.events > 0, "no readiness events observed");
+        assert_eq!(rs.conns, 2, "both rail sockets registered");
+        assert_eq!(rs.fd_shed, 0);
+        assert_eq!(rs.hot_path_allocs, 0, "rail RX pump allocated");
+        // The scheduler mirror also lands in EngineStats.
+        let st = a.stats();
+        assert_eq!(st.reactor.workers, rs.workers);
+    }
+
+    /// Satellite regression: with the reactor off, the serial and
+    /// parallel runtimes carry no reactor state at all — telemetry stays
+    /// zeroed and `reactor_stats()` is `None` (bit-identical paths).
+    #[test]
+    fn reactor_off_leaves_other_runtimes_untouched() {
+        for (a, b) in [
+            fabric(StrategyKind::Greedy),
+            fabric_parallel(StrategyKind::Greedy),
+        ] {
+            let c = a.conns()[0];
+            let r = b.recv(c);
+            let s = a.send(c, vec![Bytes::from(random(4096, 56))]);
+            assert!(s.wait(T));
+            assert!(r.wait(T).is_some());
+            assert!(a.reactor_stats().is_none());
+            let st = a.stats();
+            assert_eq!(st.reactor.workers, 0);
+            assert_eq!(st.reactor.polls, 0);
+            assert!(st.reactor.events_per_wake.is_empty());
+        }
+    }
+
+    /// Satellite e2e: a full admission quota on the reactor TCP fabric
+    /// surfaces as `SubmitError::WouldBlock` through `try_send`, and
+    /// draining the inflight message re-admits the tenant.
+    #[test]
+    fn reactor_backpressure_wouldblock_and_readmit() {
+        let mut engine = EngineConfig::with_strategy(StrategyKind::Greedy);
+        engine.reactor = true;
+        engine.overload.max_tenant_inflight = 1;
+        let (a, b) = pair_localhost(TcpConfig::new(platform::paper_platform(), engine))
+            .expect("localhost pair");
+        let c = a.conns()[0];
+
+        // Fill the quota, then a second submit must push back
+        // immediately (the first cannot complete: no recv is posted
+        // yet, so its completion cannot race the rejection).
+        let payload = random(1 << 20, 57);
+        let s1 = a.try_send(c, vec![Bytes::from(payload.clone())]).unwrap();
+        match a.try_send(c, vec![Bytes::from_static(b"over quota")]) {
+            Err(nmad_core::SubmitError::WouldBlock) => {}
+            Err(e) => panic!("expected WouldBlock, got {e:?}"),
+            Ok(_) => panic!("expected WouldBlock, got an admitted send"),
+        }
+        assert!(a.overload_stats().admission_rejections > 0);
+
+        // Drain: deliver the inflight message, then the tenant is
+        // re-admitted (poll briefly — completion credit is returned on
+        // a scheduler pass after delivery).
+        let r1 = b.recv(c);
+        assert!(s1.wait(T));
+        assert_eq!(r1.wait(T).unwrap().segments[0].as_ref(), payload.as_slice());
+        let deadline = Instant::now() + T;
+        let s2 = loop {
+            match a.try_send(c, vec![Bytes::from_static(b"after drain")]) {
+                Ok(h) => break h,
+                Err(nmad_core::SubmitError::WouldBlock) => {
+                    assert!(Instant::now() < deadline, "tenant never re-admitted");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("unexpected submit error: {e:?}"),
+            }
+        };
+        let r2 = b.recv(c);
+        assert!(s2.wait(T));
+        assert_eq!(&r2.wait(T).unwrap().segments[0][..], b"after drain");
+    }
+
+    /// The serial idle-poll knob is honoured: an eccentric (long) idle
+    /// poll still makes progress promptly thanks to the work-signal
+    /// kick, and validation rejects a zero poll outright.
+    #[test]
+    fn serial_idle_poll_knob() {
+        let mut engine = EngineConfig::with_strategy(StrategyKind::Greedy);
+        engine.serial_idle_poll_us = 5_000;
+        let (a, b) = pair_localhost(TcpConfig::new(platform::paper_platform(), engine))
+            .expect("localhost pair");
+        let c = a.conns()[0];
+        std::thread::sleep(Duration::from_millis(20));
+        let r = b.recv(c);
+        let s = a.send(c, vec![Bytes::from_static(b"knob")]);
+        assert!(s.wait(Duration::from_secs(5)));
+        assert!(r.wait(Duration::from_secs(5)).is_some());
     }
 
     mod batch_props {

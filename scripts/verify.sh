@@ -69,6 +69,15 @@ NMAD_SOAK_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_soak
 echo "==> per-packet cycles (ablate_cycles smoke sweep)"
 NMAD_CYCLES_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_cycles
 
+# Reactor gate: the ablate_reactor smoke sweep serves a few hundred
+# loopback echo connections from the fixed epoll worker pool and exits
+# nonzero if the herd is shed, the event loop allocates on the hot path,
+# the echo p99 blows its ceiling, or throughput per I/O thread drops
+# below the thread-per-rail runtime at 2 rails (see DESIGN.md §14). The
+# full 10k-connection run happens in the scheduled CI job.
+echo "==> reactor event loop (ablate_reactor smoke sweep)"
+NMAD_REACTOR_SMOKE=1 cargo bench -q -p nmad-bench --bench ablate_reactor
+
 # Strategy-tournament gate: every StrategyKind across the six load
 # regimes (uniform, heavy tail, MMPP bursts, drift, outage, small
 # flood); exits nonzero if any cell drops a message or a zoo claim
